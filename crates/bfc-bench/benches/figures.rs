@@ -1,0 +1,58 @@
+//! One Criterion benchmark per paper table/figure.
+//!
+//! Each benchmark runs the corresponding `bfc_experiments::figures::figNN`
+//! experiment at quick scale (small topology, short trace). The goal is a
+//! regenerable, timed version of the whole evaluation: `cargo bench -p
+//! bfc-bench -- fig05` re-runs the headline comparison, and the printed
+//! experiment output can be compared against EXPERIMENTS.md. Paper-scale runs
+//! use the `figNN_*` binaries with `--full` instead.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bfc_experiments::figures::{
+    self, fig02, fig03, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14,
+};
+
+fn scale() -> figures::Scale {
+    figures::Scale::quick()
+}
+
+fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("paper-figures");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = configure(c);
+    group.bench_function("fig01_hw_trends", |b| b.iter(figures::fig01::run));
+    group.bench_function("fig02_buffer_vs_speed", |b| b.iter(|| fig02::run(&scale())));
+    group.bench_function("fig03_buffer_ratio", |b| b.iter(|| fig03::run(&scale())));
+    group.bench_function("fig04_workload_cdf", |b| b.iter(figures::fig04::run));
+    group.bench_function("fig05a_google_incast", |b| {
+        b.iter(|| fig05::run_google_incast(&scale()))
+    });
+    group.bench_function("fig05b_hadoop_incast", |b| {
+        b.iter(|| fig05::run_hadoop_incast(&scale()))
+    });
+    group.bench_function("fig05c_google_no_incast", |b| {
+        b.iter(|| fig05::run_google_no_incast(&scale()))
+    });
+    group.bench_function("fig06_buffer_pfc", |b| b.iter(|| fig06::run(&scale())));
+    group.bench_function("fig07_queue_assignment", |b| b.iter(|| fig07::run(&scale())));
+    group.bench_function("fig08_incast_fanin", |b| b.iter(|| fig08::run(&scale())));
+    group.bench_function("fig09_cross_dc", |b| b.iter(|| fig09::run(&scale())));
+    group.bench_function("fig10_buffer_opt", |b| b.iter(|| fig10::run(&scale())));
+    group.bench_function("fig11_high_priority", |b| b.iter(|| fig11::run(&scale())));
+    group.bench_function("fig12_num_queues", |b| b.iter(|| fig12::run(&scale())));
+    group.bench_function("fig13_num_vfids", |b| b.iter(|| fig13::run(&scale())));
+    group.bench_function("fig14_bloom_size", |b| b.iter(|| fig14::run(&scale())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,178 @@
+//! Microbenchmarks of the simulator's hot paths: the event queue, the BFC
+//! data structures (bloom filters, flow table), switch forwarding, and one
+//! complete small experiment. These quantify that the substrate is fast
+//! enough for the paper-scale runs (tens of millions of events).
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bfc_core::{BfcConfig, BfcPolicy, CountingBloom, FlowKey, FlowTable};
+use bfc_experiments::{run_experiment, ExperimentConfig, Scheme};
+use bfc_net::packet::{Packet, PauseFrame};
+use bfc_net::policy::{FifoPolicy, SwitchPolicy};
+use bfc_net::routing::RoutingTables;
+use bfc_net::switch::Switch;
+use bfc_net::topology::{fat_tree, FatTreeParams};
+use bfc_net::types::{FlowId, NodeId};
+use bfc_net::{NetEvent, SwitchConfig};
+use bfc_sim::{EventQueue, SimDuration, SimTime};
+use bfc_workloads::{synthesize, TraceParams, Workload};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_nanos((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    c.bench_function("pause_frame_insert_contains", |b| {
+        b.iter(|| {
+            let mut f = PauseFrame::new(128, 4);
+            for v in 0..32u32 {
+                f.insert(v * 97);
+            }
+            let mut hits = 0;
+            for v in 0..1_000u32 {
+                if f.contains(v) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    c.bench_function("counting_bloom_cycle", |b| {
+        b.iter(|| {
+            let mut cb = CountingBloom::new(128, 4);
+            for v in 0..64u32 {
+                cb.insert(v);
+            }
+            let snap = cb.snapshot();
+            for v in 0..64u32 {
+                cb.remove(v);
+            }
+            black_box((snap.popcount(), cb.is_empty()))
+        })
+    });
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    c.bench_function("flow_table_insert_lookup_remove_1k", |b| {
+        b.iter(|| {
+            let mut t = FlowTable::new(16_384, 4, 100);
+            for v in 0..1_000u32 {
+                let key = FlowKey {
+                    vfid: v * 13 % 16_384,
+                    ingress: v % 24,
+                    egress: (v * 7) % 24,
+                };
+                let _ = t.lookup_or_insert(key);
+            }
+            black_box(t.len())
+        })
+    });
+}
+
+fn bench_switch_forwarding(c: &mut Criterion) {
+    let topo = fat_tree(FatTreeParams::t2());
+    let routes = RoutingTables::compute(&topo);
+    let tor = topo.switches()[0];
+    c.bench_function("switch_forward_1k_packets_fifo", |b| {
+        b.iter(|| {
+            let mut sw = Switch::new(
+                tor,
+                SwitchConfig::default(),
+                topo.ports(tor),
+                Box::new(FifoPolicy::new()),
+                1,
+            );
+            let mut events: EventQueue<NetEvent> = EventQueue::new();
+            for i in 0..1_000u64 {
+                let pkt = Packet::data(
+                    FlowId((i % 64) as u32),
+                    NodeId(0),
+                    NodeId((1 + i % 15) as u32),
+                    i,
+                    1_000,
+                    (i % 64) as u32,
+                    false,
+                );
+                sw.handle_packet(SimTime::from_nanos(i * 10), 0, pkt, &routes, &mut events);
+                while let Some((t, ev)) = events.pop() {
+                    if let NetEvent::TxComplete { port, .. } = ev {
+                        sw.handle_tx_complete(t, port, &mut events);
+                    }
+                }
+            }
+            black_box(sw.counters().rx_packets)
+        })
+    });
+    c.bench_function("bfc_policy_enqueue_dequeue_1k", |b| {
+        let port = bfc_net::Port::new(bfc_net::Link::datacenter_default(), Some((NodeId(9), 0)), 32, 1000);
+        b.iter(|| {
+            let mut policy = BfcPolicy::new(BfcConfig::default(), 3);
+            let ctx = bfc_net::policy::EnqueueCtx {
+                now: SimTime::ZERO,
+                switch: NodeId(0),
+                ingress: 0,
+                egress: 1,
+                port: &port,
+            };
+            for i in 0..1_000u32 {
+                let pkt = Packet::data(FlowId(i % 50), NodeId(0), NodeId(1), 0, 1_000, i % 50, false);
+                black_box(policy.on_enqueue(&ctx, &pkt));
+            }
+            black_box(policy.tracked_flows())
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end-to-end");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    let topo = fat_tree(FatTreeParams::tiny());
+    let trace = synthesize(
+        &topo.hosts(),
+        &TraceParams::background_only(Workload::Google, 0.4, SimDuration::from_micros(200), 5),
+    );
+    group.bench_function("bfc_small_fabric_200us", |b| {
+        b.iter(|| {
+            let config = ExperimentConfig::new(Scheme::bfc(), SimDuration::from_micros(200));
+            black_box(run_experiment(&topo, &trace, &config).completed_flows)
+        })
+    });
+    group.bench_function("dcqcn_small_fabric_200us", |b| {
+        b.iter(|| {
+            let config = ExperimentConfig::new(
+                Scheme::Dcqcn {
+                    window: true,
+                    sfq: false,
+                },
+                SimDuration::from_micros(200),
+            );
+            black_box(run_experiment(&topo, &trace, &config).completed_flows)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_bloom,
+    bench_flow_table,
+    bench_switch_forwarding,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Criterion benchmark harness for the BFC reproduction.
+//!
+//! The crate has no library API of its own: each paper table/figure has a
+//! corresponding bench target under `benches/`, built on top of the
+//! `bfc-experiments` runner with scaled-down parameters so the full suite
+//! completes in minutes. Run them with `cargo bench -p bfc-bench`.

@@ -1,0 +1,142 @@
+//! Counting bloom filter kept at the downstream switch (§3.6).
+//!
+//! The paper sends pauses as a plain multistage bloom filter but keeps a
+//! *counting* version internally: each bit position has a small counter so
+//! that when two paused VFIDs share a bit, resuming one of them leaves the
+//! bit set for the other. The on-the-wire [`PauseFrame`] is a snapshot of the
+//! positions whose count is non-zero.
+
+use bfc_net::packet::PauseFrame;
+
+/// A counting bloom filter over the VFID space.
+#[derive(Debug, Clone)]
+pub struct CountingBloom {
+    counts: Vec<u32>,
+    num_bits: u32,
+    num_hashes: u32,
+    size_bytes: usize,
+    members: u64,
+}
+
+impl CountingBloom {
+    /// Creates a filter whose snapshot is `size_bytes` long and that uses
+    /// `num_hashes` hash functions.
+    pub fn new(size_bytes: usize, num_hashes: u32) -> Self {
+        assert!(size_bytes > 0 && num_hashes > 0);
+        let num_bits = (size_bytes * 8) as u32;
+        CountingBloom {
+            counts: vec![0; num_bits as usize],
+            num_bits,
+            num_hashes,
+            size_bytes,
+            members: 0,
+        }
+    }
+
+    /// Records one pause of `vfid` (increments its bit positions).
+    pub fn insert(&mut self, vfid: u32) {
+        for i in 0..self.num_hashes {
+            let pos = PauseFrame::bit_position(vfid, i, self.num_bits) as usize;
+            self.counts[pos] += 1;
+        }
+        self.members += 1;
+    }
+
+    /// Records one resume of `vfid` (decrements its bit positions). Every
+    /// `remove` must match an earlier `insert`; the policy maintains that
+    /// invariant by pairing each pause with exactly one eventual resume.
+    pub fn remove(&mut self, vfid: u32) {
+        for i in 0..self.num_hashes {
+            let pos = PauseFrame::bit_position(vfid, i, self.num_bits) as usize;
+            debug_assert!(self.counts[pos] > 0, "counting bloom underflow for vfid {vfid}");
+            self.counts[pos] = self.counts[pos].saturating_sub(1);
+        }
+        debug_assert!(self.members > 0);
+        self.members = self.members.saturating_sub(1);
+    }
+
+    /// True if `vfid` currently matches on all hash positions (it, or a
+    /// colliding VFID, is paused).
+    pub fn contains(&self, vfid: u32) -> bool {
+        (0..self.num_hashes).all(|i| {
+            self.counts[PauseFrame::bit_position(vfid, i, self.num_bits) as usize] > 0
+        })
+    }
+
+    /// Number of outstanding pauses (inserts minus removes).
+    pub fn members(&self) -> u64 {
+        self.members
+    }
+
+    /// True if no pauses are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.members == 0
+    }
+
+    /// Builds the on-the-wire pause frame: a plain bloom filter with a bit
+    /// set wherever the count is non-zero.
+    pub fn snapshot(&self) -> PauseFrame {
+        let mut frame = PauseFrame::new(self.size_bytes, self.num_hashes);
+        for (pos, &count) in self.counts.iter().enumerate() {
+            if count > 0 {
+                frame.set_bit(pos as u32);
+            }
+        }
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_round_trip() {
+        let mut cb = CountingBloom::new(128, 4);
+        cb.insert(5);
+        cb.insert(9);
+        assert!(cb.contains(5) && cb.contains(9));
+        assert_eq!(cb.members(), 2);
+        cb.remove(5);
+        assert!(!cb.contains(5));
+        assert!(cb.contains(9));
+        cb.remove(9);
+        assert!(cb.is_empty());
+        assert!(cb.snapshot().is_empty());
+    }
+
+    #[test]
+    fn shared_bits_survive_one_resume() {
+        // Force two VFIDs to collide by using a tiny filter; removing one
+        // must keep the other paused because counts, not bits, are tracked.
+        let mut cb = CountingBloom::new(1, 2);
+        cb.insert(1);
+        cb.insert(2);
+        cb.remove(1);
+        assert!(cb.contains(2), "the other flow must stay paused");
+    }
+
+    #[test]
+    fn snapshot_matches_membership() {
+        let mut cb = CountingBloom::new(64, 4);
+        for v in [3u32, 14, 159, 2653] {
+            cb.insert(v);
+        }
+        let frame = cb.snapshot();
+        for v in [3u32, 14, 159, 2653] {
+            assert!(frame.contains(v));
+        }
+        assert_eq!(frame.size_bytes(), 64);
+    }
+
+    #[test]
+    fn double_pause_requires_double_resume() {
+        let mut cb = CountingBloom::new(128, 4);
+        cb.insert(7);
+        cb.insert(7);
+        cb.remove(7);
+        assert!(cb.contains(7), "still one outstanding pause");
+        cb.remove(7);
+        assert!(!cb.contains(7));
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 1 (hardware trends table).
+fn main() {
+    println!("{}", bfc_experiments::figures::fig01::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 4 (byte-weighted flow-size CDFs).
+fn main() {
+    println!("{}", bfc_experiments::figures::fig04::run());
+}

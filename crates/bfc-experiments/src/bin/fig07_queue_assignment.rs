@@ -1,0 +1,9 @@
+//! Regenerates the paper figure implemented by `figures::fig07`.
+//!
+//! Runs at quick scale by default; pass `--full` for the paper's topologies
+//! and trace lengths (use `--release`).
+use bfc_experiments::figures::{Scale, fig07};
+
+fn main() {
+    println!("{}", fig07::run(&Scale::from_args()));
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper figure implemented by `figures::fig08`.
+//!
+//! Runs at quick scale by default; pass `--full` for the paper's topologies
+//! and trace lengths (use `--release`).
+use bfc_experiments::figures::{Scale, fig08};
+
+fn main() {
+    println!("{}", fig08::run(&Scale::from_args()));
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper figure implemented by `figures::fig12`.
+//!
+//! Runs at quick scale by default; pass `--full` for the paper's topologies
+//! and trace lengths (use `--release`).
+use bfc_experiments::figures::{Scale, fig12};
+
+fn main() {
+    println!("{}", fig12::run(&Scale::from_args()));
+}

@@ -1,0 +1,27 @@
+//! # bfc-experiments — the paper's evaluation harness
+//!
+//! This crate glues the whole reproduction together:
+//!
+//! * [`scheme`] — the registry of evaluated schemes (BFC, BFC-VFID, Ideal-FQ,
+//!   DCQCN, DCQCN+Win, DCQCN+Win+SFQ, HPCC, SFQ+InfBuffer) mapping each to a
+//!   switch configuration, a queue policy and a host configuration.
+//! * [`runner`] — the end-to-end simulation driver: it instantiates the
+//!   topology, switches, hosts and trace, dispatches events, and collects
+//!   FCT records, buffer occupancy samples, utilization, PFC pause time and
+//!   policy statistics into an [`runner::ExperimentResult`].
+//! * [`figures`] — one module per paper table/figure. Each `run` function
+//!   regenerates the corresponding rows/series; the `src/bin/figNN_*`
+//!   binaries are thin wrappers that print them, and the Criterion benches in
+//!   `bfc-bench` call the same functions with scaled-down parameters.
+//!
+//! Absolute numbers differ from the paper (different simulator, synthetic
+//! CDFs, scaled-down run lengths by default) but the comparisons the paper
+//! makes — who wins, by roughly what factor, and where behaviour crosses
+//! over — are preserved. See `EXPERIMENTS.md` at the repository root.
+
+pub mod figures;
+pub mod runner;
+pub mod scheme;
+
+pub use runner::{run_experiment, ExperimentConfig, ExperimentResult};
+pub use scheme::Scheme;

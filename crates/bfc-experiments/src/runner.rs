@@ -1,0 +1,471 @@
+//! The end-to-end simulation driver.
+//!
+//! [`run_experiment`] builds switches and hosts for a topology according to a
+//! [`Scheme`], injects a workload trace, runs the discrete-event loop to
+//! completion (bounded by a drain deadline) and collects every metric the
+//! paper reports into an [`ExperimentResult`].
+
+use std::collections::HashMap;
+
+use bfc_metrics::fct::{FctRecord, FctSummary};
+use bfc_metrics::series::{OccupancySeries, UtilizationTracker};
+use bfc_net::event::NetEvent;
+use bfc_net::packet::vfid_for_flow;
+use bfc_net::policy::PolicyStats;
+use bfc_net::routing::RoutingTables;
+use bfc_net::switch::Switch;
+use bfc_net::topology::Topology;
+use bfc_net::types::FlowId;
+use bfc_sim::{run_until, EventQueue, SimDuration, SimTime, Simulation};
+use bfc_transport::{FlowSpec, Host};
+use bfc_workloads::TraceFlow;
+
+use crate::scheme::Scheme;
+
+/// Experiment parameters independent of the workload trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Seed controlling every random choice (ECN marking, queue picks).
+    pub seed: u64,
+    /// MTU in bytes (the paper uses 1 KB).
+    pub mtu: u32,
+    /// Physical queues per egress port (ignored by Ideal-FQ, which uses
+    /// 1000).
+    pub queues_per_port: usize,
+    /// Shared buffer per switch in bytes.
+    pub buffer_bytes: u64,
+    /// Measurement window: the span covered by the trace.
+    pub horizon: SimDuration,
+    /// Extra time after the last arrival to let flows finish.
+    pub drain: SimDuration,
+    /// Buffer-occupancy sampling interval.
+    pub sample_interval: SimDuration,
+}
+
+impl ExperimentConfig {
+    /// Paper defaults for a given scheme and trace length.
+    pub fn new(scheme: Scheme, horizon: SimDuration) -> Self {
+        ExperimentConfig {
+            scheme,
+            seed: 1,
+            mtu: 1_000,
+            queues_per_port: 32,
+            buffer_bytes: 12_000_000,
+            horizon,
+            drain: horizon * 4,
+            sample_interval: SimDuration::from_micros(10),
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the switch buffer size.
+    pub fn with_buffer_bytes(mut self, bytes: u64) -> Self {
+        self.buffer_bytes = bytes;
+        self
+    }
+
+    /// Overrides the number of physical queues per port.
+    pub fn with_queues_per_port(mut self, queues: usize) -> Self {
+        self.queues_per_port = queues;
+        self
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// Scheme name (paper legend).
+    pub scheme: String,
+    /// Per-size-bucket FCT slowdown summary (non-incast flows).
+    pub fct: FctSummary,
+    /// Raw per-flow records (including incast flows).
+    pub records: Vec<FctRecord>,
+    /// Switch buffer occupancy samples (one per switch per sample tick).
+    pub occupancy: OccupancySeries,
+    /// Largest single physical-queue occupancy seen at each sample tick
+    /// (bytes) — the quantity of Fig. 10.
+    pub peak_queue_samples: Vec<f64>,
+    /// Highest number of occupied physical queues on any port, per sample
+    /// tick — the quantity of Fig. 11a.
+    pub occupied_queue_samples: Vec<f64>,
+    /// Network utilization (goodput / aggregate host capacity).
+    pub utilization: f64,
+    /// Average fraction of time switch egresses spent PFC-paused.
+    pub pfc_pause_fraction: f64,
+    /// Aggregated queue-policy statistics across all switches.
+    pub policy_stats: PolicyStats,
+    /// Packets dropped at switch buffers.
+    pub drops: u64,
+    /// Flows that completed before the drain deadline.
+    pub completed_flows: usize,
+    /// Flows in the trace.
+    pub total_flows: usize,
+    /// Simulated time at which the run ended.
+    pub end_time: SimTime,
+}
+
+impl ExperimentResult {
+    /// Fraction of trace flows that completed.
+    pub fn completion_rate(&self) -> f64 {
+        if self.total_flows == 0 {
+            1.0
+        } else {
+            self.completed_flows as f64 / self.total_flows as f64
+        }
+    }
+}
+
+struct FlowMeta {
+    spec: FlowSpec,
+    start: SimTime,
+    ideal_fct: SimDuration,
+    is_incast: bool,
+    completed: Option<SimTime>,
+}
+
+struct FabricSim<'a> {
+    routes: &'a RoutingTables,
+    switches: HashMap<u32, Switch>,
+    hosts: HashMap<u32, Host>,
+    flows: Vec<FlowMeta>,
+    occupancy: OccupancySeries,
+    peak_queue_samples: Vec<f64>,
+    occupied_queue_samples: Vec<f64>,
+    sample_interval: SimDuration,
+    sample_until: SimTime,
+    completed: usize,
+}
+
+impl FabricSim<'_> {
+    fn take_samples(&mut self) {
+        let mut max_queue = 0u64;
+        let mut max_occupied = 0usize;
+        for sw in self.switches.values() {
+            self.occupancy.record(sw.buffer().occupancy());
+            for p in 0..sw.num_ports() {
+                let port = sw.port(p as u32);
+                max_occupied = max_occupied.max(port.occupied_queue_count());
+                for q in 0..port.num_queues() {
+                    max_queue = max_queue.max(port.queue_bytes(q));
+                }
+            }
+        }
+        self.peak_queue_samples.push(max_queue as f64);
+        self.occupied_queue_samples.push(max_occupied as f64);
+    }
+}
+
+impl Simulation for FabricSim<'_> {
+    type Event = NetEvent;
+
+    fn handle(&mut self, now: SimTime, event: NetEvent, queue: &mut EventQueue<NetEvent>) {
+        match event {
+            NetEvent::FlowArrival { index } => {
+                let meta = &self.flows[index];
+                let spec = meta.spec;
+                self.hosts
+                    .get_mut(&spec.dst.0)
+                    .expect("destination host exists")
+                    .expect_flow(spec);
+                self.hosts
+                    .get_mut(&spec.src.0)
+                    .expect("source host exists")
+                    .start_flow(now, spec, queue);
+            }
+            NetEvent::PacketArrive { node, port, packet } => {
+                if let Some(sw) = self.switches.get_mut(&node.0) {
+                    sw.handle_packet(now, port, packet, self.routes, queue);
+                } else if let Some(host) = self.hosts.get_mut(&node.0) {
+                    host.handle_packet(now, packet, queue);
+                }
+            }
+            NetEvent::TxComplete { node, port } => {
+                if let Some(sw) = self.switches.get_mut(&node.0) {
+                    sw.handle_tx_complete(now, port, queue);
+                } else if let Some(host) = self.hosts.get_mut(&node.0) {
+                    host.handle_tx_complete(now, queue);
+                }
+            }
+            NetEvent::PauseFrameTimer { node, port } => {
+                if let Some(sw) = self.switches.get_mut(&node.0) {
+                    sw.handle_pause_timer(now, port, queue);
+                }
+            }
+            NetEvent::HostTimer { node, timer } => {
+                if let Some(host) = self.hosts.get_mut(&node.0) {
+                    host.handle_timer(now, timer, queue);
+                }
+            }
+            NetEvent::FlowCompleted { flow } => {
+                let meta = &mut self.flows[flow.index()];
+                if meta.completed.is_none() {
+                    meta.completed = Some(now);
+                    self.completed += 1;
+                }
+            }
+            NetEvent::Sample => {
+                self.take_samples();
+                if now + self.sample_interval <= self.sample_until {
+                    queue.push(now + self.sample_interval, NetEvent::Sample);
+                }
+            }
+        }
+    }
+}
+
+/// Runs one experiment: the given trace over `topo` under `config.scheme`.
+pub fn run_experiment(
+    topo: &Topology,
+    trace: &[TraceFlow],
+    config: &ExperimentConfig,
+) -> ExperimentResult {
+    let routes = RoutingTables::compute(topo);
+    let hosts_list = topo.hosts();
+    assert!(hosts_list.len() >= 2, "need at least two hosts");
+
+    // Base RTT: take the farthest-apart host pair we can cheaply identify
+    // (first and last host, which sit in different racks / data centers in
+    // every built-in topology).
+    let far_a = hosts_list[0];
+    let far_b = *hosts_list.last().expect("non-empty");
+    let base_rtt = routes.base_rtt(topo, far_a, far_b, config.mtu);
+    let host_gbps = topo.host_uplink(far_a).link.rate_gbps;
+    let bdp_bytes = (host_gbps * 1e9 / 8.0 * base_rtt.as_secs_f64()) as u64;
+
+    // Switches.
+    let switch_config =
+        config
+            .scheme
+            .switch_config(config.queues_per_port, config.buffer_bytes, config.mtu);
+    let mut switches = HashMap::new();
+    for sw_id in topo.switches() {
+        let policy = config.scheme.make_policy(config.seed ^ sw_id.0 as u64);
+        switches.insert(
+            sw_id.0,
+            Switch::new(
+                sw_id,
+                switch_config.clone(),
+                topo.ports(sw_id),
+                policy,
+                config.seed,
+            ),
+        );
+    }
+
+    // Hosts.
+    let host_config = config.scheme.host_config(config.mtu, base_rtt, bdp_bytes);
+    let mut hosts = HashMap::new();
+    for h in &hosts_list {
+        let uplink = topo.host_uplink(*h);
+        hosts.insert(
+            h.0,
+            Host::new(*h, uplink.link, (uplink.peer, uplink.peer_port), host_config),
+        );
+    }
+
+    // Flow metadata and arrival events.
+    let num_vfids = config.scheme.num_vfids();
+    let mut queue = EventQueue::with_capacity(trace.len() * 4 + 16);
+    let mut flows = Vec::with_capacity(trace.len());
+    for (i, t) in trace.iter().enumerate() {
+        let flow_id = FlowId(i as u32);
+        let spec = FlowSpec {
+            flow: flow_id,
+            src: t.src,
+            dst: t.dst,
+            size_bytes: t.size_bytes,
+            vfid: vfid_for_flow(flow_id, config.seed, num_vfids),
+        };
+        let ideal_fct = routes.ideal_fct(
+            topo,
+            t.src,
+            t.dst,
+            t.size_bytes,
+            config.mtu,
+            flow_id.0 as u64,
+        );
+        flows.push(FlowMeta {
+            spec,
+            start: t.start,
+            ideal_fct,
+            is_incast: t.is_incast,
+            completed: None,
+        });
+        queue.push(t.start, NetEvent::FlowArrival { index: i });
+    }
+    queue.push(SimTime::ZERO + config.sample_interval, NetEvent::Sample);
+
+    let sample_until = SimTime::ZERO + config.horizon;
+    let deadline = SimTime::ZERO + config.horizon + config.drain;
+    let mut sim = FabricSim {
+        routes: &routes,
+        switches,
+        hosts,
+        flows,
+        occupancy: OccupancySeries::new(),
+        peak_queue_samples: Vec::new(),
+        occupied_queue_samples: Vec::new(),
+        sample_interval: config.sample_interval,
+        sample_until,
+        completed: 0,
+    };
+    let end_time = run_until(&mut sim, &mut queue, deadline);
+
+    // Assemble results.
+    let records: Vec<FctRecord> = sim
+        .flows
+        .iter()
+        .filter_map(|m| {
+            m.completed.map(|done| FctRecord {
+                flow: m.spec.flow,
+                size_bytes: m.spec.size_bytes,
+                fct: done.saturating_since(m.start),
+                ideal_fct: m.ideal_fct,
+                is_incast: m.is_incast,
+            })
+        })
+        .collect();
+    let fct = FctSummary::from_records(&records);
+
+    let elapsed = if end_time > SimTime::ZERO {
+        end_time.saturating_since(SimTime::ZERO)
+    } else {
+        config.horizon
+    };
+    let measured = if elapsed < config.horizon {
+        config.horizon
+    } else {
+        elapsed
+    };
+    let mut tracker = UtilizationTracker::new(hosts_list.len(), host_gbps, measured);
+    for host in sim.hosts.values() {
+        tracker.add_delivered_bytes(host.counters().rx_data_bytes);
+    }
+    let mut policy_stats = PolicyStats::default();
+    let mut drops = 0;
+    for sw in sim.switches.values() {
+        policy_stats.merge(&sw.policy_stats());
+        drops += sw.counters().drops;
+        for p in 0..sw.num_ports() {
+            tracker.add_pfc_paused(sw.port(p as u32).pfc_paused_time(end_time));
+        }
+    }
+
+    ExperimentResult {
+        scheme: config.scheme.name(),
+        fct,
+        records,
+        occupancy: sim.occupancy,
+        peak_queue_samples: sim.peak_queue_samples,
+        occupied_queue_samples: sim.occupied_queue_samples,
+        utilization: tracker.utilization(),
+        pfc_pause_fraction: tracker.pfc_pause_fraction(),
+        policy_stats,
+        drops,
+        completed_flows: sim.completed,
+        total_flows: trace.len(),
+        end_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfc_net::topology::{fat_tree, FatTreeParams};
+    use bfc_workloads::{synthesize, TraceParams, Workload};
+
+    fn tiny_trace(topo: &Topology, seed: u64) -> Vec<TraceFlow> {
+        let params = TraceParams::background_only(
+            Workload::Google,
+            0.3,
+            SimDuration::from_micros(200),
+            seed,
+        );
+        synthesize(&topo.hosts(), &params)
+    }
+
+    fn quick_config(scheme: Scheme) -> ExperimentConfig {
+        ExperimentConfig::new(scheme, SimDuration::from_micros(200))
+    }
+
+    #[test]
+    fn every_scheme_completes_a_small_trace() {
+        let topo = fat_tree(FatTreeParams::tiny());
+        let trace = tiny_trace(&topo, 3);
+        assert!(!trace.is_empty());
+        let mut schemes = Scheme::paper_lineup();
+        schemes.push(Scheme::bfc_vfid());
+        schemes.push(Scheme::SfqInfBuffer);
+        for scheme in schemes {
+            let name = scheme.name();
+            let result = run_experiment(&topo, &trace, &quick_config(scheme));
+            assert_eq!(
+                result.completed_flows, result.total_flows,
+                "{name}: all flows must finish ({} of {})",
+                result.completed_flows, result.total_flows
+            );
+            assert!(result.utilization > 0.0, "{name}: some goodput");
+            assert!(
+                result.fct.overall.is_some(),
+                "{name}: summary must be non-empty"
+            );
+            let overall = result.fct.overall.as_ref().unwrap();
+            assert!(overall.p99 >= 1.0, "{name}: slowdown is at least 1");
+            assert!(
+                overall.p99 < 1_000.0,
+                "{name}: slowdown should be sane, got {}",
+                overall.p99
+            );
+        }
+    }
+
+    #[test]
+    fn bfc_generates_pauses_under_incast_pressure() {
+        let topo = fat_tree(FatTreeParams::tiny());
+        // A 16-to-1 incast of 1 MB into host 0 forces per-flow pauses.
+        let hosts = topo.hosts();
+        let trace = bfc_workloads::concurrent_long_flows(&hosts, hosts[0], 7, 200_000);
+        let config = quick_config(Scheme::bfc());
+        let result = run_experiment(&topo, &trace, &config);
+        assert_eq!(result.completed_flows, result.total_flows);
+        assert!(
+            result.policy_stats.pauses > 0,
+            "an incast must trigger per-flow pauses"
+        );
+        assert!(result.policy_stats.resumes > 0);
+        assert_eq!(result.drops, 0, "BFC with PFC backstop must not drop");
+    }
+
+    #[test]
+    fn results_are_deterministic_for_a_seed() {
+        let topo = fat_tree(FatTreeParams::tiny());
+        let trace = tiny_trace(&topo, 9);
+        let a = run_experiment(&topo, &trace, &quick_config(Scheme::bfc()));
+        let b = run_experiment(&topo, &trace, &quick_config(Scheme::bfc()));
+        assert_eq!(a.completed_flows, b.completed_flows);
+        assert_eq!(a.end_time, b.end_time);
+        let pa: Vec<f64> = a.fct.p99_series().iter().map(|(_, y)| *y).collect();
+        let pb: Vec<f64> = b.fct.p99_series().iter().map(|(_, y)| *y).collect();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn occupancy_is_sampled() {
+        let topo = fat_tree(FatTreeParams::tiny());
+        let trace = tiny_trace(&topo, 5);
+        let result = run_experiment(&topo, &trace, &quick_config(Scheme::Dcqcn { window: true, sfq: false }));
+        assert!(!result.occupancy.is_empty());
+        assert_eq!(
+            result.peak_queue_samples.len(),
+            result.occupied_queue_samples.len()
+        );
+        assert!(result.completion_rate() > 0.99);
+    }
+}

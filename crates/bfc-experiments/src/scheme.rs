@@ -1,0 +1,232 @@
+//! The registry of evaluated schemes (§4.1 "Comparison Schemes").
+//!
+//! A [`Scheme`] bundles the three pieces the paper varies together:
+//! the switch configuration (ECN/INT/PFC/buffering), the per-switch queue
+//! policy, and the host congestion control.
+
+use bfc_core::{BfcConfig, BfcPolicy};
+use bfc_net::config::{EcnConfig, SwitchConfig};
+use bfc_net::policy::{FifoPolicy, SfqPolicy, SwitchPolicy};
+use bfc_sim::SimDuration;
+use bfc_transport::HostConfig;
+
+/// One evaluated scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scheme {
+    /// Backpressure Flow Control with the given configuration (covers the
+    /// BFC-VFID / BFC-BufferOpt / BFC-HighPriorityQ ablations via the config
+    /// flags).
+    Bfc(BfcConfig),
+    /// DCQCN: single-FIFO switches with ECN, optional one-BDP window cap
+    /// (`window`) and optional stochastic fair queueing (`sfq`).
+    Dcqcn {
+        /// Apply the one-BDP in-flight cap (DCQCN+Win).
+        window: bool,
+        /// Use stochastic fair queueing at switches (DCQCN+Win+SFQ).
+        sfq: bool,
+    },
+    /// HPCC: INT-carrying switches, window control at the host.
+    Hpcc,
+    /// Ideal fair queueing: per-flow queues (approximated with a large number
+    /// of SFQ queues), infinite buffers, no PFC, one-BDP window cap. An
+    /// unrealizable upper bound.
+    IdealFq,
+    /// Static SFQ with infinite buffers and a one-BDP window (the
+    /// SFQ+InfBuffer comparison of Fig. 7).
+    SfqInfBuffer,
+}
+
+impl Scheme {
+    /// The name used in tables, matching the paper's legends.
+    pub fn name(&self) -> String {
+        match self {
+            Scheme::Bfc(cfg) => {
+                if !cfg.dynamic_assignment {
+                    "BFC-VFID".to_string()
+                } else if !cfg.limit_resumes {
+                    "BFC-BufferOpt".to_string()
+                } else if !cfg.use_high_priority_queue {
+                    "BFC-HighPriorityQ".to_string()
+                } else {
+                    "BFC".to_string()
+                }
+            }
+            Scheme::Dcqcn { window, sfq } => match (window, sfq) {
+                (false, _) => "DCQCN".to_string(),
+                (true, false) => "DCQCN+Win".to_string(),
+                (true, true) => "DCQCN+Win+SFQ".to_string(),
+            },
+            Scheme::Hpcc => "HPCC".to_string(),
+            Scheme::IdealFq => "Ideal-FQ".to_string(),
+            Scheme::SfqInfBuffer => "SFQ+InfBuffer".to_string(),
+        }
+    }
+
+    /// Plain BFC with the paper's defaults.
+    pub fn bfc() -> Scheme {
+        Scheme::Bfc(BfcConfig::default())
+    }
+
+    /// The straw-proposal ablation (static hashed queue assignment).
+    pub fn bfc_vfid() -> Scheme {
+        Scheme::Bfc(BfcConfig::vfid_straw())
+    }
+
+    /// The full comparison set of Fig. 5.
+    pub fn paper_lineup() -> Vec<Scheme> {
+        vec![
+            Scheme::bfc(),
+            Scheme::IdealFq,
+            Scheme::Dcqcn {
+                window: false,
+                sfq: false,
+            },
+            Scheme::Dcqcn {
+                window: true,
+                sfq: false,
+            },
+            Scheme::Hpcc,
+            Scheme::Dcqcn {
+                window: true,
+                sfq: true,
+            },
+        ]
+    }
+
+    /// Whether the scheme relies on PFC as a backstop.
+    pub fn uses_pfc(&self) -> bool {
+        !matches!(self, Scheme::IdealFq | Scheme::SfqInfBuffer)
+    }
+
+    /// Builds the switch configuration for this scheme. `queues_per_port`,
+    /// `buffer_bytes` and `mtu` come from the experiment (they are swept by
+    /// the sensitivity figures).
+    pub fn switch_config(&self, queues_per_port: usize, buffer_bytes: u64, mtu: u32) -> SwitchConfig {
+        let base = SwitchConfig {
+            queues_per_port,
+            buffer_bytes,
+            mtu_bytes: mtu,
+            ..SwitchConfig::default()
+        };
+        match self {
+            Scheme::Bfc(cfg) => SwitchConfig {
+                ecn: None,
+                int_enabled: false,
+                pause_frame_interval: cfg.pause_interval,
+                ..base
+            },
+            Scheme::Dcqcn { .. } => SwitchConfig {
+                ecn: Some(EcnConfig::default()),
+                ..base
+            },
+            Scheme::Hpcc => SwitchConfig {
+                int_enabled: true,
+                ..base
+            },
+            Scheme::IdealFq => SwitchConfig {
+                // Approximate per-flow fair queueing with a large queue count.
+                queues_per_port: 1_000,
+                ..base
+            }
+            .with_infinite_buffer()
+            .without_pfc(),
+            Scheme::SfqInfBuffer => base.with_infinite_buffer().without_pfc(),
+        }
+    }
+
+    /// Builds a fresh queue policy instance for one switch.
+    pub fn make_policy(&self, seed: u64) -> Box<dyn SwitchPolicy> {
+        match self {
+            Scheme::Bfc(cfg) => Box::new(BfcPolicy::new(*cfg, seed)),
+            Scheme::Dcqcn { sfq, .. } => {
+                if *sfq {
+                    Box::new(SfqPolicy::new(false))
+                } else {
+                    Box::new(FifoPolicy::new())
+                }
+            }
+            Scheme::Hpcc => Box::new(FifoPolicy::new()),
+            Scheme::IdealFq | Scheme::SfqInfBuffer => Box::new(SfqPolicy::new(false)),
+        }
+    }
+
+    /// Builds the host configuration. `bdp_bytes` is one end-to-end
+    /// bandwidth-delay product at the access-link rate.
+    pub fn host_config(&self, mtu: u32, base_rtt: SimDuration, bdp_bytes: u64) -> HostConfig {
+        match self {
+            Scheme::Bfc(_) => HostConfig::bfc(mtu, base_rtt),
+            Scheme::Dcqcn { window, .. } => {
+                HostConfig::dcqcn(mtu, base_rtt, window.then_some(bdp_bytes))
+            }
+            Scheme::Hpcc => HostConfig::hpcc(mtu, base_rtt),
+            Scheme::IdealFq | Scheme::SfqInfBuffer => {
+                HostConfig::window_limited(mtu, base_rtt, bdp_bytes)
+            }
+        }
+    }
+
+    /// The number of VFIDs hosts must use when computing packet VFIDs (only
+    /// meaningful for BFC; other schemes hash into a large space).
+    pub fn num_vfids(&self) -> u32 {
+        match self {
+            Scheme::Bfc(cfg) => cfg.num_vfids,
+            _ => 1 << 20,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_legends() {
+        let names: Vec<String> = Scheme::paper_lineup().iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec!["BFC", "Ideal-FQ", "DCQCN", "DCQCN+Win", "HPCC", "DCQCN+Win+SFQ"]
+        );
+        assert_eq!(Scheme::bfc_vfid().name(), "BFC-VFID");
+        assert_eq!(Scheme::Bfc(BfcConfig::without_resume_limit()).name(), "BFC-BufferOpt");
+        assert_eq!(
+            Scheme::Bfc(BfcConfig::without_high_priority_queue()).name(),
+            "BFC-HighPriorityQ"
+        );
+        assert_eq!(Scheme::SfqInfBuffer.name(), "SFQ+InfBuffer");
+    }
+
+    #[test]
+    fn switch_configs_reflect_scheme_features() {
+        let mtu = 1000;
+        let bfc = Scheme::bfc().switch_config(32, 12_000_000, mtu);
+        assert!(bfc.ecn.is_none() && !bfc.int_enabled && bfc.pfc.enabled);
+        let dcqcn = Scheme::Dcqcn { window: true, sfq: false }.switch_config(32, 12_000_000, mtu);
+        assert!(dcqcn.ecn.is_some());
+        let hpcc = Scheme::Hpcc.switch_config(32, 12_000_000, mtu);
+        assert!(hpcc.int_enabled && hpcc.ecn.is_none());
+        let ideal = Scheme::IdealFq.switch_config(32, 12_000_000, mtu);
+        assert_eq!(ideal.buffer_bytes, u64::MAX);
+        assert!(!ideal.pfc.enabled);
+        assert_eq!(ideal.queues_per_port, 1_000);
+        assert!(!Scheme::IdealFq.uses_pfc());
+        assert!(Scheme::bfc().uses_pfc());
+    }
+
+    #[test]
+    fn policies_and_hosts_match_scheme() {
+        let rtt = SimDuration::from_micros(8);
+        assert_eq!(Scheme::bfc().make_policy(1).name(), "bfc");
+        assert_eq!(Scheme::bfc_vfid().make_policy(1).name(), "bfc-vfid");
+        assert_eq!(
+            Scheme::Dcqcn { window: true, sfq: true }.make_policy(1).name(),
+            "sfq"
+        );
+        assert_eq!(Scheme::Hpcc.make_policy(1).name(), "fifo");
+        let host = Scheme::Dcqcn { window: true, sfq: false }.host_config(1000, rtt, 100_000);
+        assert_eq!(host.window_bytes, Some(100_000));
+        let host = Scheme::Dcqcn { window: false, sfq: false }.host_config(1000, rtt, 100_000);
+        assert_eq!(host.window_bytes, None);
+        assert_eq!(Scheme::bfc().num_vfids(), 16_384);
+        assert_eq!(Scheme::Hpcc.num_vfids(), 1 << 20);
+    }
+}

@@ -1,0 +1,21 @@
+//! # bfc-metrics — evaluation metrics
+//!
+//! The paper reports four metrics (§4.1): flow-completion-time slowdown at
+//! the tail (99th percentile, per flow-size bucket), overall network
+//! utilization, switch buffer occupancy, and the fraction of time links are
+//! paused by PFC. This crate computes all of them from the raw observations
+//! the simulation driver collects:
+//!
+//! * [`fct`] — per-flow FCT records, slowdown computation and the per-size
+//!   bucketed percentile summaries used by every FCT figure.
+//! * [`stats`] — percentiles, means and CDF construction.
+//! * [`series`] — time-series sampling (buffer occupancy) and utilization /
+//!   pause-time accounting.
+
+pub mod fct;
+pub mod series;
+pub mod stats;
+
+pub use fct::{FctRecord, FctSummary, SizeBucket};
+pub use series::{OccupancySeries, UtilizationTracker};
+pub use stats::{build_cdf, mean, percentile};

@@ -1,0 +1,227 @@
+//! Time-series metrics: buffer occupancy samples, link utilization and PFC
+//! pause-time fractions.
+
+use bfc_sim::{SimDuration, SimTime};
+
+use crate::stats::{build_cdf, percentile};
+
+/// Periodic samples of switch buffer occupancy (one series covering every
+/// switch of the fabric, as in the paper's shared-buffer CDFs).
+#[derive(Debug, Clone, Default)]
+pub struct OccupancySeries {
+    samples_bytes: Vec<f64>,
+}
+
+impl OccupancySeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        OccupancySeries::default()
+    }
+
+    /// Records one occupancy sample (bytes).
+    pub fn record(&mut self, bytes: u64) {
+        self.samples_bytes.push(bytes as f64);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples_bytes.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_bytes.is_empty()
+    }
+
+    /// CDF of occupancy in megabytes, for Figs. 2 and 6a.
+    pub fn cdf_mb(&self, points: usize) -> Vec<(f64, f64)> {
+        build_cdf(&self.samples_bytes, points)
+            .into_iter()
+            .map(|(bytes, frac)| (bytes / 1e6, frac))
+            .collect()
+    }
+
+    /// A percentile of occupancy in bytes (Fig. 8b uses the 99th).
+    pub fn percentile_bytes(&self, p: f64) -> f64 {
+        percentile(&self.samples_bytes, p).unwrap_or(0.0)
+    }
+
+    /// Maximum observed occupancy in bytes.
+    pub fn max_bytes(&self) -> f64 {
+        self.samples_bytes.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Aggregates goodput and pause time into the paper's utilization and
+/// "% of time paused" metrics.
+#[derive(Debug, Clone)]
+pub struct UtilizationTracker {
+    host_gbps: f64,
+    num_hosts: usize,
+    duration: SimDuration,
+    delivered_bytes: u64,
+    pfc_paused: SimDuration,
+    pfc_links: usize,
+}
+
+impl UtilizationTracker {
+    /// Creates a tracker for a fabric of `num_hosts` hosts with `host_gbps`
+    /// access links, over an experiment of length `duration`.
+    pub fn new(num_hosts: usize, host_gbps: f64, duration: SimDuration) -> Self {
+        UtilizationTracker {
+            host_gbps,
+            num_hosts,
+            duration,
+            delivered_bytes: 0,
+            pfc_paused: SimDuration::ZERO,
+            pfc_links: 0,
+        }
+    }
+
+    /// Adds goodput delivered to some receiver.
+    pub fn add_delivered_bytes(&mut self, bytes: u64) {
+        self.delivered_bytes += bytes;
+    }
+
+    /// Adds one link's cumulative PFC pause time.
+    pub fn add_pfc_paused(&mut self, paused: SimDuration) {
+        self.pfc_paused += paused;
+        self.pfc_links += 1;
+    }
+
+    /// Total delivered bytes.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+
+    /// Goodput divided by aggregate host capacity — the paper's network
+    /// utilization metric (Fig. 8a).
+    pub fn utilization(&self) -> f64 {
+        let capacity_bytes = self.num_hosts as f64 * self.host_gbps * 1e9 / 8.0
+            * self.duration.as_secs_f64();
+        if capacity_bytes <= 0.0 {
+            0.0
+        } else {
+            self.delivered_bytes as f64 / capacity_bytes
+        }
+    }
+
+    /// Average fraction of time a link spent paused by PFC (Fig. 6b).
+    pub fn pfc_pause_fraction(&self) -> f64 {
+        if self.pfc_links == 0 || self.duration.is_zero() {
+            0.0
+        } else {
+            self.pfc_paused.as_secs_f64() / (self.pfc_links as f64 * self.duration.as_secs_f64())
+        }
+    }
+
+    /// Experiment duration.
+    pub fn duration(&self) -> SimDuration {
+        self.duration
+    }
+
+    /// Convenience: utilization achieved between two instants given delivered
+    /// bytes (used by tests).
+    pub fn utilization_of(bytes: u64, num_hosts: usize, host_gbps: f64, span: SimDuration) -> f64 {
+        let mut t = UtilizationTracker::new(num_hosts, host_gbps, span);
+        t.add_delivered_bytes(bytes);
+        t.utilization()
+    }
+}
+
+/// Helper for measuring how long a boolean condition has been true, given
+/// edge-triggered updates (used by tests mirroring the switch's PFC pause
+/// accounting).
+#[derive(Debug, Clone, Default)]
+pub struct PausedTimeAccumulator {
+    total: SimDuration,
+    since: Option<SimTime>,
+}
+
+impl PausedTimeAccumulator {
+    /// Creates an accumulator in the "not paused" state.
+    pub fn new() -> Self {
+        PausedTimeAccumulator::default()
+    }
+
+    /// Records a transition at `now`.
+    pub fn set(&mut self, paused: bool, now: SimTime) {
+        match (paused, self.since) {
+            (true, None) => self.since = Some(now),
+            (false, Some(start)) => {
+                self.total += now.saturating_since(start);
+                self.since = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// Total paused time up to `now`.
+    pub fn total(&self, now: SimTime) -> SimDuration {
+        match self.since {
+            Some(start) => self.total + now.saturating_since(start),
+            None => self.total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_cdf_and_percentiles() {
+        let mut s = OccupancySeries::new();
+        for i in 0..100u64 {
+            s.record(i * 100_000); // 0 .. 9.9 MB
+        }
+        assert_eq!(s.len(), 100);
+        let cdf = s.cdf_mb(10);
+        assert_eq!(cdf.len(), 10);
+        assert!((cdf.last().unwrap().0 - 9.9).abs() < 1e-9);
+        assert!(s.percentile_bytes(50.0) <= s.percentile_bytes(99.0));
+        assert_eq!(s.max_bytes(), 9_900_000.0);
+    }
+
+    #[test]
+    fn utilization_math() {
+        // 64 hosts at 100 Gbps for 1 ms can carry 800 MB.
+        let u = UtilizationTracker::utilization_of(
+            400_000_000,
+            64,
+            100.0,
+            SimDuration::from_millis(1),
+        );
+        assert!((u - 0.5).abs() < 1e-9, "got {u}");
+    }
+
+    #[test]
+    fn pfc_fraction_averages_over_links() {
+        let mut t = UtilizationTracker::new(4, 100.0, SimDuration::from_millis(1));
+        t.add_pfc_paused(SimDuration::from_micros(100));
+        t.add_pfc_paused(SimDuration::from_micros(300));
+        // Two links, 1 ms each: 400 us paused of 2 ms total = 20%.
+        assert!((t.pfc_pause_fraction() - 0.2).abs() < 1e-9);
+        assert_eq!(t.duration(), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn empty_trackers_are_zero() {
+        let t = UtilizationTracker::new(4, 100.0, SimDuration::from_millis(1));
+        assert_eq!(t.utilization(), 0.0);
+        assert_eq!(t.pfc_pause_fraction(), 0.0);
+        assert!(OccupancySeries::new().is_empty());
+    }
+
+    #[test]
+    fn paused_accumulator_tracks_intervals() {
+        let mut a = PausedTimeAccumulator::new();
+        a.set(true, SimTime::from_micros(10));
+        a.set(false, SimTime::from_micros(15));
+        a.set(true, SimTime::from_micros(20));
+        assert_eq!(a.total(SimTime::from_micros(22)).as_nanos(), 7_000);
+        a.set(false, SimTime::from_micros(25));
+        a.set(false, SimTime::from_micros(30));
+        assert_eq!(a.total(SimTime::from_micros(40)).as_nanos(), 10_000);
+    }
+}

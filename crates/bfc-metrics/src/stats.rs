@@ -1,0 +1,84 @@
+//! Percentiles, means and CDFs.
+
+/// The `p`-th percentile (0–100) of `values` using nearest-rank on a sorted
+/// copy. Returns `None` for an empty slice.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric values must not be NaN"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+}
+
+/// Arithmetic mean, `None` for an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Builds an empirical CDF: `points` evenly spaced quantiles as
+/// `(value, cumulative_fraction)` pairs. Useful for the buffer-occupancy and
+/// collision CDF figures.
+pub fn build_cdf(values: &[f64], points: usize) -> Vec<(f64, f64)> {
+    if values.is_empty() || points == 0 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric values must not be NaN"));
+    (1..=points)
+        .map(|i| {
+            let frac = i as f64 / points as f64;
+            let idx = ((frac * sorted.len() as f64).ceil() as usize)
+                .saturating_sub(1)
+                .min(sorted.len() - 1);
+            (sorted[idx], frac)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(percentile(&v, 50.0), Some(50.0));
+        assert_eq!(percentile(&v, 99.0), Some(99.0));
+        assert_eq!(percentile(&v, 100.0), Some(100.0));
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[7.0], 99.0), Some(7.0));
+    }
+
+    #[test]
+    fn mean_simple() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_covers_range() {
+        let v: Vec<f64> = (0..1000).map(|x| (x % 97) as f64).collect();
+        let cdf = build_cdf(&v, 20);
+        assert_eq!(cdf.len(), 20);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        assert_eq!(cdf.last().unwrap().0, 96.0);
+    }
+
+    #[test]
+    fn cdf_empty_inputs() {
+        assert!(build_cdf(&[], 10).is_empty());
+        assert!(build_cdf(&[1.0], 0).is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! The global event vocabulary shared by switches, hosts and the simulation
+//! driver.
+//!
+//! Every component schedules follow-up work by pushing a [`NetEvent`] into the
+//! shared [`bfc_sim::EventQueue`]. The driver (in `bfc-experiments`) owns the
+//! dispatch loop: it pops events in time order and routes them to the switch,
+//! host or metrics collector they belong to.
+
+use crate::packet::Packet;
+use crate::types::{FlowId, NodeId};
+
+/// Host-side timers used by the transport layer (`bfc-transport`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportTimer {
+    /// Go-Back-N retransmission timeout check for one flow.
+    Retransmit(FlowId),
+    /// DCQCN rate-increase timer for one flow.
+    RateIncrease(FlowId),
+    /// DCQCN alpha-update timer for one flow.
+    AlphaUpdate(FlowId),
+    /// The NIC asked to be woken up when a pacing gap elapses.
+    NicWakeup,
+}
+
+/// A simulation event.
+#[derive(Debug, Clone)]
+pub enum NetEvent {
+    /// The last bit of `packet` arrives at `node` on its local ingress `port`.
+    PacketArrive {
+        /// Receiving node.
+        node: NodeId,
+        /// Local ingress port index at the receiving node.
+        port: u32,
+        /// The packet.
+        packet: Packet,
+    },
+    /// The egress at (`node`, `port`) finished serializing its current packet
+    /// and may start the next one.
+    TxComplete {
+        /// Transmitting node.
+        node: NodeId,
+        /// Local egress port index.
+        port: u32,
+    },
+    /// Periodic BFC pause-frame emission opportunity for ingress `port` of
+    /// switch `node`.
+    PauseFrameTimer {
+        /// Switch owning the timer.
+        node: NodeId,
+        /// Local ingress port index the pause frame protects.
+        port: u32,
+    },
+    /// A host-side transport timer fired.
+    HostTimer {
+        /// Host owning the timer.
+        node: NodeId,
+        /// Which timer fired.
+        timer: TransportTimer,
+    },
+    /// The `index`-th flow of the experiment trace starts at its sender.
+    FlowArrival {
+        /// Index into the trace.
+        index: usize,
+    },
+    /// A flow finished: its last data byte arrived at the receiver. Emitted by
+    /// the receiving host; consumed by the metrics collector.
+    FlowCompleted {
+        /// The finished flow.
+        flow: FlowId,
+    },
+    /// Periodic metrics sampling tick (buffer occupancy, utilization).
+    Sample,
+}
+
+impl NetEvent {
+    /// The node this event should be dispatched to, if it targets a node.
+    pub fn target_node(&self) -> Option<NodeId> {
+        match self {
+            NetEvent::PacketArrive { node, .. }
+            | NetEvent::TxComplete { node, .. }
+            | NetEvent::PauseFrameTimer { node, .. }
+            | NetEvent::HostTimer { node, .. } => Some(*node),
+            NetEvent::FlowArrival { .. } | NetEvent::FlowCompleted { .. } | NetEvent::Sample => {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_node_extraction() {
+        let e = NetEvent::TxComplete {
+            node: NodeId(4),
+            port: 1,
+        };
+        assert_eq!(e.target_node(), Some(NodeId(4)));
+        assert_eq!(NetEvent::Sample.target_node(), None);
+        assert_eq!(NetEvent::FlowArrival { index: 3 }.target_node(), None);
+    }
+}

@@ -1,0 +1,52 @@
+//! # bfc-net — packet-level data-center network substrate
+//!
+//! This crate is the "ns-3 substitute" for the Backpressure Flow Control
+//! reproduction: everything between the host NIC and the wire is modelled
+//! here at per-packet granularity.
+//!
+//! * [`packet`] — data / ACK / CNP / PFC / flow-pause frames and HPCC INT
+//!   telemetry.
+//! * [`link`] — full-duplex links with rate and propagation delay.
+//! * [`queue`] + [`port`] — physical FIFO queues, deficit round robin, the
+//!   strict-priority control and high-priority queues, and per-queue pause.
+//! * [`buffer`] — the shared-memory buffer model with dynamic PFC thresholds.
+//! * [`policy`] — the [`policy::SwitchPolicy`] trait that queue-assignment /
+//!   flow-control schemes implement (FIFO and stochastic fair queueing live
+//!   here; the BFC policy itself lives in the `bfc-core` crate).
+//! * [`switch`] — the shared-buffer switch: admission, ECN marking, INT,
+//!   PFC generation, scheduling and forwarding.
+//! * [`topology`] + [`routing`] — fat-tree builders (the paper's T1 and T2),
+//!   the cross-data-center topology, and ECMP up/down routing.
+//! * [`event`] — the global event vocabulary used by the simulation driver.
+//!
+//! The crate deliberately knows nothing about congestion-control algorithms
+//! (DCQCN, HPCC, …); those live in `bfc-transport` and only interact with
+//! the fabric through packets.
+
+pub mod buffer;
+pub mod config;
+pub mod event;
+pub mod link;
+pub mod packet;
+pub mod policy;
+pub mod port;
+pub mod queue;
+pub mod routing;
+pub mod switch;
+pub mod topology;
+pub mod types;
+
+pub use buffer::SharedBuffer;
+pub use config::{EcnConfig, PfcConfig, SwitchConfig};
+pub use event::{NetEvent, TransportTimer};
+pub use link::Link;
+pub use packet::{IntHop, Packet, PacketKind, PauseFrame};
+pub use policy::{
+    EnqueueCtx, EnqueueDecision, FifoPolicy, PolicyStats, QueueTarget, SfqPolicy, SwitchPolicy,
+};
+pub use port::Port;
+pub use queue::PhysQueue;
+pub use routing::RoutingTables;
+pub use switch::Switch;
+pub use topology::{NodeKind, Topology, TopologyBuilder};
+pub use types::{FlowId, NodeId, PortId};

@@ -1,0 +1,437 @@
+//! Packets, control frames and HPCC in-band telemetry.
+//!
+//! Everything that travels on a link is a [`Packet`]. Data, acknowledgements
+//! and congestion-notification packets traverse switch queues like ordinary
+//! traffic (ACK-class packets ride the strict-priority control queue);
+//! PFC pause frames and BFC flow-pause frames are MAC-level control frames
+//! delivered out of band (they never sit behind data in an egress queue).
+
+use bfc_sim::rng::mix64;
+
+use crate::types::{FlowId, NodeId};
+
+/// Telemetry appended by each switch hop when HPCC-style INT is enabled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntHop {
+    /// Queue length (bytes) at the egress port when the packet was sent.
+    pub qlen_bytes: u64,
+    /// Cumulative bytes transmitted by the egress port, including this packet.
+    pub tx_bytes: u64,
+    /// Timestamp (picoseconds) at which the packet was transmitted.
+    pub timestamp_ps: u64,
+    /// Link capacity in Gbps.
+    pub link_gbps: f64,
+}
+
+/// A multistage bloom filter naming the set of paused virtual flows on one
+/// ingress link (§3.6 of the paper).
+///
+/// The downstream switch maintains a *counting* version of this filter (in
+/// `bfc-core`) and periodically snapshots it into a `PauseFrame` that is sent
+/// upstream. The upstream side only needs membership queries, which is what
+/// this type provides. A virtual flow is paused iff **all** `num_hashes` bit
+/// positions derived from its VFID are set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PauseFrame {
+    bits: Vec<u64>,
+    num_bits: u32,
+    num_hashes: u32,
+}
+
+impl PauseFrame {
+    /// Creates an empty frame of `size_bytes` bytes using `num_hashes` hash
+    /// functions. The paper's default is 128 bytes and 4 hashes.
+    pub fn new(size_bytes: usize, num_hashes: u32) -> Self {
+        assert!(size_bytes > 0, "bloom filter must have at least one byte");
+        assert!(num_hashes > 0, "bloom filter must use at least one hash");
+        let num_bits = (size_bytes * 8) as u32;
+        let words = size_bytes.div_ceil(8);
+        PauseFrame {
+            bits: vec![0; words],
+            num_bits,
+            num_hashes,
+        }
+    }
+
+    /// Number of bits in the filter.
+    pub fn num_bits(&self) -> u32 {
+        self.num_bits
+    }
+
+    /// Number of hash functions.
+    pub fn num_hashes(&self) -> u32 {
+        self.num_hashes
+    }
+
+    /// Size of the filter on the wire in bytes.
+    pub fn size_bytes(&self) -> usize {
+        (self.num_bits as usize) / 8
+    }
+
+    /// The `i`-th bit position for a VFID. All switches and NICs derive the
+    /// same positions because the function is deterministic.
+    #[inline]
+    pub fn bit_position(vfid: u32, hash_index: u32, num_bits: u32) -> u32 {
+        (mix64(((hash_index as u64) << 32) | vfid as u64) % num_bits as u64) as u32
+    }
+
+    /// Sets bit `pos`.
+    #[inline]
+    pub fn set_bit(&mut self, pos: u32) {
+        debug_assert!(pos < self.num_bits);
+        self.bits[(pos / 64) as usize] |= 1u64 << (pos % 64);
+    }
+
+    /// Reads bit `pos`.
+    #[inline]
+    pub fn get_bit(&self, pos: u32) -> bool {
+        debug_assert!(pos < self.num_bits);
+        self.bits[(pos / 64) as usize] & (1u64 << (pos % 64)) != 0
+    }
+
+    /// Marks a virtual flow as paused.
+    pub fn insert(&mut self, vfid: u32) {
+        for i in 0..self.num_hashes {
+            self.set_bit(Self::bit_position(vfid, i, self.num_bits));
+        }
+    }
+
+    /// True if the virtual flow matches on all hash positions, i.e. the
+    /// upstream must treat it as paused. False positives are possible (that
+    /// is the bloom-filter trade-off the paper accepts); false negatives are
+    /// not.
+    pub fn contains(&self, vfid: u32) -> bool {
+        (0..self.num_hashes).all(|i| self.get_bit(Self::bit_position(vfid, i, self.num_bits)))
+    }
+
+    /// True if no bits are set (nothing is paused).
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits (used by tests and diagnostics).
+    pub fn popcount(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+}
+
+/// What kind of packet this is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PacketKind {
+    /// Application data carried by an RDMA flow.
+    Data,
+    /// Cumulative acknowledgement (Go-Back-N). `is_nack` signals an
+    /// out-of-order arrival and asks the sender to rewind to `cumulative_seq`.
+    Ack {
+        /// Next packet sequence number expected by the receiver.
+        cumulative_seq: u64,
+        /// True if this is a negative acknowledgement (out-of-order data).
+        is_nack: bool,
+        /// True if the acknowledged data packet carried an ECN CE mark.
+        ecn_echo: bool,
+    },
+    /// DCQCN congestion notification packet sent by the receiver NIC.
+    Cnp,
+    /// Priority Flow Control pause (`pause == true`) or resume frame for the
+    /// single traffic class the evaluation models.
+    PfcPause {
+        /// True to pause the upstream transmitter, false to resume it.
+        pause: bool,
+    },
+    /// BFC per-flow pause frame: a bloom filter over paused VFIDs for one
+    /// ingress link.
+    FlowPause {
+        /// Snapshot of the downstream switch's counting bloom filter.
+        frame: PauseFrame,
+    },
+}
+
+/// A packet (or control frame) traversing the network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Flow this packet belongs to. Control frames use `FlowId(u32::MAX)`.
+    pub flow: FlowId,
+    /// Originating host (for data) or the node that generated the control frame.
+    pub src: NodeId,
+    /// Destination host (for data/ACK/CNP). Control frames are consumed by the
+    /// adjacent node and carry their own destination here as well.
+    pub dst: NodeId,
+    /// Packet sequence number within the flow (packets, not bytes).
+    pub seq: u64,
+    /// Size on the wire in bytes (payload + header).
+    pub size_bytes: u32,
+    /// Virtual flow ID: `hash(5-tuple) mod num_vfids`, computed once at the
+    /// sender so every switch sees the same value (§3.3).
+    pub vfid: u32,
+    /// Set by the sender NIC on the first packet of a flow so switches can
+    /// steer it to the high-priority queue (§3.7).
+    pub first_of_flow: bool,
+    /// ECN congestion-experienced mark set by switches when the egress queue
+    /// exceeds the marking threshold.
+    pub ecn_ce: bool,
+    /// True for ACK/CNP-class packets that ride the strict-priority control
+    /// queue at switches.
+    pub control_priority: bool,
+    /// HPCC in-band telemetry accumulated hop by hop (empty unless INT is
+    /// enabled). For ACKs this is the echo of the data packet's telemetry.
+    pub int: Vec<IntHop>,
+    /// What the packet is.
+    pub kind: PacketKind,
+}
+
+/// Conventional wire size of an ACK/CNP/NACK frame.
+pub const ACK_SIZE_BYTES: u32 = 64;
+/// Conventional wire size of a PFC pause frame.
+pub const PFC_FRAME_BYTES: u32 = 64;
+
+impl Packet {
+    /// Builds a data packet.
+    #[allow(clippy::too_many_arguments)]
+    pub fn data(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        seq: u64,
+        size_bytes: u32,
+        vfid: u32,
+        first_of_flow: bool,
+    ) -> Self {
+        Packet {
+            flow,
+            src,
+            dst,
+            seq,
+            size_bytes,
+            vfid,
+            first_of_flow,
+            ecn_ce: false,
+            control_priority: false,
+            int: Vec::new(),
+            kind: PacketKind::Data,
+        }
+    }
+
+    /// Builds an ACK (or NACK when `is_nack`) from receiver `src` back to
+    /// sender `dst`.
+    pub fn ack(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        cumulative_seq: u64,
+        is_nack: bool,
+        ecn_echo: bool,
+        int: Vec<IntHop>,
+    ) -> Self {
+        Packet {
+            flow,
+            src,
+            dst,
+            seq: cumulative_seq,
+            size_bytes: ACK_SIZE_BYTES,
+            vfid: 0,
+            first_of_flow: false,
+            ecn_ce: false,
+            control_priority: true,
+            int,
+            kind: PacketKind::Ack {
+                cumulative_seq,
+                is_nack,
+                ecn_echo,
+            },
+        }
+    }
+
+    /// Builds a DCQCN congestion notification packet from receiver `src` to
+    /// sender `dst`.
+    pub fn cnp(flow: FlowId, src: NodeId, dst: NodeId) -> Self {
+        Packet {
+            flow,
+            src,
+            dst,
+            seq: 0,
+            size_bytes: ACK_SIZE_BYTES,
+            vfid: 0,
+            first_of_flow: false,
+            ecn_ce: false,
+            control_priority: true,
+            int: Vec::new(),
+            kind: PacketKind::Cnp,
+        }
+    }
+
+    /// Builds a PFC pause/resume frame originated by `src` toward the
+    /// adjacent node `dst`.
+    pub fn pfc(src: NodeId, dst: NodeId, pause: bool) -> Self {
+        Packet {
+            flow: FlowId(u32::MAX),
+            src,
+            dst,
+            seq: 0,
+            size_bytes: PFC_FRAME_BYTES,
+            vfid: 0,
+            first_of_flow: false,
+            ecn_ce: false,
+            control_priority: true,
+            int: Vec::new(),
+            kind: PacketKind::PfcPause { pause },
+        }
+    }
+
+    /// Builds a BFC flow-pause frame originated by `src` toward the adjacent
+    /// upstream node `dst`.
+    pub fn flow_pause(src: NodeId, dst: NodeId, frame: PauseFrame) -> Self {
+        let size = frame.size_bytes() as u32;
+        Packet {
+            flow: FlowId(u32::MAX),
+            src,
+            dst,
+            seq: 0,
+            size_bytes: size,
+            vfid: 0,
+            first_of_flow: false,
+            ecn_ce: false,
+            control_priority: true,
+            int: Vec::new(),
+            kind: PacketKind::FlowPause { frame },
+        }
+    }
+
+    /// True for application data.
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, PacketKind::Data)
+    }
+
+    /// True for link-local control frames (PFC / BFC pause) that are delivered
+    /// out of band and never queued behind data.
+    pub fn is_link_control(&self) -> bool {
+        matches!(
+            self.kind,
+            PacketKind::PfcPause { .. } | PacketKind::FlowPause { .. }
+        )
+    }
+}
+
+/// Computes the stable 64-bit hash of a flow's 5-tuple. The evaluation
+/// identifies flows by their dense [`FlowId`]; mixing it with a network-wide
+/// salt stands in for hashing the real 5-tuple, and every switch derives the
+/// same value.
+pub fn flow_tuple_hash(flow: FlowId, salt: u64) -> u64 {
+    mix64(flow.0 as u64 ^ salt.rotate_left(17))
+}
+
+/// Maps a flow's 5-tuple hash into the VFID space of size `num_vfids`.
+pub fn vfid_for_flow(flow: FlowId, salt: u64, num_vfids: u32) -> u32 {
+    debug_assert!(num_vfids > 0);
+    (flow_tuple_hash(flow, salt) % num_vfids as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pause_frame_membership() {
+        let mut f = PauseFrame::new(128, 4);
+        assert!(f.is_empty());
+        f.insert(42);
+        f.insert(1000);
+        assert!(f.contains(42));
+        assert!(f.contains(1000));
+        assert!(!f.is_empty());
+        // With a 1024-bit filter and 8 set bits, an arbitrary other VFID is
+        // overwhelmingly unlikely to be a false positive.
+        let fp = (0..2000u32)
+            .filter(|v| ![42, 1000].contains(v) && f.contains(*v))
+            .count();
+        assert_eq!(fp, 0);
+    }
+
+    #[test]
+    fn pause_frame_popcount_counts_distinct_bits() {
+        let mut f = PauseFrame::new(16, 4);
+        f.insert(7);
+        assert!(f.popcount() <= 4);
+        assert!(f.popcount() >= 1);
+    }
+
+    #[test]
+    fn tiny_filter_has_false_positives_eventually() {
+        // A 16-byte filter (128 bits) with many inserted flows must produce
+        // false positives — this is the degradation Fig. 14 studies.
+        let mut f = PauseFrame::new(16, 4);
+        for v in 0..60 {
+            f.insert(v);
+        }
+        let fp = (1000..4000u32).filter(|v| f.contains(*v)).count();
+        assert!(fp > 0, "expected some false positives in a saturated filter");
+    }
+
+    #[test]
+    fn bit_positions_are_deterministic() {
+        let a = PauseFrame::bit_position(5, 0, 1024);
+        let b = PauseFrame::bit_position(5, 0, 1024);
+        assert_eq!(a, b);
+        assert!(a < 1024);
+    }
+
+    #[test]
+    fn constructors_set_expected_fields() {
+        let d = Packet::data(FlowId(1), NodeId(2), NodeId(3), 4, 1000, 77, true);
+        assert!(d.is_data());
+        assert!(!d.is_link_control());
+        assert!(d.first_of_flow);
+        assert_eq!(d.size_bytes, 1000);
+
+        let a = Packet::ack(FlowId(1), NodeId(3), NodeId(2), 5, false, true, Vec::new());
+        assert!(a.control_priority);
+        assert_eq!(a.size_bytes, ACK_SIZE_BYTES);
+        match a.kind {
+            PacketKind::Ack {
+                cumulative_seq,
+                is_nack,
+                ecn_echo,
+            } => {
+                assert_eq!(cumulative_seq, 5);
+                assert!(!is_nack);
+                assert!(ecn_echo);
+            }
+            _ => panic!("not an ack"),
+        }
+
+        let p = Packet::pfc(NodeId(1), NodeId(0), true);
+        assert!(p.is_link_control());
+        let f = Packet::flow_pause(NodeId(1), NodeId(0), PauseFrame::new(128, 4));
+        assert!(f.is_link_control());
+        assert_eq!(f.size_bytes, 128);
+        let c = Packet::cnp(FlowId(9), NodeId(3), NodeId(2));
+        assert!(c.control_priority);
+    }
+
+    #[test]
+    fn vfid_is_stable_and_in_range() {
+        for flow in 0..1000u32 {
+            let v1 = vfid_for_flow(FlowId(flow), 0xabc, 16384);
+            let v2 = vfid_for_flow(FlowId(flow), 0xabc, 16384);
+            assert_eq!(v1, v2);
+            assert!(v1 < 16384);
+        }
+        // Different salts give (almost surely) different assignments.
+        assert_ne!(
+            (0..64u32).map(|f| vfid_for_flow(FlowId(f), 1, 1 << 20)).collect::<Vec<_>>(),
+            (0..64u32).map(|f| vfid_for_flow(FlowId(f), 2, 1 << 20)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn small_vfid_space_collides() {
+        // With 1024 VFIDs and 4096 flows there must be collisions (Fig. 13).
+        let mut seen = std::collections::HashSet::new();
+        let mut collisions = 0;
+        for f in 0..4096u32 {
+            if !seen.insert(vfid_for_flow(FlowId(f), 7, 1024)) {
+                collisions += 1;
+            }
+        }
+        assert!(collisions > 0);
+    }
+}

@@ -1,0 +1,404 @@
+//! The switch queue-assignment / flow-control policy interface.
+//!
+//! A [`SwitchPolicy`] decides, per data packet, which egress queue the packet
+//! joins, and optionally generates per-flow pause frames toward upstream
+//! nodes. The baseline policies (single FIFO and stochastic fair queueing)
+//! live here; the BFC policy — the paper's contribution — implements this
+//! trait in the `bfc-core` crate.
+
+use std::collections::HashMap;
+
+use bfc_sim::SimTime;
+
+use crate::packet::{Packet, PauseFrame};
+use crate::port::Port;
+use crate::types::{FlowId, NodeId};
+
+/// Which queue of an egress port a packet is placed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueTarget {
+    /// Strict-priority control queue (ACKs, CNPs). Chosen by the switch, not
+    /// by policies.
+    Control,
+    /// The BFC high-priority queue for first packets of flows (§3.7).
+    HighPriority,
+    /// Physical FIFO queue `i`.
+    Phys(usize),
+    /// The per-egress overflow queue used when the flow table cannot track a
+    /// flow (§3.8).
+    Overflow,
+}
+
+/// Context handed to the policy when a data packet is enqueued.
+pub struct EnqueueCtx<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The switch making the decision.
+    pub switch: NodeId,
+    /// Local ingress port the packet arrived on.
+    pub ingress: u32,
+    /// Local egress port the packet will leave from.
+    pub egress: u32,
+    /// Read-only view of the egress port (queue occupancy, pause state, link).
+    pub port: &'a Port,
+}
+
+/// Context handed to the policy when a data packet is dequeued for
+/// transmission.
+pub struct DequeueCtx<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The switch transmitting the packet.
+    pub switch: NodeId,
+    /// Local ingress port the packet originally arrived on.
+    pub ingress: u32,
+    /// Local egress port transmitting the packet.
+    pub egress: u32,
+    /// Read-only view of the egress port *after* the packet was removed.
+    pub port: &'a Port,
+    /// The queue the packet was scheduled from.
+    pub queue: QueueTarget,
+}
+
+/// The policy's verdict for an arriving data packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnqueueDecision {
+    /// Queue to place the packet in.
+    pub target: QueueTarget,
+    /// True if the switch must ensure a pause-frame timer chain is running
+    /// for the packet's ingress port (the policy has pending pause state to
+    /// communicate upstream).
+    pub start_pause_timer: bool,
+}
+
+impl EnqueueDecision {
+    /// Places the packet in `target` with no pause-frame side effects.
+    pub fn queue(target: QueueTarget) -> Self {
+        EnqueueDecision {
+            target,
+            start_pause_timer: false,
+        }
+    }
+}
+
+/// Result of a periodic pause-frame tick for one ingress port.
+#[derive(Debug, Clone)]
+pub struct PauseTick {
+    /// Pause frame to send upstream (None = nothing to send this interval).
+    pub frame: Option<PauseFrame>,
+    /// True if the switch should schedule another tick one interval later.
+    pub reschedule: bool,
+}
+
+impl PauseTick {
+    /// A tick that sends nothing and stops the timer chain.
+    pub fn idle() -> Self {
+        PauseTick {
+            frame: None,
+            reschedule: false,
+        }
+    }
+}
+
+/// Counters every policy exposes for the evaluation figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyStats {
+    /// Number of distinct flow arrivals that required a queue assignment.
+    pub flow_assignments: u64,
+    /// Assignments that landed in a queue already occupied by another flow
+    /// (the "collisions" of Figs. 7 and 12).
+    pub collisions: u64,
+    /// Packets that had to use the overflow queue because the flow table was
+    /// full (Fig. 13).
+    pub table_overflows: u64,
+    /// Per-flow pause events generated (BFC only).
+    pub pauses: u64,
+    /// Per-flow resume events generated (BFC only).
+    pub resumes: u64,
+}
+
+impl PolicyStats {
+    /// Fraction of flow assignments that collided with another flow.
+    pub fn collision_fraction(&self) -> f64 {
+        if self.flow_assignments == 0 {
+            0.0
+        } else {
+            self.collisions as f64 / self.flow_assignments as f64
+        }
+    }
+
+    /// Fraction of flow assignments that overflowed the flow table.
+    pub fn overflow_fraction(&self) -> f64 {
+        if self.flow_assignments == 0 {
+            0.0
+        } else {
+            self.table_overflows as f64 / self.flow_assignments as f64
+        }
+    }
+
+    /// Accumulates another policy's counters (used to aggregate per-switch
+    /// stats into fabric-wide totals).
+    pub fn merge(&mut self, other: &PolicyStats) {
+        self.flow_assignments += other.flow_assignments;
+        self.collisions += other.collisions;
+        self.table_overflows += other.table_overflows;
+        self.pauses += other.pauses;
+        self.resumes += other.resumes;
+    }
+}
+
+/// A queue-assignment / flow-control policy for one switch.
+pub trait SwitchPolicy {
+    /// Chooses a queue for an arriving data packet.
+    fn on_enqueue(&mut self, ctx: &EnqueueCtx<'_>, pkt: &Packet) -> EnqueueDecision;
+
+    /// Observes a data packet leaving the switch (used to update flow state,
+    /// reclaim queues and schedule resumes).
+    fn on_dequeue(&mut self, ctx: &DequeueCtx<'_>, pkt: &Packet);
+
+    /// Periodic pause-frame opportunity for one ingress port.
+    fn pause_frame_tick(&mut self, _now: SimTime, _ingress: u32) -> PauseTick {
+        PauseTick::idle()
+    }
+
+    /// Aggregated counters.
+    fn stats(&self) -> PolicyStats;
+
+    /// Human-readable name used in experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Single-FIFO policy: every data packet goes to physical queue 0. This is
+/// the switch model used by DCQCN, DCQCN+Win and HPCC in the paper.
+#[derive(Debug, Default)]
+pub struct FifoPolicy {
+    stats: PolicyStats,
+    /// Flows currently occupying queue 0, per egress port, for collision
+    /// accounting parity with the other policies.
+    resident: HashMap<u32, HashMap<FlowId, usize>>,
+}
+
+impl FifoPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        FifoPolicy::default()
+    }
+}
+
+impl SwitchPolicy for FifoPolicy {
+    fn on_enqueue(&mut self, ctx: &EnqueueCtx<'_>, pkt: &Packet) -> EnqueueDecision {
+        let resident = self.resident.entry(ctx.egress).or_default();
+        if !resident.contains_key(&pkt.flow) {
+            self.stats.flow_assignments += 1;
+            if !resident.is_empty() {
+                self.stats.collisions += 1;
+            }
+        }
+        *resident.entry(pkt.flow).or_insert(0) += 1;
+        EnqueueDecision::queue(QueueTarget::Phys(0))
+    }
+
+    fn on_dequeue(&mut self, ctx: &DequeueCtx<'_>, pkt: &Packet) {
+        if let Some(resident) = self.resident.get_mut(&ctx.egress) {
+            if let Some(count) = resident.get_mut(&pkt.flow) {
+                *count -= 1;
+                if *count == 0 {
+                    resident.remove(&pkt.flow);
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+/// Stochastic fair queueing: a flow is statically hashed to one of the
+/// physical queues (the straw-man assignment of §3.2, and the scheduling used
+/// by DCQCN+Win+SFQ and Ideal-FQ).
+#[derive(Debug)]
+pub struct SfqPolicy {
+    stats: PolicyStats,
+    /// Flows resident per (egress port, queue index).
+    resident: HashMap<(u32, usize), HashMap<FlowId, usize>>,
+    use_high_priority_for_first: bool,
+}
+
+impl SfqPolicy {
+    /// Creates the policy. When `use_high_priority_for_first` is set, packets
+    /// marked `first_of_flow` ride the high-priority queue (used by the
+    /// BFC-VFID ablation which keeps the high-priority optimisation).
+    pub fn new(use_high_priority_for_first: bool) -> Self {
+        SfqPolicy {
+            stats: PolicyStats::default(),
+            resident: HashMap::new(),
+            use_high_priority_for_first,
+        }
+    }
+
+    /// The static queue a VFID hashes to.
+    pub fn queue_for(vfid: u32, num_queues: usize) -> usize {
+        (bfc_sim::rng::mix64(vfid as u64) % num_queues as u64) as usize
+    }
+}
+
+impl SwitchPolicy for SfqPolicy {
+    fn on_enqueue(&mut self, ctx: &EnqueueCtx<'_>, pkt: &Packet) -> EnqueueDecision {
+        if self.use_high_priority_for_first && pkt.first_of_flow {
+            return EnqueueDecision::queue(QueueTarget::HighPriority);
+        }
+        let q = Self::queue_for(pkt.vfid, ctx.port.num_queues());
+        let resident = self.resident.entry((ctx.egress, q)).or_default();
+        if !resident.contains_key(&pkt.flow) {
+            self.stats.flow_assignments += 1;
+            if !resident.is_empty() {
+                self.stats.collisions += 1;
+            }
+        }
+        *resident.entry(pkt.flow).or_insert(0) += 1;
+        EnqueueDecision::queue(QueueTarget::Phys(q))
+    }
+
+    fn on_dequeue(&mut self, ctx: &DequeueCtx<'_>, pkt: &Packet) {
+        let q = match ctx.queue {
+            QueueTarget::Phys(q) => q,
+            _ => return,
+        };
+        if let Some(resident) = self.resident.get_mut(&(ctx.egress, q)) {
+            if let Some(count) = resident.get_mut(&pkt.flow) {
+                *count -= 1;
+                if *count == 0 {
+                    resident.remove(&pkt.flow);
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "sfq"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Link;
+
+    fn ctx<'a>(port: &'a Port, egress: u32) -> EnqueueCtx<'a> {
+        EnqueueCtx {
+            now: SimTime::ZERO,
+            switch: NodeId(0),
+            ingress: 0,
+            egress,
+            port,
+        }
+    }
+
+    fn data(flow: u32, vfid: u32) -> Packet {
+        Packet::data(FlowId(flow), NodeId(0), NodeId(1), 0, 1000, vfid, false)
+    }
+
+    #[test]
+    fn fifo_always_uses_queue_zero_and_counts_collisions() {
+        let port = Port::new(Link::datacenter_default(), None, 8, 1000);
+        let mut p = FifoPolicy::new();
+        let d1 = p.on_enqueue(&ctx(&port, 0), &data(1, 10));
+        assert_eq!(d1.target, QueueTarget::Phys(0));
+        let _ = p.on_enqueue(&ctx(&port, 0), &data(2, 20));
+        let s = p.stats();
+        assert_eq!(s.flow_assignments, 2);
+        assert_eq!(s.collisions, 1);
+        assert!((s.collision_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sfq_assignment_is_static_per_vfid() {
+        let port = Port::new(Link::datacenter_default(), None, 32, 1000);
+        let mut p = SfqPolicy::new(false);
+        let d1 = p.on_enqueue(&ctx(&port, 0), &data(1, 77));
+        let d2 = p.on_enqueue(&ctx(&port, 0), &data(1, 77));
+        assert_eq!(d1.target, d2.target);
+        assert!(matches!(d1.target, QueueTarget::Phys(_)));
+    }
+
+    #[test]
+    fn sfq_high_priority_option_routes_first_packets() {
+        let port = Port::new(Link::datacenter_default(), None, 32, 1000);
+        let mut p = SfqPolicy::new(true);
+        let mut first = data(1, 5);
+        first.first_of_flow = true;
+        assert_eq!(
+            p.on_enqueue(&ctx(&port, 0), &first).target,
+            QueueTarget::HighPriority
+        );
+        let mut without = SfqPolicy::new(false);
+        assert!(matches!(
+            without.on_enqueue(&ctx(&port, 0), &first).target,
+            QueueTarget::Phys(_)
+        ));
+    }
+
+    #[test]
+    fn sfq_collisions_require_same_queue() {
+        let port = Port::new(Link::datacenter_default(), None, 32, 1000);
+        let mut p = SfqPolicy::new(false);
+        // Two flows with the same VFID necessarily share a queue.
+        let _ = p.on_enqueue(&ctx(&port, 0), &data(1, 9));
+        let _ = p.on_enqueue(&ctx(&port, 0), &data(2, 9));
+        assert_eq!(p.stats().collisions, 1);
+    }
+
+    #[test]
+    fn dequeue_releases_residency() {
+        let port = Port::new(Link::datacenter_default(), None, 8, 1000);
+        let mut p = FifoPolicy::new();
+        let _ = p.on_enqueue(&ctx(&port, 0), &data(1, 10));
+        let dctx = DequeueCtx {
+            now: SimTime::ZERO,
+            switch: NodeId(0),
+            ingress: 0,
+            egress: 0,
+            port: &port,
+            queue: QueueTarget::Phys(0),
+        };
+        p.on_dequeue(&dctx, &data(1, 10));
+        // A later flow should no longer count as a collision.
+        let _ = p.on_enqueue(&ctx(&port, 0), &data(2, 20));
+        assert_eq!(p.stats().collisions, 0);
+    }
+
+    #[test]
+    fn default_pause_tick_is_idle() {
+        let mut p = FifoPolicy::new();
+        let tick = p.pause_frame_tick(SimTime::ZERO, 0);
+        assert!(tick.frame.is_none());
+        assert!(!tick.reschedule);
+    }
+
+    #[test]
+    fn stats_merge_adds_counters() {
+        let a = PolicyStats {
+            flow_assignments: 10,
+            collisions: 2,
+            table_overflows: 1,
+            pauses: 5,
+            resumes: 4,
+        };
+        let mut b = PolicyStats::default();
+        b.merge(&a);
+        b.merge(&a);
+        assert_eq!(b.flow_assignments, 20);
+        assert_eq!(b.collisions, 4);
+        assert_eq!(b.pauses, 10);
+        assert!((a.overflow_fraction() - 0.1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,240 @@
+//! Event queue and simulation driver.
+//!
+//! Events are ordered by timestamp; events with equal timestamps are
+//! delivered in insertion (FIFO) order so simulations are fully
+//! deterministic regardless of how the binary heap re-orders equal keys.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A single scheduled entry: time, insertion sequence number, payload.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time (then the
+        // lowest sequence number) is popped first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events.
+///
+/// The queue never reorders events scheduled for the same instant: they come
+/// back in the order they were pushed.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Creates an empty queue with space for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| {
+            self.popped += 1;
+            (e.time, e.event)
+        })
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events scheduled over the queue's lifetime.
+    pub fn total_scheduled(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Total number of events delivered over the queue's lifetime.
+    pub fn total_delivered(&self) -> u64 {
+        self.popped
+    }
+}
+
+/// A simulation that consumes events of type `E` and may schedule more.
+///
+/// The driver ([`run`] / [`run_until`]) pops events in time order and hands
+/// each one to [`Simulation::handle`] together with a mutable reference to
+/// the queue so the handler can schedule follow-up events.
+pub trait Simulation {
+    /// The event payload type.
+    type Event;
+
+    /// Handles one event occurring at `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Runs the simulation until the event queue is empty. Returns the timestamp
+/// of the last delivered event (or `SimTime::ZERO` if no event was delivered).
+pub fn run<S: Simulation>(sim: &mut S, queue: &mut EventQueue<S::Event>) -> SimTime {
+    run_until(sim, queue, SimTime::MAX)
+}
+
+/// Runs the simulation until the event queue is empty or the next event would
+/// occur strictly after `deadline`. Events scheduled exactly at `deadline`
+/// are delivered. Returns the timestamp of the last delivered event.
+pub fn run_until<S: Simulation>(
+    sim: &mut S,
+    queue: &mut EventQueue<S::Event>,
+    deadline: SimTime,
+) -> SimTime {
+    let mut last = SimTime::ZERO;
+    while let Some(t) = queue.peek_time() {
+        if t > deadline {
+            break;
+        }
+        let (now, event) = queue.pop().expect("peeked event must exist");
+        debug_assert!(now >= last, "event queue delivered events out of order");
+        last = now;
+        sim.handle(now, event, queue);
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), 3u32);
+        q.push(SimTime::from_nanos(10), 1);
+        q.push(SimTime::from_nanos(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100u32 {
+            q.push(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn counters_track_scheduling() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::ZERO, ());
+        assert_eq!(q.total_scheduled(), 2);
+        assert_eq!(q.total_delivered(), 0);
+        q.pop();
+        assert_eq!(q.total_delivered(), 1);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    /// A simulation that re-schedules itself a fixed number of times.
+    struct Ticker {
+        remaining: u32,
+        fired_at: Vec<SimTime>,
+    }
+
+    impl Simulation for Ticker {
+        type Event = ();
+        fn handle(&mut self, now: SimTime, _e: (), queue: &mut EventQueue<()>) {
+            self.fired_at.push(now);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                queue.push(now + SimDuration::from_nanos(10), ());
+            }
+        }
+    }
+
+    #[test]
+    fn driver_runs_to_completion() {
+        let mut sim = Ticker {
+            remaining: 5,
+            fired_at: Vec::new(),
+        };
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        let end = run(&mut sim, &mut q);
+        assert_eq!(sim.fired_at.len(), 6);
+        assert_eq!(end.as_nanos(), 50);
+    }
+
+    #[test]
+    fn driver_respects_deadline() {
+        let mut sim = Ticker {
+            remaining: 1_000,
+            fired_at: Vec::new(),
+        };
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        let end = run_until(&mut sim, &mut q, SimTime::from_nanos(35));
+        // Events at 0, 10, 20, 30 are delivered; 40 exceeds the deadline.
+        assert_eq!(sim.fired_at.len(), 4);
+        assert_eq!(end.as_nanos(), 30);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Flow arrival processes and offered-load arithmetic.
+//!
+//! The paper sets the *average load* as a fraction of the network capacity
+//! (the aggregate host access bandwidth) and draws flow inter-arrival times
+//! from a log-normal distribution with σ = 2 whose mean matches that load.
+
+use bfc_sim::{SimDuration, SimRng, SimTime};
+
+/// The mean inter-arrival time (seconds) between flows across the whole
+/// fabric needed to offer `load` (0..1) of the aggregate host bandwidth,
+/// given the mean flow size.
+pub fn mean_interarrival_secs(
+    load: f64,
+    num_hosts: usize,
+    host_gbps: f64,
+    mean_flow_bytes: f64,
+) -> f64 {
+    assert!(load > 0.0 && load <= 1.5, "load {load} out of range");
+    assert!(num_hosts > 0 && host_gbps > 0.0 && mean_flow_bytes > 0.0);
+    let aggregate_bps = num_hosts as f64 * host_gbps * 1e9;
+    let offered_bps = load * aggregate_bps;
+    mean_flow_bytes * 8.0 / offered_bps
+}
+
+/// How inter-arrival gaps are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless Poisson arrivals (exponential gaps).
+    Poisson {
+        /// Mean gap between flow arrivals in seconds.
+        mean_secs: f64,
+    },
+    /// Log-normal gaps with the given shape parameter (the paper uses σ = 2),
+    /// scaled so the mean gap matches `mean_secs`.
+    LogNormal {
+        /// Mean gap between flow arrivals in seconds.
+        mean_secs: f64,
+        /// Shape parameter of the underlying normal.
+        sigma: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The paper's default: log-normal with σ = 2 at the given mean.
+    pub fn paper_default(mean_secs: f64) -> Self {
+        ArrivalProcess::LogNormal {
+            mean_secs,
+            sigma: 2.0,
+        }
+    }
+
+    /// Mean gap of the process in seconds.
+    pub fn mean_secs(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { mean_secs } => *mean_secs,
+            ArrivalProcess::LogNormal { mean_secs, .. } => *mean_secs,
+        }
+    }
+
+    /// Draws one inter-arrival gap.
+    pub fn sample_gap(&self, rng: &mut SimRng) -> SimDuration {
+        let secs = match self {
+            ArrivalProcess::Poisson { mean_secs } => rng.exponential(*mean_secs),
+            ArrivalProcess::LogNormal { mean_secs, sigma } => {
+                rng.lognormal_with_mean(*mean_secs, *sigma)
+            }
+        };
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Generates arrival instants until `horizon`.
+    pub fn arrivals_until(&self, horizon: SimTime, rng: &mut SimRng) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO + self.sample_gap(rng);
+        while t <= horizon {
+            out.push(t);
+            t += self.sample_gap(rng);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interarrival_matches_load_arithmetic() {
+        // 64 hosts * 100 Gbps = 6.4 Tbps; 65% of that is 4.16 Tbps. With a
+        // 10 KB mean flow, arrivals must average 80 kb / 4.16 Tbps ≈ 19.2 ns.
+        let mean = mean_interarrival_secs(0.65, 64, 100.0, 10_000.0);
+        assert!((mean - 1.923e-8).abs() < 1e-10, "got {mean}");
+        // Halving the load doubles the gap.
+        assert!((mean_interarrival_secs(0.325, 64, 100.0, 10_000.0) / mean - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrival_rate_approximates_target() {
+        let mean = 2e-6;
+        for process in [
+            ArrivalProcess::Poisson { mean_secs: mean },
+            ArrivalProcess::paper_default(mean),
+        ] {
+            let mut rng = SimRng::new(11);
+            let horizon = SimTime::ZERO + SimDuration::from_millis(20);
+            let arrivals = process.arrivals_until(horizon, &mut rng);
+            let expected = 20e-3 / mean;
+            let got = arrivals.len() as f64;
+            assert!(
+                (got - expected).abs() / expected < 0.25,
+                "{process:?}: expected ≈{expected}, got {got}"
+            );
+            // Arrivals are sorted.
+            for w in arrivals.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn lognormal_gaps_are_burstier_than_poisson() {
+        // With σ = 2 the gap distribution has a much heavier tail: its median
+        // is far below its mean, producing the bursts the paper relies on.
+        let mut rng = SimRng::new(3);
+        let process = ArrivalProcess::paper_default(1e-6);
+        let mut gaps: Vec<f64> = (0..20_000)
+            .map(|_| process.sample_gap(&mut rng).as_secs_f64())
+            .collect();
+        gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = gaps[gaps.len() / 2];
+        assert!(median < 0.3e-6, "median {median} should sit well below the 1 us mean");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_load_rejected() {
+        let _ = mean_interarrival_secs(0.0, 64, 100.0, 10_000.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # bfc-workloads — synthetic data-center traffic
+//!
+//! The paper evaluates BFC on synthetic traces whose flow sizes match three
+//! published industry workloads (an aggregate of all applications in a Google
+//! data center, a Facebook Hadoop cluster and the DCTCP web-search workload)
+//! with log-normal (σ = 2) flow inter-arrival times, optionally mixed with
+//! periodic large-fan-in incast events. This crate reproduces those traces:
+//!
+//! * [`distributions`] — empirical flow-size CDFs and samplers for the three
+//!   workloads (plus helpers that regenerate the byte-weighted CDFs of
+//!   Fig. 4).
+//! * [`arrivals`] — offered-load arithmetic and the log-normal arrival
+//!   process.
+//! * [`trace`] — complete trace synthesis: random sender/receiver pairs over
+//!   a host set, incast events (Fig. 5/8/11), long-lived flow patterns
+//!   (Figs. 8 and 10) and the cross-data-center mix of Fig. 9.
+//!
+//! All generation is deterministic given a seed.
+
+pub mod arrivals;
+pub mod distributions;
+pub mod trace;
+
+pub use arrivals::{mean_interarrival_secs, ArrivalProcess};
+pub use distributions::{EmpiricalCdf, Workload};
+pub use trace::{
+    concurrent_long_flows, cross_dc_trace, incast_trace, long_lived_per_receiver, synthesize,
+    TraceFlow, TraceParams,
+};

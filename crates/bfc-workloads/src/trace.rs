@@ -1,0 +1,427 @@
+//! Trace synthesis: complete lists of flows (source, destination, size,
+//! start time) fed to the simulation driver.
+
+use bfc_net::types::NodeId;
+use bfc_sim::{SimDuration, SimRng, SimTime};
+
+use crate::arrivals::{mean_interarrival_secs, ArrivalProcess};
+use crate::distributions::Workload;
+
+/// One flow of a synthesized trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceFlow {
+    /// Sending host.
+    pub src: NodeId,
+    /// Receiving host.
+    pub dst: NodeId,
+    /// Application bytes.
+    pub size_bytes: u64,
+    /// Arrival time (when the sender may begin transmitting).
+    pub start: SimTime,
+    /// True for flows belonging to an incast event. The paper reports FCT
+    /// slowdowns only for the non-incast traffic.
+    pub is_incast: bool,
+}
+
+/// Parameters of the paper's standard background-plus-incast traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceParams {
+    /// Flow-size distribution of the background traffic.
+    pub workload: Workload,
+    /// Background offered load as a fraction of aggregate host bandwidth
+    /// (e.g. 0.60 for the 60% + 5% incast experiments).
+    pub load: f64,
+    /// Additional offered load contributed by incast events (0 disables
+    /// incast).
+    pub incast_load: f64,
+    /// Number of senders per incast event (the paper's default is 100-to-1).
+    pub incast_fan_in: usize,
+    /// Aggregate size of one incast event in bytes (20 MB in the paper).
+    pub incast_total_bytes: u64,
+    /// Trace duration.
+    pub duration: SimDuration,
+    /// Host access-link rate in Gbps.
+    pub host_gbps: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TraceParams {
+    /// The Fig. 5a configuration: Google workload, 60% background load plus
+    /// 5% incast (100-to-1, 20 MB), at 100 Gbps.
+    pub fn google_with_incast(duration: SimDuration, seed: u64) -> Self {
+        TraceParams {
+            workload: Workload::Google,
+            load: 0.60,
+            incast_load: 0.05,
+            incast_fan_in: 100,
+            incast_total_bytes: 20_000_000,
+            duration,
+            host_gbps: 100.0,
+            seed,
+        }
+    }
+
+    /// Background-only traffic at the given load (Fig. 5c uses 65%).
+    pub fn background_only(workload: Workload, load: f64, duration: SimDuration, seed: u64) -> Self {
+        TraceParams {
+            workload,
+            load,
+            incast_load: 0.0,
+            incast_fan_in: 0,
+            incast_total_bytes: 0,
+            duration,
+            host_gbps: 100.0,
+            seed,
+        }
+    }
+}
+
+fn pick_distinct_pair(hosts: &[NodeId], rng: &mut SimRng) -> (NodeId, NodeId) {
+    assert!(hosts.len() >= 2, "need at least two hosts");
+    let src = *rng.choose(hosts);
+    loop {
+        let dst = *rng.choose(hosts);
+        if dst != src {
+            return (src, dst);
+        }
+    }
+}
+
+/// Synthesizes the paper's standard workload: log-normal background arrivals
+/// matching `params.load`, plus periodic incast events adding
+/// `params.incast_load` of extra traffic.
+pub fn synthesize(hosts: &[NodeId], params: &TraceParams) -> Vec<TraceFlow> {
+    let mut rng = SimRng::new(params.seed);
+    let cdf = params.workload.cdf();
+    let mean_size = cdf.mean_bytes();
+    let horizon = SimTime::ZERO + params.duration;
+    let mut flows = Vec::new();
+
+    // Background traffic.
+    if params.load > 0.0 {
+        let mean_gap =
+            mean_interarrival_secs(params.load, hosts.len(), params.host_gbps, mean_size);
+        let process = ArrivalProcess::paper_default(mean_gap);
+        let mut arrival_rng = rng.split(1);
+        let mut size_rng = rng.split(2);
+        let mut pair_rng = rng.split(3);
+        for start in process.arrivals_until(horizon, &mut arrival_rng) {
+            let (src, dst) = pick_distinct_pair(hosts, &mut pair_rng);
+            flows.push(TraceFlow {
+                src,
+                dst,
+                size_bytes: cdf.sample(&mut size_rng).max(1),
+                start,
+                is_incast: false,
+            });
+        }
+    }
+
+    // Incast events.
+    if params.incast_load > 0.0 && params.incast_fan_in > 0 {
+        let aggregate_bps = hosts.len() as f64 * params.host_gbps * 1e9;
+        let event_bits = params.incast_total_bytes as f64 * 8.0;
+        let events_per_sec = params.incast_load * aggregate_bps / event_bits;
+        let period = SimDuration::from_secs_f64(1.0 / events_per_sec);
+        let mut incast_rng = rng.split(4);
+        let mut t = SimTime::ZERO + period;
+        while t <= horizon {
+            flows.extend(incast_event(
+                hosts,
+                params.incast_fan_in,
+                params.incast_total_bytes,
+                t,
+                &mut incast_rng,
+            ));
+            t += period;
+        }
+    }
+
+    flows.sort_by_key(|f| f.start);
+    flows
+}
+
+/// One incast event: `fan_in` random senders each send an equal share of
+/// `total_bytes` to one random receiver, all starting at `start`.
+pub fn incast_event(
+    hosts: &[NodeId],
+    fan_in: usize,
+    total_bytes: u64,
+    start: SimTime,
+    rng: &mut SimRng,
+) -> Vec<TraceFlow> {
+    assert!(hosts.len() >= 2);
+    let receiver = *rng.choose(hosts);
+    let per_sender = (total_bytes / fan_in as u64).max(1);
+    let mut senders: Vec<NodeId> = hosts.iter().copied().filter(|h| *h != receiver).collect();
+    rng.shuffle(&mut senders);
+    senders
+        .iter()
+        .cycle()
+        .take(fan_in)
+        .map(|&src| TraceFlow {
+            src,
+            dst: receiver,
+            size_bytes: per_sender,
+            start,
+            is_incast: true,
+        })
+        .collect()
+}
+
+/// Periodic incast (Fig. 8): one incast of `total_bytes` split over `fan_in`
+/// senders every `period`, for `duration`.
+pub fn incast_trace(
+    hosts: &[NodeId],
+    fan_in: usize,
+    total_bytes: u64,
+    period: SimDuration,
+    duration: SimDuration,
+    seed: u64,
+) -> Vec<TraceFlow> {
+    let mut rng = SimRng::new(seed);
+    let horizon = SimTime::ZERO + duration;
+    let mut t = SimTime::ZERO + period;
+    let mut flows = Vec::new();
+    while t <= horizon {
+        flows.extend(incast_event(hosts, fan_in, total_bytes, t, &mut rng));
+        t += period;
+    }
+    flows
+}
+
+/// Long-lived background flows for Fig. 8: `per_receiver` flows to every host
+/// from random other senders, each long enough to last the whole experiment.
+pub fn long_lived_per_receiver(
+    hosts: &[NodeId],
+    per_receiver: usize,
+    size_bytes: u64,
+    seed: u64,
+) -> Vec<TraceFlow> {
+    let mut rng = SimRng::new(seed);
+    let mut flows = Vec::new();
+    for &receiver in hosts {
+        for _ in 0..per_receiver {
+            let src = loop {
+                let s = *rng.choose(hosts);
+                if s != receiver {
+                    break s;
+                }
+            };
+            flows.push(TraceFlow {
+                src,
+                dst: receiver,
+                size_bytes,
+                start: SimTime::ZERO,
+                is_incast: false,
+            });
+        }
+    }
+    flows
+}
+
+/// `n` concurrent long-lived flows to a single receiver from distinct senders
+/// (Fig. 10's buffer-occupancy experiment). Senders are reused round-robin if
+/// `n` exceeds the number of other hosts.
+pub fn concurrent_long_flows(
+    hosts: &[NodeId],
+    receiver: NodeId,
+    n: usize,
+    size_bytes: u64,
+) -> Vec<TraceFlow> {
+    let senders: Vec<NodeId> = hosts.iter().copied().filter(|h| *h != receiver).collect();
+    assert!(!senders.is_empty());
+    (0..n)
+        .map(|i| TraceFlow {
+            src: senders[i % senders.len()],
+            dst: receiver,
+            size_bytes,
+            start: SimTime::ZERO,
+            is_incast: false,
+        })
+        .collect()
+}
+
+/// The cross-data-center mix of Fig. 9: background traffic where
+/// `inter_dc_fraction` of flows cross between the two host groups and the
+/// rest stay inside one data center.
+pub fn cross_dc_trace(
+    dc0_hosts: &[NodeId],
+    dc1_hosts: &[NodeId],
+    params: &TraceParams,
+    inter_dc_fraction: f64,
+) -> Vec<TraceFlow> {
+    let all: Vec<NodeId> = dc0_hosts.iter().chain(dc1_hosts.iter()).copied().collect();
+    let mut rng = SimRng::new(params.seed ^ 0xc0ffee);
+    let cdf = params.workload.cdf();
+    let mean_size = cdf.mean_bytes();
+    let mean_gap = mean_interarrival_secs(params.load, all.len(), params.host_gbps, mean_size);
+    let process = ArrivalProcess::paper_default(mean_gap);
+    let horizon = SimTime::ZERO + params.duration;
+    let mut arrival_rng = rng.split(1);
+    let mut size_rng = rng.split(2);
+    let mut pair_rng = rng.split(3);
+    let mut kind_rng = rng.split(4);
+    process
+        .arrivals_until(horizon, &mut arrival_rng)
+        .into_iter()
+        .map(|start| {
+            let inter = kind_rng.chance(inter_dc_fraction);
+            let (src, dst) = if inter {
+                let src = *pair_rng.choose(dc0_hosts);
+                let dst = *pair_rng.choose(dc1_hosts);
+                if pair_rng.chance(0.5) {
+                    (src, dst)
+                } else {
+                    (dst, src)
+                }
+            } else if pair_rng.chance(0.5) {
+                pick_distinct_pair(dc0_hosts, &mut pair_rng)
+            } else {
+                pick_distinct_pair(dc1_hosts, &mut pair_rng)
+            };
+            TraceFlow {
+                src,
+                dst,
+                size_bytes: cdf.sample(&mut size_rng).max(1),
+                start,
+                is_incast: false,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hosts(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn synthesized_load_is_close_to_target() {
+        let hosts = hosts(64);
+        let params = TraceParams::background_only(
+            Workload::Google,
+            0.5,
+            SimDuration::from_millis(5),
+            7,
+        );
+        let flows = synthesize(&hosts, &params);
+        assert!(!flows.is_empty());
+        let bytes: u64 = flows.iter().map(|f| f.size_bytes).sum();
+        let offered = bytes as f64 * 8.0 / 5e-3;
+        let target = 0.5 * 64.0 * 100e9;
+        let ratio = offered / target;
+        assert!(
+            (0.6..1.4).contains(&ratio),
+            "offered/target = {ratio} ({} flows)",
+            flows.len()
+        );
+        // Sorted by start time, all before the horizon, no self-flows.
+        for w in flows.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        assert!(flows.iter().all(|f| f.src != f.dst));
+    }
+
+    #[test]
+    fn incast_adds_the_requested_extra_load() {
+        let hosts = hosts(64);
+        let params = TraceParams::google_with_incast(SimDuration::from_millis(5), 3);
+        let flows = synthesize(&hosts, &params);
+        let incast_bytes: u64 = flows.iter().filter(|f| f.is_incast).map(|f| f.size_bytes).sum();
+        let incast_load = incast_bytes as f64 * 8.0 / 5e-3 / (64.0 * 100e9);
+        assert!(
+            (0.02..0.08).contains(&incast_load),
+            "incast load {incast_load}"
+        );
+        // Each incast event has the right fan-in and one receiver.
+        let first_start = flows
+            .iter()
+            .find(|f| f.is_incast)
+            .map(|f| f.start)
+            .expect("incast flows exist");
+        let event: Vec<&TraceFlow> = flows
+            .iter()
+            .filter(|f| f.is_incast && f.start == first_start)
+            .collect();
+        assert_eq!(event.len(), 100);
+        assert!(event.iter().all(|f| f.dst == event[0].dst));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let hosts = hosts(16);
+        let params = TraceParams::google_with_incast(SimDuration::from_millis(1), 42);
+        assert_eq!(synthesize(&hosts, &params), synthesize(&hosts, &params));
+        let other = TraceParams {
+            seed: 43,
+            ..params
+        };
+        assert_ne!(synthesize(&hosts, &params), synthesize(&hosts, &other));
+    }
+
+    #[test]
+    fn periodic_incast_trace_fires_every_period() {
+        let hosts = hosts(32);
+        let flows = incast_trace(
+            &hosts,
+            10,
+            20_000_000,
+            SimDuration::from_micros(500),
+            SimDuration::from_millis(2),
+            1,
+        );
+        // 4 events * 10 senders.
+        assert_eq!(flows.len(), 40);
+        let starts: std::collections::BTreeSet<u64> =
+            flows.iter().map(|f| f.start.as_nanos()).collect();
+        assert_eq!(starts.len(), 4);
+        assert_eq!(flows[0].size_bytes, 2_000_000);
+    }
+
+    #[test]
+    fn incast_event_reuses_senders_when_fan_in_exceeds_hosts() {
+        let hosts = hosts(8);
+        let mut rng = SimRng::new(5);
+        let flows = incast_event(&hosts, 20, 20_000, SimTime::ZERO, &mut rng);
+        assert_eq!(flows.len(), 20);
+        assert!(flows.iter().all(|f| f.src != f.dst));
+    }
+
+    #[test]
+    fn long_lived_and_concurrent_helpers() {
+        let hosts = hosts(16);
+        let ll = long_lived_per_receiver(&hosts, 4, 1_000_000_000, 9);
+        assert_eq!(ll.len(), 64);
+        assert!(ll.iter().all(|f| f.src != f.dst));
+
+        let cc = concurrent_long_flows(&hosts, hosts[3], 40, 5_000_000);
+        assert_eq!(cc.len(), 40);
+        assert!(cc.iter().all(|f| f.dst == hosts[3] && f.src != hosts[3]));
+    }
+
+    #[test]
+    fn cross_dc_trace_mixes_intra_and_inter() {
+        let dc0 = hosts(32);
+        let dc1: Vec<NodeId> = (100..132).map(NodeId).collect();
+        let params = TraceParams {
+            workload: Workload::FbHadoop,
+            load: 0.65,
+            incast_load: 0.0,
+            incast_fan_in: 0,
+            incast_total_bytes: 0,
+            duration: SimDuration::from_millis(2),
+            host_gbps: 10.0,
+            seed: 4,
+        };
+        let flows = cross_dc_trace(&dc0, &dc1, &params, 0.2);
+        assert!(!flows.is_empty());
+        let is_inter = |f: &TraceFlow| (f.src.0 < 100) != (f.dst.0 < 100);
+        let inter = flows.iter().filter(|f| is_inter(f)).count() as f64 / flows.len() as f64;
+        assert!((0.1..0.3).contains(&inter), "inter-DC fraction {inter}");
+    }
+}

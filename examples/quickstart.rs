@@ -1,0 +1,57 @@
+//! Quickstart: build a small leaf-spine fabric, synthesize a Google-like
+//! workload, run it under BFC and print the tail-latency summary.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use backpressure_flow_control::experiments::{run_experiment, ExperimentConfig, Scheme};
+use backpressure_flow_control::net::topology::{fat_tree, FatTreeParams};
+use backpressure_flow_control::sim::SimDuration;
+use backpressure_flow_control::workloads::{synthesize, TraceParams, Workload};
+
+fn main() {
+    // A 2-rack, 8-host leaf-spine fabric with 100 Gbps links (use
+    // `FatTreeParams::t1()` / `t2()` for the paper's full topologies).
+    let topo = fat_tree(FatTreeParams::tiny());
+
+    // 500 us of Google-distributed traffic at 50% load plus a 5% incast
+    // component, exactly how the paper constructs its workloads.
+    let duration = SimDuration::from_micros(500);
+    let trace = synthesize(
+        &topo.hosts(),
+        &TraceParams {
+            workload: Workload::Google,
+            load: 0.50,
+            incast_load: 0.05,
+            incast_fan_in: 6,
+            incast_total_bytes: 500_000,
+            duration,
+            host_gbps: 100.0,
+            seed: 42,
+        },
+    );
+    println!("synthesized {} flows over {duration}", trace.len());
+
+    // Run the trace under BFC with the paper's switch parameters
+    // (32 queues/port, 12 MB shared buffer, 1 KB MTU).
+    let config = ExperimentConfig::new(Scheme::bfc(), duration);
+    let result = run_experiment(&topo, &trace, &config);
+
+    println!(
+        "completed {}/{} flows, utilization {:.1}%, PFC pause time {:.3}%, drops {}",
+        result.completed_flows,
+        result.total_flows,
+        result.utilization * 100.0,
+        result.pfc_pause_fraction * 100.0,
+        result.drops,
+    );
+    println!(
+        "per-flow pauses sent: {}, resumes: {}, queue collisions: {:.2}%",
+        result.policy_stats.pauses,
+        result.policy_stats.resumes,
+        result.policy_stats.collision_fraction() * 100.0
+    );
+    println!();
+    println!("{}", result.fct.table("FCT slowdown under BFC"));
+}

@@ -1,0 +1,67 @@
+//! Head-to-head comparison of every scheme the paper evaluates (BFC,
+//! Ideal-FQ, DCQCN, DCQCN+Win, HPCC, DCQCN+Win+SFQ) on one workload — a
+//! miniature of Fig. 5.
+//!
+//! ```sh
+//! cargo run --release --example scheme_comparison
+//! ```
+
+use backpressure_flow_control::experiments::{run_experiment, ExperimentConfig, Scheme};
+use backpressure_flow_control::net::topology::{fat_tree, FatTreeParams};
+use backpressure_flow_control::sim::SimDuration;
+use backpressure_flow_control::workloads::{synthesize, TraceParams, Workload};
+
+fn main() {
+    let topo = fat_tree(FatTreeParams::tiny());
+    let duration = SimDuration::from_micros(400);
+    let trace = synthesize(
+        &topo.hosts(),
+        &TraceParams {
+            workload: Workload::Google,
+            load: 0.60,
+            incast_load: 0.05,
+            incast_fan_in: 6,
+            incast_total_bytes: 500_000,
+            duration,
+            host_gbps: 100.0,
+            seed: 7,
+        },
+    );
+    println!(
+        "{} flows, Google distribution, 60% load + 5% incast\n",
+        trace.len()
+    );
+    println!(
+        "{:<16} {:>10} {:>12} {:>12} {:>10} {:>8}",
+        "scheme", "p99 all", "p99 <3KB", "p99 >100KB", "util %", "drops"
+    );
+    for scheme in Scheme::paper_lineup() {
+        let config = ExperimentConfig::new(scheme, duration);
+        let r = run_experiment(&topo, &trace, &config);
+        let p99_all = r.fct.overall.as_ref().map(|o| o.p99).unwrap_or(f64::NAN);
+        let p99_small = r
+            .fct
+            .buckets
+            .iter()
+            .filter(|b| b.bucket.hi <= 3_000)
+            .map(|b| b.p99)
+            .fold(f64::NAN, f64::max);
+        let p99_large = r
+            .fct
+            .buckets
+            .iter()
+            .filter(|b| b.bucket.lo >= 100_000)
+            .map(|b| b.p99)
+            .fold(f64::NAN, f64::max);
+        println!(
+            "{:<16} {:>10.2} {:>12.2} {:>12.2} {:>10.1} {:>8}",
+            r.scheme,
+            p99_all,
+            p99_small,
+            p99_large,
+            r.utilization * 100.0,
+            r.drops
+        );
+    }
+    println!("\n(99th-percentile FCT slowdowns; lower is better — BFC should track Ideal-FQ)");
+}
