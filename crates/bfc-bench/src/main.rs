@@ -1,0 +1,242 @@
+//! `cargo run --release -p bfc-bench` — microbenchmarks of the simulator's
+//! hot paths: the event queue, the BFC data structures (bloom filters, flow
+//! table), switch forwarding, and complete small experiments. Writes the
+//! results to `BENCH.json` (see `--out`), the perf baseline later
+//! optimization PRs are compared against.
+//!
+//! Options:
+//!   --quick           fewer/shorter samples (for scripts/verify.sh)
+//!   --out <path>      output JSON path (default BENCH.json)
+//!   --filter <substr> only run benchmarks whose name contains <substr>
+//!   --no-json         skip writing the JSON file
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bfc_bench::Harness;
+use bfc_core::{BfcConfig, BfcPolicy, CountingBloom, FlowKey, FlowTable};
+use bfc_experiments::{run_experiment, ExperimentConfig, Scheme};
+use bfc_net::packet::{Packet, PauseFrame};
+use bfc_net::policy::{EnqueueCtx, FifoPolicy, SwitchPolicy};
+use bfc_net::routing::RoutingTables;
+use bfc_net::switch::Switch;
+use bfc_net::topology::{fat_tree, FatTreeParams};
+use bfc_net::types::{FlowId, NodeId};
+use bfc_net::{Link, NetEvent, Port, SwitchConfig};
+use bfc_sim::{EventQueue, SimDuration, SimTime};
+use bfc_workloads::{synthesize, TraceParams, Workload};
+
+const USAGE: &str =
+    "usage: bfc-bench [--quick] [--out <path>] [--filter <substr>] [--no-json]";
+
+struct Args {
+    quick: bool,
+    out: Option<PathBuf>,
+    filter: Option<String>,
+}
+
+enum Parsed {
+    Run(Args),
+    Help,
+}
+
+fn parse_args() -> Result<Parsed, String> {
+    let mut args = Args {
+        quick: false,
+        out: Some(PathBuf::from("BENCH.json")),
+        filter: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--no-json" => args.out = None,
+            "--out" => {
+                let path = it.next().ok_or("--out requires a path")?;
+                args.out = Some(PathBuf::from(path));
+            }
+            "--filter" => {
+                let f = it.next().ok_or("--filter requires a substring")?;
+                args.filter = Some(f);
+            }
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => return Err(format!("unknown argument: {other}\n{USAGE}")),
+        }
+    }
+    Ok(Parsed::Run(args))
+}
+
+fn bench_event_queue(h: &mut Harness) {
+    h.bench("event_queue_push_pop_10k", || {
+        let mut q: EventQueue<u64> = EventQueue::with_capacity(10_000);
+        for i in 0..10_000u64 {
+            q.push(SimTime::from_nanos((i * 7919) % 100_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum += v;
+        }
+        sum
+    });
+}
+
+fn bench_bloom(h: &mut Harness) {
+    h.bench("pause_frame_insert_contains", || {
+        let mut f = PauseFrame::new(128, 4);
+        for v in 0..32u32 {
+            f.insert(v * 97);
+        }
+        let mut hits = 0;
+        for v in 0..1_000u32 {
+            if f.contains(v) {
+                hits += 1;
+            }
+        }
+        hits
+    });
+    h.bench("counting_bloom_cycle", || {
+        let mut cb = CountingBloom::new(128, 4);
+        for v in 0..64u32 {
+            cb.insert(v);
+        }
+        let snap = cb.snapshot();
+        for v in 0..64u32 {
+            cb.remove(v);
+        }
+        (snap.popcount(), cb.is_empty())
+    });
+}
+
+fn bench_flow_table(h: &mut Harness) {
+    h.bench("flow_table_insert_lookup_remove_1k", || {
+        let mut t = FlowTable::new(16_384, 4, 100);
+        for v in 0..1_000u32 {
+            let key = FlowKey {
+                vfid: v * 13 % 16_384,
+                ingress: v % 24,
+                egress: (v * 7) % 24,
+            };
+            black_box(t.lookup_or_insert(key));
+        }
+        t.len()
+    });
+}
+
+fn bench_switch_forwarding(h: &mut Harness) {
+    let topo = fat_tree(FatTreeParams::t2());
+    let routes = RoutingTables::compute(&topo);
+    let tor = topo.switches()[0];
+    h.bench("switch_forward_1k_packets_fifo", || {
+        let mut sw = Switch::new(
+            tor,
+            SwitchConfig::default(),
+            topo.ports(tor),
+            Box::new(FifoPolicy::new()),
+            1,
+        );
+        let mut events: EventQueue<NetEvent> = EventQueue::new();
+        for i in 0..1_000u64 {
+            let pkt = Packet::data(
+                FlowId((i % 64) as u32),
+                NodeId(0),
+                NodeId((1 + i % 15) as u32),
+                i,
+                1_000,
+                (i % 64) as u32,
+                false,
+            );
+            sw.handle_packet(SimTime::from_nanos(i * 10), 0, pkt, &routes, &mut events);
+            while let Some((t, ev)) = events.pop() {
+                if let NetEvent::TxComplete { port, .. } = ev {
+                    sw.handle_tx_complete(t, port, &mut events);
+                }
+            }
+        }
+        sw.counters().rx_packets
+    });
+    let port = Port::new(Link::datacenter_default(), Some((NodeId(9), 0)), 32, 1000);
+    h.bench("bfc_policy_enqueue_dequeue_1k", || {
+        let mut policy = BfcPolicy::new(BfcConfig::default(), 3);
+        let ctx = EnqueueCtx {
+            now: SimTime::ZERO,
+            switch: NodeId(0),
+            ingress: 0,
+            egress: 1,
+            port: &port,
+        };
+        for i in 0..1_000u32 {
+            let pkt = Packet::data(FlowId(i % 50), NodeId(0), NodeId(1), 0, 1_000, i % 50, false);
+            black_box(policy.on_enqueue(&ctx, &pkt));
+        }
+        policy.tracked_flows()
+    });
+}
+
+fn bench_end_to_end(h: &mut Harness) {
+    let topo = fat_tree(FatTreeParams::tiny());
+    let trace = synthesize(
+        &topo.hosts(),
+        &TraceParams::background_only(Workload::Google, 0.4, SimDuration::from_micros(200), 5),
+    );
+    h.bench("bfc_small_fabric_200us", || {
+        let config = ExperimentConfig::new(Scheme::bfc(), SimDuration::from_micros(200));
+        run_experiment(&topo, &trace, &config).completed_flows
+    });
+    h.bench("dcqcn_small_fabric_200us", || {
+        let config = ExperimentConfig::new(
+            Scheme::Dcqcn {
+                window: true,
+                sfq: false,
+            },
+            SimDuration::from_micros(200),
+        );
+        run_experiment(&topo, &trace, &config).completed_flows
+    });
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Parsed::Run(args)) => args,
+        Ok(Parsed::Help) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut h = if args.quick {
+        Harness::quick()
+    } else {
+        Harness::new()
+    }
+    .with_filter(args.filter)
+    .with_verbose(true);
+
+    eprintln!(
+        "bfc-bench: {} mode, {} samples per benchmark",
+        if args.quick { "quick" } else { "full" },
+        h.samples_per_bench()
+    );
+    bench_event_queue(&mut h);
+    bench_bloom(&mut h);
+    bench_flow_table(&mut h);
+    bench_switch_forwarding(&mut h);
+    bench_end_to_end(&mut h);
+
+    println!("\n{}", h.report());
+    if h.results().is_empty() {
+        eprintln!("no benchmarks matched the filter");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = args.out {
+        if let Err(e) = h.write_json(&path) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -130,6 +130,50 @@ mod tests {
     }
 
     #[test]
+    fn saturated_filter_matches_everything_until_drained() {
+        // A 1-byte filter (8 bit positions) saturates quickly: once every
+        // position has a non-zero count, *any* VFID reads as paused (the
+        // expected bloom false-positive regime) and the snapshot is all-ones.
+        let mut cb = CountingBloom::new(1, 2);
+        for v in 0..64u32 {
+            cb.insert(v);
+        }
+        assert_eq!(cb.members(), 64);
+        for probe in [0u32, 7, 1_000, u32::MAX] {
+            assert!(cb.contains(probe), "saturated filter must match {probe}");
+        }
+        assert_eq!(cb.snapshot().popcount(), 8, "snapshot is fully set");
+        // Draining restores exact emptiness: counts, membership and snapshot
+        // all return to zero even from deep saturation.
+        for v in 0..64u32 {
+            cb.remove(v);
+        }
+        assert!(cb.is_empty());
+        assert_eq!(cb.members(), 0);
+        assert_eq!(cb.snapshot().popcount(), 0);
+        assert!(!cb.contains(0));
+    }
+
+    #[test]
+    fn heavy_reinsertion_of_one_vfid_counts_correctly() {
+        // Pausing the same flow many times must require exactly as many
+        // resumes — counters, not bits, carry the state.
+        let mut cb = CountingBloom::new(16, 4);
+        let n = 10_000u32;
+        for _ in 0..n {
+            cb.insert(77);
+        }
+        assert_eq!(cb.members(), n as u64);
+        for _ in 0..n - 1 {
+            cb.remove(77);
+        }
+        assert!(cb.contains(77), "one outstanding pause remains");
+        cb.remove(77);
+        assert!(!cb.contains(77));
+        assert!(cb.is_empty());
+    }
+
+    #[test]
     fn double_pause_requires_double_resume() {
         let mut cb = CountingBloom::new(128, 4);
         cb.insert(7);

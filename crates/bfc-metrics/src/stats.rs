@@ -58,6 +58,43 @@ mod tests {
     }
 
     #[test]
+    fn percentile_empty_slice_is_none() {
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(percentile(&[], p), None);
+        }
+    }
+
+    #[test]
+    fn percentile_single_element_is_that_element_at_any_p() {
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[42.5], p), Some(42.5));
+        }
+    }
+
+    #[test]
+    fn percentile_p0_and_p100_are_the_extremes() {
+        let v = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(9.0));
+    }
+
+    #[test]
+    fn percentile_out_of_range_p_is_clamped() {
+        let v = [2.0, 4.0, 6.0];
+        assert_eq!(percentile(&v, -10.0), percentile(&v, 0.0));
+        assert_eq!(percentile(&v, 250.0), percentile(&v, 100.0));
+    }
+
+    #[test]
+    fn percentile_is_order_independent() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        let shuffled = [3.0, 1.0, 4.0, 2.0];
+        for p in [0.0, 25.0, 50.0, 75.0, 100.0] {
+            assert_eq!(percentile(&sorted, p), percentile(&shuffled, p));
+        }
+    }
+
+    #[test]
     fn mean_simple() {
         assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
         assert_eq!(mean(&[]), None);

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Standing pre-commit check for this repository:
+#   1. tier-1: release build + the root test suites (end-to-end, properties, doctest)
+#   2. the bfc-testkit harness's own unit tests
+#   3. a quick benchmark smoke run (also refreshes BENCH.json if missing)
+#
+# Usage: scripts/verify.sh [--workspace]
+#   --workspace  additionally run every crate's unit tests
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release"
+cargo build --release
+
+echo "== tier-1: cargo test -q"
+cargo test -q
+
+echo "== testkit: cargo test -q -p bfc-testkit"
+cargo test -q -p bfc-testkit
+
+if [[ "${1:-}" == "--workspace" ]]; then
+    echo "== workspace: cargo test -q --workspace"
+    cargo test -q --workspace
+fi
+
+echo "== bench smoke: cargo run --release -p bfc-bench -- --quick"
+out="BENCH.json"
+if [[ -f "$out" ]]; then
+    # Don't clobber the committed baseline during routine verification.
+    out="$(mktemp -t bfc-bench-XXXXXX.json)"
+    trap 'rm -f "$out"' EXIT
+fi
+cargo run --release -q -p bfc-bench -- --quick --out "$out" >/dev/null
+
+echo "verify: OK"

@@ -1,22 +1,24 @@
-//! Property-based tests (proptest) on the core data structures and on the
-//! end-to-end invariants of the simulator.
+//! Property-based tests (via the in-tree `bfc-testkit` harness) on the core
+//! data structures and on the end-to-end invariants of the simulator.
+//!
+//! On failure the runner prints the per-case seed; rerun exactly that case
+//! with `BFC_TESTKIT_SEED=<seed> cargo test <property_name>`.
 
 use backpressure_flow_control::core::{BfcConfig, CountingBloom};
 use backpressure_flow_control::experiments::{run_experiment, ExperimentConfig, Scheme};
 use backpressure_flow_control::metrics::percentile;
 use backpressure_flow_control::net::packet::PauseFrame;
 use backpressure_flow_control::net::topology::{fat_tree, FatTreeParams};
-use backpressure_flow_control::net::types::NodeId;
-use backpressure_flow_control::sim::{EventQueue, SimDuration, SimTime};
+use backpressure_flow_control::net::types::{FlowId, NodeId};
+use backpressure_flow_control::sim::{EventQueue, SimDuration, SimRng, SimTime};
 use backpressure_flow_control::transport::FlowSpec;
 use backpressure_flow_control::workloads::{TraceFlow, Workload};
-use proptest::prelude::*;
+use bfc_testkit::{f64_range, hash_set_of, int_range, one_of, pair, property, vec_of};
 
-proptest! {
+property! {
     /// The event queue always delivers events in non-decreasing time order,
     /// and FIFO within a timestamp.
-    #[test]
-    fn event_queue_is_time_ordered(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+    fn event_queue_is_time_ordered(times in vec_of(int_range(0u64..1_000), 1..200)) {
         let mut q = EventQueue::new();
         for (i, t) in times.iter().enumerate() {
             q.push(SimTime::from_nanos(*t), i);
@@ -24,11 +26,11 @@ proptest! {
         let mut last_time = SimTime::ZERO;
         let mut seen_at_time: Vec<usize> = Vec::new();
         while let Some((t, idx)) = q.pop() {
-            prop_assert!(t >= last_time);
+            assert!(t >= last_time);
             if t == last_time {
                 if let Some(&prev) = seen_at_time.last() {
                     if times[prev] == times[idx] {
-                        prop_assert!(prev < idx, "FIFO order within a timestamp");
+                        assert!(prev < idx, "FIFO order within a timestamp");
                     }
                 }
             } else {
@@ -41,26 +43,24 @@ proptest! {
 
     /// A bloom-filter pause frame never produces false negatives: every
     /// inserted VFID is reported as paused.
-    #[test]
     fn pause_frame_has_no_false_negatives(
-        vfids in proptest::collection::hash_set(0u32..16_384, 1..64),
-        size_bytes in prop_oneof![Just(16usize), Just(32), Just(64), Just(128)],
+        vfids in hash_set_of(int_range(0u32..16_384), 1..64),
+        size_bytes in one_of(&[16usize, 32, 64, 128]),
     ) {
         let mut frame = PauseFrame::new(size_bytes, 4);
         for &v in &vfids {
             frame.insert(v);
         }
         for &v in &vfids {
-            prop_assert!(frame.contains(v));
+            assert!(frame.contains(v));
         }
     }
 
     /// The counting bloom filter behaves like a multiset: after removing
     /// exactly the inserted elements it is empty, and elements that still
     /// have outstanding inserts keep matching.
-    #[test]
     fn counting_bloom_is_a_multiset(
-        ops in proptest::collection::vec((0u32..256, 1usize..4), 1..50),
+        ops in vec_of(pair(int_range(0u32..256), int_range(1usize..4)), 1..50),
     ) {
         let mut cb = CountingBloom::new(64, 4);
         for &(vfid, count) in &ops {
@@ -69,14 +69,14 @@ proptest! {
             }
         }
         for &(vfid, _) in &ops {
-            prop_assert!(cb.contains(vfid));
+            assert!(cb.contains(vfid));
         }
         // Remove all but one instance of the first element.
         let (first, count) = ops[0];
         for _ in 0..count - 1 {
             cb.remove(first);
         }
-        prop_assert!(cb.contains(first), "one outstanding pause keeps the flow paused");
+        assert!(cb.contains(first), "one outstanding pause keeps the flow paused");
         // Remove everything.
         cb.remove(first);
         for &(vfid, count) in &ops[1..] {
@@ -84,17 +84,19 @@ proptest! {
                 cb.remove(vfid);
             }
         }
-        prop_assert!(cb.is_empty());
-        prop_assert!(cb.snapshot().is_empty());
+        assert!(cb.is_empty());
+        assert!(cb.snapshot().is_empty());
     }
 
     /// Packetization conserves bytes: the per-packet sizes of a flow sum to
     /// the flow size, every packet is at most one MTU, and only the last
     /// packet may be smaller.
-    #[test]
-    fn packetization_conserves_bytes(size in 1u64..5_000_000, mtu in prop_oneof![Just(500u32), Just(1000), Just(1500)]) {
+    fn packetization_conserves_bytes(
+        size in int_range(1u64..5_000_000),
+        mtu in one_of(&[500u32, 1000, 1500]),
+    ) {
         let spec = FlowSpec {
-            flow: backpressure_flow_control::net::types::FlowId(0),
+            flow: FlowId(0),
             src: NodeId(0),
             dst: NodeId(1),
             size_bytes: size,
@@ -104,77 +106,82 @@ proptest! {
         let mut total = 0u64;
         for seq in 0..n {
             let s = spec.packet_size(seq, mtu);
-            prop_assert!(s >= 1 && s <= mtu);
+            assert!(s >= 1 && s <= mtu);
             if seq + 1 < n {
-                prop_assert_eq!(s, mtu);
+                assert_eq!(s, mtu);
             }
             total += s as u64;
         }
-        prop_assert_eq!(total, size);
+        assert_eq!(total, size);
     }
 
     /// The pause threshold is monotone: more active queues or slower links
     /// never increase it.
-    #[test]
-    fn pause_threshold_is_monotone(n1 in 1usize..64, n2 in 1usize..64, gbps in 1.0f64..400.0) {
+    fn pause_threshold_is_monotone(
+        n1 in int_range(1usize..64),
+        n2 in int_range(1usize..64),
+        gbps in f64_range(1.0..400.0),
+    ) {
         let cfg = BfcConfig::default();
         let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
-        prop_assert!(cfg.pause_threshold_bytes(gbps, hi) <= cfg.pause_threshold_bytes(gbps, lo));
-        prop_assert!(cfg.pause_threshold_bytes(gbps / 2.0, lo) <= cfg.pause_threshold_bytes(gbps, lo));
+        assert!(cfg.pause_threshold_bytes(gbps, hi) <= cfg.pause_threshold_bytes(gbps, lo));
+        assert!(cfg.pause_threshold_bytes(gbps / 2.0, lo) <= cfg.pause_threshold_bytes(gbps, lo));
     }
 
     /// Percentiles are monotone in `p` and bounded by the extremes.
-    #[test]
-    fn percentiles_are_monotone(values in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+    fn percentiles_are_monotone(values in vec_of(f64_range(0.0..1e6), 1..200)) {
         let p50 = percentile(&values, 50.0).unwrap();
         let p95 = percentile(&values, 95.0).unwrap();
         let p99 = percentile(&values, 99.0).unwrap();
         let max = values.iter().copied().fold(f64::MIN, f64::max);
         let min = values.iter().copied().fold(f64::MAX, f64::min);
-        prop_assert!(p50 <= p95 && p95 <= p99);
-        prop_assert!(p99 <= max && p50 >= min);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p99 <= max && p50 >= min);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// End-to-end conservation: on a small fabric, for a random batch of
-    /// flows under BFC, every flow completes, its completion time is at least
-    /// the ideal time, and no packets are dropped.
-    #[test]
-    fn random_traces_complete_under_bfc(
-        seed in 0u64..1_000,
-        n_flows in 1usize..20,
-    ) {
-        let topo = fat_tree(FatTreeParams::tiny());
-        let hosts = topo.hosts();
-        let cdf = Workload::Google.cdf();
-        let mut rng = backpressure_flow_control::sim::SimRng::new(seed);
-        let trace: Vec<TraceFlow> = (0..n_flows)
-            .map(|_| {
-                let src = hosts[rng.next_index(hosts.len())];
-                let dst = loop {
-                    let d = hosts[rng.next_index(hosts.len())];
-                    if d != src {
-                        break d;
+/// End-to-end conservation: on a small fabric, for a random batch of flows
+/// under BFC, every flow completes, its completion time is at least the
+/// ideal time, and no packets are dropped.
+///
+/// Simulations are comparatively slow, so this property runs a reduced
+/// number of cases (as the proptest original did) via an explicit config.
+#[test]
+fn random_traces_complete_under_bfc() {
+    bfc_testkit::check(
+        "random_traces_complete_under_bfc",
+        bfc_testkit::Config::from_env().with_cases(8),
+        pair(int_range(0u64..1_000), int_range(1usize..20)),
+        |&(seed, n_flows)| {
+            let topo = fat_tree(FatTreeParams::tiny());
+            let hosts = topo.hosts();
+            let cdf = Workload::Google.cdf();
+            let mut rng = SimRng::new(seed);
+            let trace: Vec<TraceFlow> = (0..n_flows)
+                .map(|_| {
+                    let src = hosts[rng.next_index(hosts.len())];
+                    let dst = loop {
+                        let d = hosts[rng.next_index(hosts.len())];
+                        if d != src {
+                            break d;
+                        }
+                    };
+                    TraceFlow {
+                        src,
+                        dst,
+                        size_bytes: cdf.sample(&mut rng).min(200_000).max(1),
+                        start: SimTime::from_nanos(rng.next_below(100_000)),
+                        is_incast: false,
                     }
-                };
-                TraceFlow {
-                    src,
-                    dst,
-                    size_bytes: cdf.sample(&mut rng).min(200_000).max(1),
-                    start: SimTime::from_nanos(rng.next_below(100_000)),
-                    is_incast: false,
-                }
-            })
-            .collect();
-        let config = ExperimentConfig::new(Scheme::bfc(), SimDuration::from_micros(100));
-        let result = run_experiment(&topo, &trace, &config);
-        prop_assert_eq!(result.completed_flows, result.total_flows);
-        prop_assert_eq!(result.drops, 0);
-        for record in &result.records {
-            prop_assert!(record.fct >= record.ideal_fct || record.slowdown() >= 1.0);
-        }
-    }
+                })
+                .collect();
+            let config = ExperimentConfig::new(Scheme::bfc(), SimDuration::from_micros(100));
+            let result = run_experiment(&topo, &trace, &config);
+            assert_eq!(result.completed_flows, result.total_flows);
+            assert_eq!(result.drops, 0);
+            for record in &result.records {
+                assert!(record.fct >= record.ideal_fct || record.slowdown() >= 1.0);
+            }
+        },
+    );
 }
