@@ -244,6 +244,133 @@ impl Default for Harness {
     }
 }
 
+/// One benchmark's median read back from a committed `BENCH.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    /// Benchmark name.
+    pub name: String,
+    /// Median ns/iter recorded in the baseline.
+    pub median_ns: f64,
+}
+
+/// Extracts `(name, median_ns_per_iter)` pairs from a `BENCH.json` document
+/// produced by [`Harness::to_json`]. This is a purpose-built scanner, not a
+/// general JSON parser (the workspace has zero dependencies): it walks the
+/// `"name"` / `"median_ns_per_iter"` key-value lines in order, which is
+/// exactly the shape this crate writes.
+pub fn parse_baseline(json: &str) -> Vec<BaselineEntry> {
+    let mut entries = Vec::new();
+    let mut pending_name: Option<String> = None;
+    for line in json.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\":") {
+            let raw = rest.trim().trim_end_matches(',').trim();
+            if raw.len() >= 2 && raw.starts_with('"') && raw.ends_with('"') {
+                pending_name = Some(unescape_json(&raw[1..raw.len() - 1]));
+            }
+        } else if let Some(rest) = line.strip_prefix("\"median_ns_per_iter\":") {
+            if let (Some(name), Ok(median_ns)) = (
+                pending_name.take(),
+                rest.trim().trim_end_matches(',').parse::<f64>(),
+            ) {
+                entries.push(BaselineEntry { name, median_ns });
+            }
+        }
+    }
+    entries
+}
+
+/// Outcome of comparing one fresh result against the committed baseline.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline median ns/iter.
+    pub baseline_ns: f64,
+    /// Freshly measured median ns/iter.
+    pub current_ns: f64,
+}
+
+impl Comparison {
+    /// Relative change: positive means slower than the baseline.
+    pub fn change_fraction(&self) -> f64 {
+        if self.baseline_ns <= 0.0 {
+            return 0.0;
+        }
+        self.current_ns / self.baseline_ns - 1.0
+    }
+}
+
+/// Compares fresh results against a parsed baseline. Returns every matched
+/// pair plus the subset whose median regressed by more than
+/// `max_regression` (e.g. `0.25` = 25% slower). Benchmarks without a
+/// baseline entry (newly added ones) are skipped.
+pub fn compare_against_baseline(
+    results: &[BenchResult],
+    baseline: &[BaselineEntry],
+    max_regression: f64,
+) -> (Vec<Comparison>, Vec<Comparison>) {
+    let mut matched = Vec::new();
+    let mut regressions = Vec::new();
+    for r in results {
+        let Some(b) = baseline.iter().find(|b| b.name == r.name) else {
+            continue;
+        };
+        let cmp = Comparison {
+            name: r.name.clone(),
+            baseline_ns: b.median_ns,
+            current_ns: r.median_ns(),
+        };
+        if cmp.change_fraction() > max_regression {
+            regressions.push(cmp.clone());
+        }
+        matched.push(cmp);
+    }
+    (matched, regressions)
+}
+
+/// Renders a comparison table (change vs baseline, regressions flagged).
+pub fn comparison_report(matched: &[Comparison], max_regression: f64) -> String {
+    let mut out = String::from(
+        "benchmark                            baseline(ns)      current(ns)   change\n",
+    );
+    for c in matched {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>15.0} {:>16.0} {:>+7.1}%{}",
+            c.name,
+            c.baseline_ns,
+            c.current_ns,
+            c.change_fraction() * 100.0,
+            if c.change_fraction() > max_regression {
+                "  << REGRESSION"
+            } else {
+                ""
+            }
+        );
+    }
+    out
+}
+
+fn unescape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some(other) => out.push(other),
+                None => break,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
 fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -348,5 +475,45 @@ mod tests {
     fn json_f64_handles_non_finite() {
         assert_eq!(json_f64(f64::NAN), "0");
         assert_eq!(json_f64(1.5), "1.500");
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let mut h = Harness::quick();
+        h.bench("alpha", || 1u32);
+        h.bench("beta \"quoted\"", || 2u32);
+        let baseline = parse_baseline(&h.to_json());
+        assert_eq!(baseline.len(), 2);
+        assert_eq!(baseline[0].name, "alpha");
+        assert_eq!(baseline[1].name, "beta \"quoted\"");
+        assert!((baseline[0].median_ns - h.results()[0].median_ns()).abs() < 1.0);
+    }
+
+    #[test]
+    fn comparison_flags_only_large_regressions() {
+        let result = |name: &str, ns: u128| BenchResult {
+            name: name.into(),
+            iters_per_sample: 1,
+            sample_ns: vec![ns, ns, ns],
+        };
+        let results = vec![
+            result("fast_enough", 110),   // +10% vs 100: fine
+            result("regressed", 200),     // +100% vs 100: flagged
+            result("improved", 50),       // -50%: fine
+            result("brand_new", 1_000),   // no baseline: skipped
+        ];
+        let baseline = vec![
+            BaselineEntry { name: "fast_enough".into(), median_ns: 100.0 },
+            BaselineEntry { name: "regressed".into(), median_ns: 100.0 },
+            BaselineEntry { name: "improved".into(), median_ns: 100.0 },
+        ];
+        let (matched, regressions) = compare_against_baseline(&results, &baseline, 0.25);
+        assert_eq!(matched.len(), 3, "new benchmarks are not compared");
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "regressed");
+        let report = comparison_report(&matched, 0.25);
+        assert!(report.contains("<< REGRESSION"));
+        assert!(report.contains("regressed"));
+        assert!(!report.contains("brand_new"));
     }
 }

@@ -5,18 +5,21 @@
 //! optimization PRs are compared against.
 //!
 //! Options:
-//!   --quick           fewer/shorter samples (for scripts/verify.sh)
-//!   --out <path>      output JSON path (default BENCH.json)
-//!   --filter <substr> only run benchmarks whose name contains <substr>
-//!   --no-json         skip writing the JSON file
+//!   --quick              fewer/shorter samples (for scripts/verify.sh)
+//!   --out <path>         output JSON path (default BENCH.json)
+//!   --filter <substr>    only run benchmarks whose name contains <substr>
+//!   --no-json            skip writing the JSON file
+//!   --compare <path>     diff medians against a committed BENCH.json and
+//!                        exit non-zero if any benchmark regressed
+//!   --max-regress <pct>  regression tolerance for --compare (default 25)
 
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bfc_bench::Harness;
+use bfc_bench::{compare_against_baseline, comparison_report, parse_baseline, Harness};
 use bfc_core::{BfcConfig, BfcPolicy, CountingBloom, FlowKey, FlowTable};
-use bfc_experiments::{run_experiment, ExperimentConfig, Scheme};
+use bfc_experiments::{run_experiment, ExperimentConfig, ParallelRunner, Scheme};
 use bfc_net::packet::{Packet, PauseFrame};
 use bfc_net::policy::{EnqueueCtx, FifoPolicy, SwitchPolicy};
 use bfc_net::routing::RoutingTables;
@@ -27,13 +30,15 @@ use bfc_net::{Link, NetEvent, Port, SwitchConfig};
 use bfc_sim::{EventQueue, SimDuration, SimTime};
 use bfc_workloads::{synthesize, TraceParams, Workload};
 
-const USAGE: &str =
-    "usage: bfc-bench [--quick] [--out <path>] [--filter <substr>] [--no-json]";
+const USAGE: &str = "usage: bfc-bench [--quick] [--out <path>] [--filter <substr>] \
+[--no-json] [--compare <baseline.json>] [--max-regress <pct>]";
 
 struct Args {
     quick: bool,
     out: Option<PathBuf>,
     filter: Option<String>,
+    compare: Option<PathBuf>,
+    max_regress_pct: f64,
 }
 
 enum Parsed {
@@ -46,6 +51,8 @@ fn parse_args() -> Result<Parsed, String> {
         quick: false,
         out: Some(PathBuf::from("BENCH.json")),
         filter: None,
+        compare: None,
+        max_regress_pct: 25.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -59,6 +66,16 @@ fn parse_args() -> Result<Parsed, String> {
             "--filter" => {
                 let f = it.next().ok_or("--filter requires a substring")?;
                 args.filter = Some(f);
+            }
+            "--compare" => {
+                let path = it.next().ok_or("--compare requires a path")?;
+                args.compare = Some(PathBuf::from(path));
+            }
+            "--max-regress" => {
+                let pct = it.next().ok_or("--max-regress requires a percentage")?;
+                args.max_regress_pct = pct
+                    .parse()
+                    .map_err(|_| format!("--max-regress: not a number: {pct}"))?;
             }
             "--help" | "-h" => return Ok(Parsed::Help),
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
@@ -173,6 +190,53 @@ fn bench_switch_forwarding(h: &mut Harness) {
     });
 }
 
+fn bench_calendar_queue(h: &mut Harness) {
+    // Steady-state pattern: hold the population at 10k while simulated time
+    // advances, so the calendar actually rotates through its windows (the
+    // `event_queue_push_pop_10k` benchmark above measures the bulk
+    // fill-then-drain shape instead).
+    h.bench("calendar_queue_push_pop_10k", || {
+        let mut q: EventQueue<u64> = EventQueue::with_capacity(10_000);
+        for i in 0..10_000u64 {
+            q.push(SimTime::from_nanos((i * 7919) % 100_000), i);
+        }
+        let mut sum = 0u64;
+        for i in 0..10_000u64 {
+            let (t, v) = q.pop().expect("population is non-empty");
+            sum += v;
+            q.push(t + SimDuration::from_nanos(100_000 + i % 977), i);
+        }
+        while let Some((_, v)) = q.pop() {
+            sum += v;
+        }
+        sum
+    });
+}
+
+fn bench_parallel_runner(h: &mut Harness) {
+    let topo = fat_tree(FatTreeParams::tiny());
+    let trace = synthesize(
+        &topo.hosts(),
+        &TraceParams::background_only(Workload::Google, 0.4, SimDuration::from_micros(200), 5),
+    );
+    let configs: Vec<ExperimentConfig> = Scheme::paper_lineup()
+        .into_iter()
+        .map(|s| ExperimentConfig::new(s, SimDuration::from_micros(200)))
+        .collect();
+    // Serial vs 4 workers over the same paper lineup: the ratio is the
+    // parallel speedup on this machine (bit-identical results either way).
+    h.bench("paper_lineup_serial", || {
+        ParallelRunner::serial()
+            .run_experiments(&topo, &trace, &configs)
+            .len()
+    });
+    h.bench("parallel_runner_4x", || {
+        ParallelRunner::new(4)
+            .run_experiments(&topo, &trace, &configs)
+            .len()
+    });
+}
+
 fn bench_end_to_end(h: &mut Harness) {
     let topo = fat_tree(FatTreeParams::tiny());
     let trace = synthesize(
@@ -221,22 +285,65 @@ fn main() -> ExitCode {
         h.samples_per_bench()
     );
     bench_event_queue(&mut h);
+    bench_calendar_queue(&mut h);
     bench_bloom(&mut h);
     bench_flow_table(&mut h);
     bench_switch_forwarding(&mut h);
     bench_end_to_end(&mut h);
+    bench_parallel_runner(&mut h);
 
     println!("\n{}", h.report());
     if h.results().is_empty() {
         eprintln!("no benchmarks matched the filter");
         return ExitCode::FAILURE;
     }
+    // Read the baseline BEFORE writing any output: with the default
+    // `--out BENCH.json`, writing first would overwrite the baseline and
+    // turn the comparison into a vacuous self-diff.
+    let baseline_json = match &args.compare {
+        Some(baseline_path) => match std::fs::read_to_string(baseline_path) {
+            Ok(json) => Some(json),
+            Err(e) => {
+                eprintln!("failed to read baseline {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     if let Some(path) = args.out {
         if let Err(e) = h.write_json(&path) {
             eprintln!("failed to write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {}", path.display());
+    }
+    if let (Some(baseline_path), Some(json)) = (args.compare, baseline_json) {
+        let baseline = parse_baseline(&json);
+        if baseline.is_empty() {
+            eprintln!(
+                "baseline {} contains no benchmarks",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        let tolerance = args.max_regress_pct / 100.0;
+        let (matched, regressions) =
+            compare_against_baseline(h.results(), &baseline, tolerance);
+        println!("{}", comparison_report(&matched, tolerance));
+        if !regressions.is_empty() {
+            eprintln!(
+                "{} benchmark(s) regressed more than {:.0}% vs {}",
+                regressions.len(),
+                args.max_regress_pct,
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "no benchmark regressed more than {:.0}% vs {}",
+            args.max_regress_pct,
+            baseline_path.display()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -97,7 +97,17 @@ impl BfcConfig {
     }
 
     /// Overrides the bloom-filter size in bytes (Fig. 14 sensitivity sweep).
+    ///
+    /// Panics for sizes beyond [`bfc_net::packet::MAX_PAUSE_FRAME_BYTES`]
+    /// (128, the paper's default and the top of the Fig. 14 sweep): pause
+    /// frames store their bits inline at that capacity, and failing here
+    /// beats a delayed panic on the first pause-frame tick mid-simulation.
     pub fn with_bloom_bytes(mut self, bytes: usize) -> Self {
+        assert!(
+            bytes > 0 && bytes <= bfc_net::packet::MAX_PAUSE_FRAME_BYTES,
+            "bloom filter must be 1..={} bytes, got {bytes}",
+            bfc_net::packet::MAX_PAUSE_FRAME_BYTES
+        );
         self.bloom_bytes = bytes;
         self
     }
@@ -160,5 +170,13 @@ mod tests {
         assert_eq!(c.num_vfids, 1024);
         assert_eq!(c.bloom_bytes, 16);
         assert_eq!(c.pause_interval, SimDuration::from_micros(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "bloom filter must be 1..=128 bytes")]
+    fn oversized_bloom_is_rejected_at_configuration_time() {
+        // Pause frames store their bits inline with a 128-byte capacity;
+        // an oversized filter must fail here, not on the first pause tick.
+        let _ = BfcConfig::default().with_bloom_bytes(256);
     }
 }

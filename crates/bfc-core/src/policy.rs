@@ -6,14 +6,14 @@
 //! resume pacing. One instance serves one switch (or the NIC-facing ToR
 //! ports); the data plane (queues, DRR, buffer, PFC) stays in `bfc-net`.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use bfc_net::packet::Packet;
 use bfc_net::policy::{
     DequeueCtx, EnqueueCtx, EnqueueDecision, PauseTick, PolicyStats, QueueTarget, SwitchPolicy,
 };
 use bfc_sim::rng::mix64;
-use bfc_sim::{SimRng, SimTime};
+use bfc_sim::{FastHashMap, SimRng, SimTime};
 
 use crate::config::BfcConfig;
 use crate::counting_bloom::CountingBloom;
@@ -64,7 +64,7 @@ pub struct BfcPolicy {
     table: FlowTable,
     ingress: Vec<IngressState>,
     /// Number of tracked flows assigned to each (egress port, physical queue).
-    assigned: HashMap<u32, Vec<u32>>,
+    assigned: FastHashMap<u32, Vec<u32>>,
     rng: SimRng,
     stats: PolicyStats,
     counters: BfcCounters,
@@ -77,7 +77,7 @@ impl BfcPolicy {
         BfcPolicy {
             table: FlowTable::new(config.num_vfids, config.bucket_size, config.overflow_cache_size),
             ingress: Vec::new(),
-            assigned: HashMap::new(),
+            assigned: FastHashMap::default(),
             rng: SimRng::new(seed ^ 0xbfc0_bfc0_bfc0_bfc0),
             stats: PolicyStats::default(),
             counters: BfcCounters::default(),
@@ -289,7 +289,7 @@ impl SwitchPolicy for BfcPolicy {
         // filter snapshot.
         let (resumed, frame, outstanding) = {
             let st = self.ingress_mut(ingress);
-            let mut per_queue: HashMap<usize, usize> = HashMap::new();
+            let mut per_queue: FastHashMap<usize, usize> = FastHashMap::default();
             let mut kept = VecDeque::new();
             let mut resumed = Vec::new();
             while let Some(item) = st.to_be_resumed.pop_front() {

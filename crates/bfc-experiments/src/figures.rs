@@ -21,8 +21,15 @@ use bfc_workloads::{
     TraceFlow, TraceParams, Workload,
 };
 
+use crate::parallel::ParallelRunner;
 use crate::runner::{run_experiment, ExperimentConfig, ExperimentResult};
 use crate::scheme::Scheme;
+
+/// The worker pool shared by every figure: thread count from `BFC_THREADS`
+/// or the machine's parallelism. Results are bit-identical at any setting.
+fn runner() -> ParallelRunner {
+    ParallelRunner::from_env()
+}
 
 /// How big an experiment to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -142,10 +149,11 @@ fn bucket_header(result: &ExperimentResult) -> String {
 /// comparison table the FCT figures use.
 fn fct_comparison(scale: &Scale, topo: &Topology, trace: &[TraceFlow], schemes: Vec<Scheme>, title: &str) -> String {
     let mut out = format!("{title}\n");
-    let mut results = Vec::new();
-    for scheme in schemes {
-        results.push(run_experiment(topo, trace, &config_for(scale, scheme)));
-    }
+    let configs: Vec<ExperimentConfig> = schemes
+        .into_iter()
+        .map(|scheme| config_for(scale, scheme))
+        .collect();
+    let results = runner().run_experiments(topo, trace, &configs);
     if let Some(first) = results.first() {
         out.push_str(&bucket_header(first));
     }
@@ -192,7 +200,9 @@ pub mod fig02 {
         let mut out = String::from(
             "Fig 2: DCQCN buffer occupancy vs link speed (no PFC)\nspeed(Gbps)   p50(MB)   p90(MB)   p99(MB)   max(MB)\n",
         );
-        for gbps in speeds {
+        // Each sweep point builds its own topology and trace, so the whole
+        // point is an independent job for the parallel runner.
+        let results = runner().run_all(&speeds, |&gbps| {
             let params = if scale.full {
                 FatTreeParams::t2_at_rate(gbps)
             } else {
@@ -220,7 +230,9 @@ pub mod fig02 {
             let mut config = config_for(scale, scheme);
             // The figure runs without PFC so buffers are free to grow.
             config.buffer_bytes = u64::MAX;
-            let result = run_experiment(&topo, &trace, &config);
+            run_experiment(&topo, &trace, &config)
+        });
+        for (gbps, result) in speeds.iter().zip(&results) {
             out.push_str(&format!(
                 "{gbps:>10.0}  {:>8.3}  {:>8.3}  {:>8.3}  {:>8.3}\n",
                 result.occupancy.percentile_bytes(50.0) / 1e6,
@@ -249,15 +261,20 @@ pub mod fig03 {
         let mut out = String::from(
             "Fig 3: DCQCN tail FCT vs buffer/capacity ratio\nbuffer(us of capacity)  buffer(MB)  overall p99 slowdown\n",
         );
-        for ratio in ratios_us {
-            let buffer_bytes = (capacity_gbps * 1e9 / 8.0 * ratio * 1e-6) as u64;
-            let config = config_for(scale, Scheme::Dcqcn { window: false, sfq: false })
-                .with_buffer_bytes(buffer_bytes);
-            let result = run_experiment(&topo, &trace, &config);
+        let configs: Vec<ExperimentConfig> = ratios_us
+            .iter()
+            .map(|ratio| {
+                let buffer_bytes = (capacity_gbps * 1e9 / 8.0 * ratio * 1e-6) as u64;
+                config_for(scale, Scheme::Dcqcn { window: false, sfq: false })
+                    .with_buffer_bytes(buffer_bytes)
+            })
+            .collect();
+        let results = runner().run_experiments(&topo, &trace, &configs);
+        for ((ratio, config), result) in ratios_us.iter().zip(&configs).zip(&results) {
             let p99 = result.fct.overall.as_ref().map(|o| o.p99).unwrap_or(f64::NAN);
             out.push_str(&format!(
                 "{ratio:>22.0}  {:>10.2}  {:>20.2}\n",
-                buffer_bytes as f64 / 1e6,
+                config.buffer_bytes as f64 / 1e6,
                 p99
             ));
         }
@@ -348,8 +365,11 @@ pub mod fig06 {
         let mut out = String::from(
             "Fig 6: buffer occupancy and PFC pause time (Fig 5a workload)\nscheme            occ p50(MB)  occ p99(MB)  pfc paused(%)  drops\n",
         );
-        for scheme in Scheme::paper_lineup() {
-            let result = run_experiment(&topo, &trace, &config_for(scale, scheme));
+        let configs: Vec<ExperimentConfig> = Scheme::paper_lineup()
+            .into_iter()
+            .map(|scheme| config_for(scale, scheme))
+            .collect();
+        for result in runner().run_experiments(&topo, &trace, &configs) {
             out.push_str(&format!(
                 "{:<16}  {:>11.3}  {:>11.3}  {:>13.3}  {:>5}\n",
                 result.scheme,
@@ -375,8 +395,11 @@ pub mod fig07 {
         let schemes = vec![Scheme::bfc(), Scheme::bfc_vfid(), Scheme::SfqInfBuffer];
         let mut out = fct_comparison(scale, &topo, &trace, schemes.clone(), "Fig 7a: queue assignment");
         out.push_str("\nFig 7b: physical-queue collisions\nscheme            collision fraction\n");
-        for scheme in schemes {
-            let result = run_experiment(&topo, &trace, &config_for(scale, scheme));
+        let configs: Vec<ExperimentConfig> = schemes
+            .into_iter()
+            .map(|scheme| config_for(scale, scheme))
+            .collect();
+        for result in runner().run_experiments(&topo, &trace, &configs) {
             out.push_str(&format!(
                 "{:<16}  {:>18.4}\n",
                 result.scheme,
@@ -414,35 +437,39 @@ pub mod fig08 {
         } else {
             scale.duration() / 4
         };
-        for scheme in [Scheme::bfc(), Scheme::Dcqcn { window: true, sfq: false }] {
-            for fan_in in fan_ins(scale) {
-                let mut trace = long_lived_per_receiver(
-                    &hosts,
-                    if scale.full { 4 } else { 1 },
-                    if scale.full { 40_000_000 } else { 10_000_000 },
-                    scale.seed,
-                );
-                trace.extend(incast_trace(
-                    &hosts,
-                    fan_in,
-                    scale.incast_bytes(),
-                    incast_period,
-                    scale.duration(),
-                    scale.seed + 7,
-                ));
-                let mut config = config_for(scale, scheme.clone());
-                // Long-lived flows are not expected to finish: measure over
-                // the window only.
-                config.drain = SimDuration::ZERO;
-                let result = run_experiment(&topo, &trace, &config);
-                out.push_str(&format!(
-                    "{:<16}  {:>6}  {:>11.3}  {:>14.3}\n",
-                    result.scheme,
-                    fan_in,
-                    result.utilization,
-                    result.occupancy.percentile_bytes(99.0) / 1e6
-                ));
-            }
+        let jobs: Vec<(Scheme, usize)> = [Scheme::bfc(), Scheme::Dcqcn { window: true, sfq: false }]
+            .into_iter()
+            .flat_map(|scheme| fan_ins(scale).into_iter().map(move |f| (scheme.clone(), f)))
+            .collect();
+        let results = runner().run_all(&jobs, |(scheme, fan_in)| {
+            let mut trace = long_lived_per_receiver(
+                &hosts,
+                if scale.full { 4 } else { 1 },
+                if scale.full { 40_000_000 } else { 10_000_000 },
+                scale.seed,
+            );
+            trace.extend(incast_trace(
+                &hosts,
+                *fan_in,
+                scale.incast_bytes(),
+                incast_period,
+                scale.duration(),
+                scale.seed + 7,
+            ));
+            let mut config = config_for(scale, scheme.clone());
+            // Long-lived flows are not expected to finish: measure over
+            // the window only.
+            config.drain = SimDuration::ZERO;
+            run_experiment(&topo, &trace, &config)
+        });
+        for ((_, fan_in), result) in jobs.iter().zip(&results) {
+            out.push_str(&format!(
+                "{:<16}  {:>6}  {:>11.3}  {:>14.3}\n",
+                result.scheme,
+                fan_in,
+                result.utilization,
+                result.occupancy.percentile_bytes(99.0) / 1e6
+            ));
         }
         out
     }
@@ -493,11 +520,16 @@ pub mod fig09 {
         let mut out = String::from(
             "Fig 9: cross-datacenter FCT slowdown\nscheme            class     flows   p50     p99\n",
         );
-        for scheme in [Scheme::bfc(), Scheme::Dcqcn { window: true, sfq: false }] {
-            let mut config = ExperimentConfig::new(scheme, duration).with_seed(scale.seed);
-            // The long-haul hop needs more buffering, as in the paper.
-            config.buffer_bytes = if scale.full { 60_000_000 } else { 12_000_000 };
-            let result = run_experiment(&built.topology, &trace, &config);
+        let configs: Vec<ExperimentConfig> = [Scheme::bfc(), Scheme::Dcqcn { window: true, sfq: false }]
+            .into_iter()
+            .map(|scheme| {
+                let mut config = ExperimentConfig::new(scheme, duration).with_seed(scale.seed);
+                // The long-haul hop needs more buffering, as in the paper.
+                config.buffer_bytes = if scale.full { 60_000_000 } else { 12_000_000 };
+                config
+            })
+            .collect();
+        for result in runner().run_experiments(&built.topology, &trace, &configs) {
             for inter in [false, true] {
                 let records: Vec<_> = result
                     .records
@@ -549,24 +581,28 @@ pub mod fig10 {
         let mut out = String::from(
             "Fig 10: per-queue buffering vs concurrent flows to one receiver\nscheme            flows  p99 physical queue (KB)\n",
         );
-        for scheme in [
+        let jobs: Vec<(Scheme, usize)> = [
             Scheme::bfc(),
             Scheme::Bfc(BfcConfig::without_resume_limit()),
-        ] {
-            for n in flow_counts(scale) {
-                let size = if scale.full { 2_000_000 } else { 300_000 };
-                let trace = concurrent_long_flows(&hosts, receiver, n, size);
-                let mut config = config_for(scale, scheme.clone());
-                config.drain = scale.duration() * 8;
-                let result = run_experiment(&topo, &trace, &config);
-                let p99_kb = bfc_metrics::percentile(&result.peak_queue_samples, 99.0)
-                    .unwrap_or(0.0)
-                    / 1e3;
-                out.push_str(&format!(
-                    "{:<16}  {:>5}  {:>22.1}\n",
-                    result.scheme, n, p99_kb
-                ));
-            }
+        ]
+        .into_iter()
+        .flat_map(|scheme| flow_counts(scale).into_iter().map(move |n| (scheme.clone(), n)))
+        .collect();
+        let results = runner().run_all(&jobs, |(scheme, n)| {
+            let size = if scale.full { 2_000_000 } else { 300_000 };
+            let trace = concurrent_long_flows(&hosts, receiver, *n, size);
+            let mut config = config_for(scale, scheme.clone());
+            config.drain = scale.duration() * 8;
+            run_experiment(&topo, &trace, &config)
+        });
+        for ((_, n), result) in jobs.iter().zip(&results) {
+            let p99_kb = bfc_metrics::percentile(&result.peak_queue_samples, 99.0)
+                .unwrap_or(0.0)
+                / 1e3;
+            out.push_str(&format!(
+                "{:<16}  {:>5}  {:>22.1}\n",
+                result.scheme, n, p99_kb
+            ));
         }
         out.push_str("(BFC caps per-queue buffering; BFC-BufferOpt grows with the flow count)\n");
         out
@@ -593,8 +629,11 @@ pub mod fig11 {
             "Fig 11b: tail FCT with/without the high-priority queue (85% load + incast)",
         );
         out.push_str("\nFig 11a: occupied physical queues\nscheme              p50    p99\n");
-        for scheme in schemes {
-            let result = run_experiment(&topo, &trace, &config_for(scale, scheme));
+        let configs: Vec<ExperimentConfig> = schemes
+            .into_iter()
+            .map(|scheme| config_for(scale, scheme))
+            .collect();
+        for result in runner().run_experiments(&topo, &trace, &configs) {
             out.push_str(&format!(
                 "{:<16}  {:>6.1} {:>6.1}\n",
                 result.scheme,
@@ -626,9 +665,13 @@ pub mod fig12 {
         let mut out = String::from(
             "Fig 12: sensitivity to physical queues per port (BFC)\nqueues  collision%  overall p99 slowdown\n",
         );
-        for queues in queue_counts(scale) {
-            let config = config_for(scale, Scheme::bfc()).with_queues_per_port(queues);
-            let result = run_experiment(&topo, &trace, &config);
+        let counts = queue_counts(scale);
+        let configs: Vec<ExperimentConfig> = counts
+            .iter()
+            .map(|&queues| config_for(scale, Scheme::bfc()).with_queues_per_port(queues))
+            .collect();
+        let results = runner().run_experiments(&topo, &trace, &configs);
+        for (queues, result) in counts.iter().zip(&results) {
             let p99 = result.fct.overall.as_ref().map(|o| o.p99).unwrap_or(f64::NAN);
             out.push_str(&format!(
                 "{queues:>6}  {:>10.3}  {:>20.2}\n",
@@ -660,9 +703,15 @@ pub mod fig13 {
         let mut out = String::from(
             "Fig 13: sensitivity to the number of VFIDs (BFC)\nvfids   overflow%  overall p99 slowdown\n",
         );
-        for vfids in vfid_counts(scale) {
-            let scheme = Scheme::Bfc(BfcConfig::default().with_num_vfids(vfids));
-            let result = run_experiment(&topo, &trace, &config_for(scale, scheme));
+        let counts = vfid_counts(scale);
+        let configs: Vec<ExperimentConfig> = counts
+            .iter()
+            .map(|&vfids| {
+                config_for(scale, Scheme::Bfc(BfcConfig::default().with_num_vfids(vfids)))
+            })
+            .collect();
+        let results = runner().run_experiments(&topo, &trace, &configs);
+        for (vfids, result) in counts.iter().zip(&results) {
             let p99 = result.fct.overall.as_ref().map(|o| o.p99).unwrap_or(f64::NAN);
             out.push_str(&format!(
                 "{vfids:>6}  {:>9.4}  {:>20.2}\n",
@@ -690,9 +739,15 @@ pub mod fig14 {
         let mut out = String::from(
             "Fig 14: sensitivity to pause-frame bloom filter size (BFC)\nbloom(B)  overall p99 slowdown  pauses\n",
         );
-        for bytes in bloom_sizes() {
-            let scheme = Scheme::Bfc(BfcConfig::default().with_bloom_bytes(bytes));
-            let result = run_experiment(&topo, &trace, &config_for(scale, scheme));
+        let sizes = bloom_sizes();
+        let configs: Vec<ExperimentConfig> = sizes
+            .iter()
+            .map(|&bytes| {
+                config_for(scale, Scheme::Bfc(BfcConfig::default().with_bloom_bytes(bytes)))
+            })
+            .collect();
+        let results = runner().run_experiments(&topo, &trace, &configs);
+        for (bytes, result) in sizes.iter().zip(&results) {
             let p99 = result.fct.overall.as_ref().map(|o| o.p99).unwrap_or(f64::NAN);
             out.push_str(&format!(
                 "{bytes:>8}  {:>20.2}  {:>6}\n",

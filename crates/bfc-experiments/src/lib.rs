@@ -8,7 +8,12 @@
 //! * [`runner`] — the end-to-end simulation driver: it instantiates the
 //!   topology, switches, hosts and trace, dispatches events, and collects
 //!   FCT records, buffer occupancy samples, utilization, PFC pause time and
-//!   policy statistics into an [`runner::ExperimentResult`].
+//!   policy statistics into an [`runner::ExperimentResult`]. Each run is a
+//!   pure, `Send` unit of work.
+//! * [`parallel`] — the [`parallel::ParallelRunner`]: fans independent
+//!   (scheme, sweep-point, seed) runs across `std::thread` workers with
+//!   order-preserving result collection, so every figure is bit-identical
+//!   at any thread count (`BFC_THREADS` controls the worker pool).
 //! * [`figures`] — one module per paper table/figure. Each `run` function
 //!   regenerates the corresponding rows/series; the `src/bin/figNN_*`
 //!   binaries are thin wrappers that print them, and the Criterion benches in
@@ -20,8 +25,10 @@
 //! over — are preserved. See `EXPERIMENTS.md` at the repository root.
 
 pub mod figures;
+pub mod parallel;
 pub mod runner;
 pub mod scheme;
 
+pub use parallel::ParallelRunner;
 pub use runner::{run_experiment, ExperimentConfig, ExperimentResult};
 pub use scheme::Scheme;

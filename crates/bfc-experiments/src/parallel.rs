@@ -1,0 +1,189 @@
+//! The parallel experiment driver.
+//!
+//! The evaluation sweeps many independent (scheme, sweep-point, seed)
+//! combinations, and every [`run_experiment`] call is a pure function of its
+//! inputs: it builds its own switches, hosts, event queue and RNGs from the
+//! `ExperimentConfig` seed, touches no global state, and all of its pieces
+//! are `Send`. [`ParallelRunner`] exploits that by fanning jobs across
+//! `std::thread` workers.
+//!
+//! **Determinism contract:** results are collected into a vector indexed by
+//! job order, so the output is *bit-identical* at any thread count — only
+//! wall-clock time changes. Every figure function routes its runs through
+//! this module, which is what makes `BFC_THREADS=8 cargo run --release -p
+//! bfc-experiments --bin fig05_main_fct -- --full` both fast and exactly
+//! reproducible.
+
+use bfc_net::topology::Topology;
+use bfc_workloads::TraceFlow;
+
+use crate::runner::{run_experiment, ExperimentConfig, ExperimentResult};
+
+/// Fans independent jobs across a fixed pool of `std::thread` workers while
+/// preserving job order in the results.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelRunner {
+    threads: usize,
+}
+
+impl ParallelRunner {
+    /// A runner using exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        ParallelRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A serial runner (one worker, no thread spawns).
+    pub fn serial() -> Self {
+        ParallelRunner::new(1)
+    }
+
+    /// Reads the worker count from the `BFC_THREADS` environment variable,
+    /// falling back to the machine's available parallelism. This is the
+    /// constructor the figure binaries and examples use: set `BFC_THREADS=1`
+    /// to force serial execution, or leave it unset to use every core.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("BFC_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        ParallelRunner::new(threads)
+    }
+
+    /// Number of worker threads this runner uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job` for every element of `jobs`, at most `threads` at a time,
+    /// and returns the results **in job order** regardless of which worker
+    /// finished first — the scheduling is work-stealing by index, the output
+    /// is deterministic.
+    pub fn run_all<J, R, F>(&self, jobs: &[J], job: F) -> Vec<R>
+    where
+        J: Sync,
+        R: Send,
+        F: Fn(&J) -> R + Sync,
+    {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.threads.min(jobs.len());
+        if workers == 1 {
+            // Inline serial path: no spawn overhead, and a direct witness
+            // that the parallel path computes exactly the same thing.
+            return jobs.iter().map(job).collect();
+        }
+
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(jobs.len(), || None);
+        let slots = std::sync::Mutex::new(slots);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if index >= jobs.len() {
+                        break;
+                    }
+                    let result = job(&jobs[index]);
+                    slots
+                        .lock()
+                        .expect("result mutex poisoned: a worker panicked")
+                        [index] = Some(result);
+                });
+            }
+        });
+
+        slots
+            .into_inner()
+            .expect("result mutex poisoned: a worker panicked")
+            .into_iter()
+            .map(|slot| slot.expect("every job index was claimed exactly once"))
+            .collect()
+    }
+
+    /// Runs one experiment per config over a shared topology and trace —
+    /// the common "same workload, many schemes/parameters" sweep shape.
+    /// Results come back in `configs` order, bit-identical at any thread
+    /// count.
+    pub fn run_experiments(
+        &self,
+        topo: &Topology,
+        trace: &[TraceFlow],
+        configs: &[ExperimentConfig],
+    ) -> Vec<ExperimentResult> {
+        self.run_all(configs, |config| run_experiment(topo, trace, config))
+    }
+}
+
+impl Default for ParallelRunner {
+    fn default() -> Self {
+        ParallelRunner::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfc_net::topology::{fat_tree, FatTreeParams};
+    use bfc_sim::SimDuration;
+    use bfc_workloads::{synthesize, TraceParams, Workload};
+
+    use crate::scheme::Scheme;
+
+    #[test]
+    fn run_all_preserves_job_order() {
+        for threads in [1, 2, 4, 7] {
+            let jobs: Vec<u64> = (0..37).collect();
+            let results = ParallelRunner::new(threads).run_all(&jobs, |&j| j * j);
+            assert_eq!(results, (0..37).map(|j| j * j).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let results: Vec<u32> = ParallelRunner::new(4).run_all(&[] as &[u32], |&j| j);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_one() {
+        assert_eq!(ParallelRunner::new(0).threads(), 1);
+        assert_eq!(ParallelRunner::serial().threads(), 1);
+    }
+
+    #[test]
+    fn experiments_are_bit_identical_across_thread_counts() {
+        let topo = fat_tree(FatTreeParams::tiny());
+        let trace = synthesize(
+            &topo.hosts(),
+            &TraceParams::background_only(
+                Workload::Google,
+                0.3,
+                SimDuration::from_micros(150),
+                11,
+            ),
+        );
+        let configs: Vec<ExperimentConfig> = [Scheme::bfc(), Scheme::Dcqcn { window: true, sfq: false }]
+            .into_iter()
+            .map(|s| ExperimentConfig::new(s, SimDuration::from_micros(150)))
+            .collect();
+        let serial = ParallelRunner::serial().run_experiments(&topo, &trace, &configs);
+        let parallel = ParallelRunner::new(4).run_experiments(&topo, &trace, &configs);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(a.scheme, b.scheme);
+            assert_eq!(a.fct, b.fct, "FCT summaries must be bit-identical");
+            assert_eq!(a.completed_flows, b.completed_flows);
+            assert_eq!(a.end_time, b.end_time);
+            assert_eq!(a.drops, b.drops);
+        }
+    }
+}

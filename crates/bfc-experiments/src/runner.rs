@@ -5,8 +5,6 @@
 //! completion (bounded by a drain deadline) and collects every metric the
 //! paper reports into an [`ExperimentResult`].
 
-use std::collections::HashMap;
-
 use bfc_metrics::fct::{FctRecord, FctSummary};
 use bfc_metrics::series::{OccupancySeries, UtilizationTracker};
 use bfc_net::event::NetEvent;
@@ -130,10 +128,14 @@ struct FlowMeta {
     completed: Option<SimTime>,
 }
 
+/// Node dispatch table: every `NodeId` is dense, so switches and hosts live
+/// in vectors indexed by node id — per-event dispatch is a bounds-checked
+/// array access instead of a hash lookup, and iteration order for metrics is
+/// the (deterministic) node order.
 struct FabricSim<'a> {
     routes: &'a RoutingTables,
-    switches: HashMap<u32, Switch>,
-    hosts: HashMap<u32, Host>,
+    switches: Vec<Option<Switch>>,
+    hosts: Vec<Option<Host>>,
     flows: Vec<FlowMeta>,
     occupancy: OccupancySeries,
     peak_queue_samples: Vec<f64>,
@@ -147,7 +149,7 @@ impl FabricSim<'_> {
     fn take_samples(&mut self) {
         let mut max_queue = 0u64;
         let mut max_occupied = 0usize;
-        for sw in self.switches.values() {
+        for sw in self.switches.iter().flatten() {
             self.occupancy.record(sw.buffer().occupancy());
             for p in 0..sw.num_ports() {
                 let port = sw.port(p as u32);
@@ -170,36 +172,36 @@ impl Simulation for FabricSim<'_> {
             NetEvent::FlowArrival { index } => {
                 let meta = &self.flows[index];
                 let spec = meta.spec;
-                self.hosts
-                    .get_mut(&spec.dst.0)
+                self.hosts[spec.dst.index()]
+                    .as_mut()
                     .expect("destination host exists")
                     .expect_flow(spec);
-                self.hosts
-                    .get_mut(&spec.src.0)
+                self.hosts[spec.src.index()]
+                    .as_mut()
                     .expect("source host exists")
                     .start_flow(now, spec, queue);
             }
             NetEvent::PacketArrive { node, port, packet } => {
-                if let Some(sw) = self.switches.get_mut(&node.0) {
+                if let Some(sw) = self.switches[node.index()].as_mut() {
                     sw.handle_packet(now, port, packet, self.routes, queue);
-                } else if let Some(host) = self.hosts.get_mut(&node.0) {
+                } else if let Some(host) = self.hosts[node.index()].as_mut() {
                     host.handle_packet(now, packet, queue);
                 }
             }
             NetEvent::TxComplete { node, port } => {
-                if let Some(sw) = self.switches.get_mut(&node.0) {
+                if let Some(sw) = self.switches[node.index()].as_mut() {
                     sw.handle_tx_complete(now, port, queue);
-                } else if let Some(host) = self.hosts.get_mut(&node.0) {
+                } else if let Some(host) = self.hosts[node.index()].as_mut() {
                     host.handle_tx_complete(now, queue);
                 }
             }
             NetEvent::PauseFrameTimer { node, port } => {
-                if let Some(sw) = self.switches.get_mut(&node.0) {
+                if let Some(sw) = self.switches[node.index()].as_mut() {
                     sw.handle_pause_timer(now, port, queue);
                 }
             }
             NetEvent::HostTimer { node, timer } => {
-                if let Some(host) = self.hosts.get_mut(&node.0) {
+                if let Some(host) = self.hosts[node.index()].as_mut() {
                     host.handle_timer(now, timer, queue);
                 }
             }
@@ -221,6 +223,12 @@ impl Simulation for FabricSim<'_> {
 }
 
 /// Runs one experiment: the given trace over `topo` under `config.scheme`.
+///
+/// This is a **pure, `Send` unit of work**: every switch, host, event queue
+/// and RNG is built from the inputs (all randomness derives from
+/// `config.seed`), nothing global is touched, and the result is a plain
+/// owned value — which is what lets [`crate::ParallelRunner`] fan
+/// independent runs across threads with bit-identical output.
 pub fn run_experiment(
     topo: &Topology,
     trace: &[TraceFlow],
@@ -244,30 +252,29 @@ pub fn run_experiment(
         config
             .scheme
             .switch_config(config.queues_per_port, config.buffer_bytes, config.mtu);
-    let mut switches = HashMap::new();
+    let mut switches: Vec<Option<Switch>> = (0..topo.num_nodes()).map(|_| None).collect();
     for sw_id in topo.switches() {
         let policy = config.scheme.make_policy(config.seed ^ sw_id.0 as u64);
-        switches.insert(
-            sw_id.0,
-            Switch::new(
-                sw_id,
-                switch_config.clone(),
-                topo.ports(sw_id),
-                policy,
-                config.seed,
-            ),
-        );
+        switches[sw_id.index()] = Some(Switch::new(
+            sw_id,
+            switch_config.clone(),
+            topo.ports(sw_id),
+            policy,
+            config.seed,
+        ));
     }
 
     // Hosts.
     let host_config = config.scheme.host_config(config.mtu, base_rtt, bdp_bytes);
-    let mut hosts = HashMap::new();
+    let mut hosts: Vec<Option<Host>> = (0..topo.num_nodes()).map(|_| None).collect();
     for h in &hosts_list {
         let uplink = topo.host_uplink(*h);
-        hosts.insert(
-            h.0,
-            Host::new(*h, uplink.link, (uplink.peer, uplink.peer_port), host_config),
-        );
+        hosts[h.index()] = Some(Host::new(
+            *h,
+            uplink.link,
+            (uplink.peer, uplink.peer_port),
+            host_config,
+        ));
     }
 
     // Flow metadata and arrival events.
@@ -345,12 +352,12 @@ pub fn run_experiment(
         elapsed
     };
     let mut tracker = UtilizationTracker::new(hosts_list.len(), host_gbps, measured);
-    for host in sim.hosts.values() {
+    for host in sim.hosts.iter().flatten() {
         tracker.add_delivered_bytes(host.counters().rx_data_bytes);
     }
     let mut policy_stats = PolicyStats::default();
     let mut drops = 0;
-    for sw in sim.switches.values() {
+    for sw in sim.switches.iter().flatten() {
         policy_stats.merge(&sw.policy_stats());
         drops += sw.counters().drops;
         for p in 0..sw.num_ports() {

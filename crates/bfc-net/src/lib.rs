@@ -40,7 +40,7 @@ pub use buffer::SharedBuffer;
 pub use config::{EcnConfig, PfcConfig, SwitchConfig};
 pub use event::{NetEvent, TransportTimer};
 pub use link::Link;
-pub use packet::{IntHop, Packet, PacketKind, PauseFrame};
+pub use packet::{IntHop, IntPath, Packet, PacketKind, PauseFrame, MAX_INT_HOPS};
 pub use policy::{
     EnqueueCtx, EnqueueDecision, FifoPolicy, PolicyStats, QueueTarget, SfqPolicy, SwitchPolicy,
 };

@@ -23,6 +23,111 @@ pub struct IntHop {
     pub link_gbps: f64,
 }
 
+/// Maximum number of switch hops a packet can record telemetry for.
+///
+/// The longest path in any built-in topology is the cross-data-center one:
+/// ToR → spine → gateway → gateway → spine → ToR, i.e. six switch hops
+/// (switches only append INT to data packets, so ACK echoes never exceed
+/// this either). Sizing the inline array to this bound is what lets the
+/// per-packet path run without heap allocation while keeping `Packet` small
+/// enough to memcpy cheaply; a deeper custom topology with INT enabled
+/// would need this constant raised.
+pub const MAX_INT_HOPS: usize = 6;
+
+/// Fixed-capacity inline list of per-hop INT records (a `SmallVec`-style
+/// array sized to [`MAX_INT_HOPS`]), replacing the `Vec<IntHop>` the packet
+/// used to carry so appending telemetry never touches the heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntPath {
+    len: u8,
+    hops: [IntHop; MAX_INT_HOPS],
+}
+
+impl IntPath {
+    const EMPTY_HOP: IntHop = IntHop {
+        qlen_bytes: 0,
+        tx_bytes: 0,
+        timestamp_ps: 0,
+        link_gbps: 0.0,
+    };
+
+    /// An empty telemetry path.
+    pub const fn new() -> Self {
+        IntPath {
+            len: 0,
+            hops: [Self::EMPTY_HOP; MAX_INT_HOPS],
+        }
+    }
+
+    /// Appends one hop record. Panics if the packet has already traversed
+    /// [`MAX_INT_HOPS`] switches — no supported topology is that deep.
+    pub fn push(&mut self, hop: IntHop) {
+        assert!(
+            (self.len as usize) < MAX_INT_HOPS,
+            "packet traversed more than {MAX_INT_HOPS} INT-recording hops"
+        );
+        self.hops[self.len as usize] = hop;
+        self.len += 1;
+    }
+
+    /// Number of recorded hops.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if no hops were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The recorded hops, in traversal order.
+    pub fn as_slice(&self) -> &[IntHop] {
+        &self.hops[..self.len as usize]
+    }
+
+    /// Builds a path from a slice of at most [`MAX_INT_HOPS`] records.
+    pub fn from_slice(hops: &[IntHop]) -> Self {
+        let mut path = IntPath::new();
+        for &hop in hops {
+            path.push(hop);
+        }
+        path
+    }
+}
+
+impl Default for IntPath {
+    fn default() -> Self {
+        IntPath::new()
+    }
+}
+
+impl std::ops::Deref for IntPath {
+    type Target = [IntHop];
+    fn deref(&self) -> &[IntHop] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Index<usize> for IntPath {
+    type Output = IntHop;
+    fn index(&self, i: usize) -> &IntHop {
+        &self.as_slice()[i]
+    }
+}
+
+impl<'a> IntoIterator for &'a IntPath {
+    type Item = &'a IntHop;
+    type IntoIter = std::slice::Iter<'a, IntHop>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Largest pause-frame bloom filter the inline representation supports, in
+/// bytes. 128 bytes is the paper's default and the top of the Fig. 14 sweep.
+pub const MAX_PAUSE_FRAME_BYTES: usize = 128;
+const PAUSE_FRAME_WORDS: usize = MAX_PAUSE_FRAME_BYTES / 8;
+
 /// A multistage bloom filter naming the set of paused virtual flows on one
 /// ingress link (§3.6 of the paper).
 ///
@@ -31,9 +136,13 @@ pub struct IntHop {
 /// upstream. The upstream side only needs membership queries, which is what
 /// this type provides. A virtual flow is paused iff **all** `num_hashes` bit
 /// positions derived from its VFID are set.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The bit array is stored inline (sized to [`MAX_PAUSE_FRAME_BYTES`]) so
+/// building, sending and installing pause frames never allocates; the type
+/// is `Copy` because duplicating it is a plain memcpy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PauseFrame {
-    bits: Vec<u64>,
+    bits: [u64; PAUSE_FRAME_WORDS],
     num_bits: u32,
     num_hashes: u32,
 }
@@ -43,11 +152,14 @@ impl PauseFrame {
     /// functions. The paper's default is 128 bytes and 4 hashes.
     pub fn new(size_bytes: usize, num_hashes: u32) -> Self {
         assert!(size_bytes > 0, "bloom filter must have at least one byte");
+        assert!(
+            size_bytes <= MAX_PAUSE_FRAME_BYTES,
+            "bloom filter larger than {MAX_PAUSE_FRAME_BYTES} bytes"
+        );
         assert!(num_hashes > 0, "bloom filter must use at least one hash");
         let num_bits = (size_bytes * 8) as u32;
-        let words = size_bytes.div_ceil(8);
         PauseFrame {
-            bits: vec![0; words],
+            bits: [0; PAUSE_FRAME_WORDS],
             num_bits,
             num_hashes,
         }
@@ -139,10 +251,13 @@ pub enum PacketKind {
         pause: bool,
     },
     /// BFC per-flow pause frame: a bloom filter over paused VFIDs for one
-    /// ingress link.
+    /// ingress link. The frame is boxed so this rare control variant does
+    /// not inflate every `Packet` by the 128-byte inline filter; the one
+    /// allocation happens per transmitted pause frame, never on the
+    /// per-packet data path.
     FlowPause {
         /// Snapshot of the downstream switch's counting bloom filter.
-        frame: PauseFrame,
+        frame: Box<PauseFrame>,
     },
 }
 
@@ -174,7 +289,8 @@ pub struct Packet {
     pub control_priority: bool,
     /// HPCC in-band telemetry accumulated hop by hop (empty unless INT is
     /// enabled). For ACKs this is the echo of the data packet's telemetry.
-    pub int: Vec<IntHop>,
+    /// Stored inline ([`IntPath`]) so the per-packet path never allocates.
+    pub int: IntPath,
     /// What the packet is.
     pub kind: PacketKind,
 }
@@ -206,7 +322,7 @@ impl Packet {
             first_of_flow,
             ecn_ce: false,
             control_priority: false,
-            int: Vec::new(),
+            int: IntPath::new(),
             kind: PacketKind::Data,
         }
     }
@@ -220,7 +336,7 @@ impl Packet {
         cumulative_seq: u64,
         is_nack: bool,
         ecn_echo: bool,
-        int: Vec<IntHop>,
+        int: IntPath,
     ) -> Self {
         Packet {
             flow,
@@ -254,7 +370,7 @@ impl Packet {
             first_of_flow: false,
             ecn_ce: false,
             control_priority: true,
-            int: Vec::new(),
+            int: IntPath::new(),
             kind: PacketKind::Cnp,
         }
     }
@@ -272,7 +388,7 @@ impl Packet {
             first_of_flow: false,
             ecn_ce: false,
             control_priority: true,
-            int: Vec::new(),
+            int: IntPath::new(),
             kind: PacketKind::PfcPause { pause },
         }
     }
@@ -291,8 +407,10 @@ impl Packet {
             first_of_flow: false,
             ecn_ce: false,
             control_priority: true,
-            int: Vec::new(),
-            kind: PacketKind::FlowPause { frame },
+            int: IntPath::new(),
+            kind: PacketKind::FlowPause {
+                frame: Box::new(frame),
+            },
         }
     }
 
@@ -382,7 +500,7 @@ mod tests {
         assert!(d.first_of_flow);
         assert_eq!(d.size_bytes, 1000);
 
-        let a = Packet::ack(FlowId(1), NodeId(3), NodeId(2), 5, false, true, Vec::new());
+        let a = Packet::ack(FlowId(1), NodeId(3), NodeId(2), 5, false, true, IntPath::new());
         assert!(a.control_priority);
         assert_eq!(a.size_bytes, ACK_SIZE_BYTES);
         match a.kind {

@@ -6,9 +6,7 @@
 //! live here; the BFC policy — the paper's contribution — implements this
 //! trait in the `bfc-core` crate.
 
-use std::collections::HashMap;
-
-use bfc_sim::SimTime;
+use bfc_sim::{FastHashMap, SimTime};
 
 use crate::packet::{Packet, PauseFrame};
 use crate::port::Port;
@@ -148,7 +146,11 @@ impl PolicyStats {
 }
 
 /// A queue-assignment / flow-control policy for one switch.
-pub trait SwitchPolicy {
+///
+/// Policies must be `Send` so a whole switch — and therefore a whole
+/// experiment — can be handed to a worker thread by the parallel experiment
+/// driver in `bfc-experiments`.
+pub trait SwitchPolicy: Send {
     /// Chooses a queue for an arriving data packet.
     fn on_enqueue(&mut self, ctx: &EnqueueCtx<'_>, pkt: &Packet) -> EnqueueDecision;
 
@@ -173,10 +175,13 @@ pub trait SwitchPolicy {
 #[derive(Debug, Default)]
 pub struct FifoPolicy {
     stats: PolicyStats,
-    /// Flows currently occupying queue 0, per egress port, for collision
-    /// accounting parity with the other policies.
-    resident: HashMap<u32, HashMap<FlowId, usize>>,
+    /// Flows currently occupying queue 0, indexed by egress port (ports are
+    /// dense small integers; the vector grows on demand). The inner per-flow
+    /// counts use the deterministic fast hasher — these maps are probed on
+    /// every packet.
+    resident: Vec<FastHashMap<FlowId, usize>>,
 }
+
 
 impl FifoPolicy {
     /// Creates the policy.
@@ -187,11 +192,18 @@ impl FifoPolicy {
 
 impl SwitchPolicy for FifoPolicy {
     fn on_enqueue(&mut self, ctx: &EnqueueCtx<'_>, pkt: &Packet) -> EnqueueDecision {
-        let resident = self.resident.entry(ctx.egress).or_default();
+        let stats = &mut self.stats;
+        let resident = {
+            let idx = ctx.egress as usize;
+            if idx >= self.resident.len() {
+                self.resident.resize_with(idx + 1, FastHashMap::default);
+            }
+            &mut self.resident[idx]
+        };
         if !resident.contains_key(&pkt.flow) {
-            self.stats.flow_assignments += 1;
+            stats.flow_assignments += 1;
             if !resident.is_empty() {
-                self.stats.collisions += 1;
+                stats.collisions += 1;
             }
         }
         *resident.entry(pkt.flow).or_insert(0) += 1;
@@ -199,7 +211,7 @@ impl SwitchPolicy for FifoPolicy {
     }
 
     fn on_dequeue(&mut self, ctx: &DequeueCtx<'_>, pkt: &Packet) {
-        if let Some(resident) = self.resident.get_mut(&ctx.egress) {
+        if let Some(resident) = self.resident.get_mut(ctx.egress as usize) {
             if let Some(count) = resident.get_mut(&pkt.flow) {
                 *count -= 1;
                 if *count == 0 {
@@ -224,8 +236,9 @@ impl SwitchPolicy for FifoPolicy {
 #[derive(Debug)]
 pub struct SfqPolicy {
     stats: PolicyStats,
-    /// Flows resident per (egress port, queue index).
-    resident: HashMap<(u32, usize), HashMap<FlowId, usize>>,
+    /// Flows resident per egress port (outer vector, grown on demand) and
+    /// queue index (inner vector, sized on first touch of the port).
+    resident: Vec<Vec<FastHashMap<FlowId, usize>>>,
     use_high_priority_for_first: bool,
 }
 
@@ -236,7 +249,7 @@ impl SfqPolicy {
     pub fn new(use_high_priority_for_first: bool) -> Self {
         SfqPolicy {
             stats: PolicyStats::default(),
-            resident: HashMap::new(),
+            resident: Vec::new(),
             use_high_priority_for_first,
         }
     }
@@ -253,7 +266,15 @@ impl SwitchPolicy for SfqPolicy {
             return EnqueueDecision::queue(QueueTarget::HighPriority);
         }
         let q = Self::queue_for(pkt.vfid, ctx.port.num_queues());
-        let resident = self.resident.entry((ctx.egress, q)).or_default();
+        let egress = ctx.egress as usize;
+        if egress >= self.resident.len() {
+            self.resident.resize_with(egress + 1, Vec::new);
+        }
+        let port_resident = &mut self.resident[egress];
+        if port_resident.is_empty() {
+            port_resident.resize_with(ctx.port.num_queues(), FastHashMap::default);
+        }
+        let resident = &mut port_resident[q];
         if !resident.contains_key(&pkt.flow) {
             self.stats.flow_assignments += 1;
             if !resident.is_empty() {
@@ -269,7 +290,11 @@ impl SwitchPolicy for SfqPolicy {
             QueueTarget::Phys(q) => q,
             _ => return,
         };
-        if let Some(resident) = self.resident.get_mut(&(ctx.egress, q)) {
+        if let Some(resident) = self
+            .resident
+            .get_mut(ctx.egress as usize)
+            .and_then(|port| port.get_mut(q))
+        {
             if let Some(count) = resident.get_mut(&pkt.flow) {
                 *count -= 1;
                 if *count == 0 {

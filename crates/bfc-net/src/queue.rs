@@ -5,6 +5,11 @@
 //! remembers, for every queued packet, which ingress port it arrived on so
 //! that per-ingress buffer accounting (needed for PFC) stays exact when the
 //! packet eventually leaves.
+//!
+//! [`QueuedPacket`] storage is recycled: the backing ring buffer grows to
+//! the queue's high-water mark and is then reused for every later packet, so
+//! steady-state enqueue/dequeue never allocates (packets themselves are
+//! fully inline — see `packet::IntPath` and `packet::PauseFrame`).
 
 use std::collections::VecDeque;
 
@@ -77,6 +82,14 @@ impl PhysQueue {
     pub fn iter(&self) -> impl Iterator<Item = &QueuedPacket> {
         self.packets.iter()
     }
+
+    /// Number of packet slots the queue can hold before its backing storage
+    /// grows again. The storage never shrinks: it is recycled across
+    /// enqueue/dequeue cycles, which is what keeps the steady-state packet
+    /// path allocation-free.
+    pub fn storage_capacity(&self) -> usize {
+        self.packets.capacity()
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +120,25 @@ mod tests {
         assert!(q.pop().is_none());
         assert_eq!(q.bytes(), 0);
         assert_eq!(q.total_enqueued_bytes(), 1500);
+    }
+
+    #[test]
+    fn storage_is_recycled_across_push_pop_cycles() {
+        let mut q = PhysQueue::new();
+        for s in 0..16 {
+            q.push(pkt(s, 100), 0);
+        }
+        while q.pop().is_some() {}
+        let cap = q.storage_capacity();
+        assert!(cap >= 16);
+        // Refilling to the previous high-water mark must not grow storage.
+        for cycle in 0..8 {
+            for s in 0..16 {
+                q.push(pkt(s, 100), cycle);
+            }
+            while q.pop().is_some() {}
+            assert_eq!(q.storage_capacity(), cap, "steady state must not reallocate");
+        }
     }
 
     #[test]

@@ -154,7 +154,9 @@ impl Switch {
                 }
             }
             PacketKind::FlowPause { frame } => {
-                self.ports[ingress as usize].set_pause_frame(Some(frame.clone()));
+                // PauseFrame stores its bits inline, so installing the frame
+                // is a plain copy — no allocation on the control path.
+                self.ports[ingress as usize].set_pause_frame(Some(**frame));
                 self.try_transmit(now, ingress, events);
             }
             _ => self.forward(now, ingress, packet, routes, events),
@@ -585,7 +587,7 @@ mod tests {
     fn control_packets_bypass_the_policy_queue() {
         let (_topo, routes, mut sw) = tor_under_test(SwitchConfig::default());
         let mut events = EventQueue::new();
-        let ack = Packet::ack(FlowId(1), NodeId(0), NodeId(1), 3, false, false, Vec::new());
+        let ack = Packet::ack(FlowId(1), NodeId(0), NodeId(1), 3, false, false, Default::default());
         sw.handle_packet(SimTime::ZERO, 0, ack, &routes, &mut events);
         // ACK forwarded without touching the FIFO policy's flow residency.
         assert_eq!(sw.policy_stats().flow_assignments, 0);

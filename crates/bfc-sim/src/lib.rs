@@ -26,9 +26,11 @@
 //! ```
 
 pub mod event;
+pub mod hash;
 pub mod rng;
 pub mod time;
 
-pub use event::{run, run_until, EventQueue, Simulation};
+pub use event::{run, run_until, EventQueue, ReferenceEventQueue, Simulation};
+pub use hash::{FastHashMap, FastHashSet};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -17,13 +17,13 @@
 //! ACKs and CNPs are sent with strict priority over data on the uplink, the
 //! same treatment switches give them.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use bfc_net::event::{NetEvent, TransportTimer};
 use bfc_net::link::Link;
 use bfc_net::packet::{Packet, PacketKind, PauseFrame};
 use bfc_net::types::{FlowId, NodeId};
-use bfc_sim::{EventQueue, SimTime};
+use bfc_sim::{EventQueue, FastHashMap, SimTime};
 
 use crate::config::{CcKind, HostConfig};
 use crate::dcqcn::DcqcnState;
@@ -60,9 +60,9 @@ pub struct Host {
     pending_wakeup: Option<SimTime>,
 
     control_queue: VecDeque<Packet>,
-    sending: HashMap<FlowId, SenderFlow>,
+    sending: FastHashMap<FlowId, SenderFlow>,
     send_order: VecDeque<FlowId>,
-    receiving: HashMap<FlowId, ReceiverFlow>,
+    receiving: FastHashMap<FlowId, ReceiverFlow>,
 
     counters: HostCounters,
 }
@@ -81,9 +81,9 @@ impl Host {
             pause_frame: None,
             pending_wakeup: None,
             control_queue: VecDeque::new(),
-            sending: HashMap::new(),
+            sending: FastHashMap::default(),
             send_order: VecDeque::new(),
-            receiving: HashMap::new(),
+            receiving: FastHashMap::default(),
             counters: HostCounters::default(),
         }
     }
@@ -160,15 +160,19 @@ impl Host {
         packet: Packet,
         events: &mut EventQueue<NetEvent>,
     ) {
-        match packet.kind.clone() {
+        // Match on a borrow of the kind (copying out only the small fields)
+        // so no per-packet clone of the kind — which would allocate nothing
+        // today but still memcpy the largest variant — is needed.
+        match &packet.kind {
             PacketKind::PfcPause { pause } => {
+                let pause = *pause;
                 self.pfc_paused = pause;
                 if !pause {
                     self.try_send(now, events);
                 }
             }
             PacketKind::FlowPause { frame } => {
-                self.pause_frame = Some(frame);
+                self.pause_frame = Some(**frame);
                 self.try_send(now, events);
             }
             PacketKind::Data => {
@@ -180,6 +184,7 @@ impl Host {
                 is_nack,
                 ..
             } => {
+                let (cumulative_seq, is_nack) = (*cumulative_seq, *is_nack);
                 self.receive_ack(now, &packet, cumulative_seq, is_nack);
                 self.try_send(now, events);
             }
@@ -303,7 +308,7 @@ impl Host {
                 rf.expected_seq,
                 false,
                 packet.ecn_ce,
-                packet.int.clone(),
+                packet.int,
             ));
             if rf.expected_seq >= rf.num_packets && !rf.completed {
                 rf.completed = true;
@@ -321,7 +326,7 @@ impl Host {
                     rf.expected_seq,
                     true,
                     false,
-                    Vec::new(),
+                    Default::default(),
                 ));
             }
         } else {
@@ -333,7 +338,7 @@ impl Host {
                 rf.expected_seq,
                 false,
                 false,
-                Vec::new(),
+                Default::default(),
             ));
         }
     }
@@ -588,7 +593,7 @@ mod tests {
                         packet.seq + 1,
                         false,
                         false,
-                        Vec::new(),
+                        Default::default(),
                     );
                     host.handle_packet(t, ack, &mut events);
                 }
@@ -722,7 +727,7 @@ mod tests {
         let mut ev2 = EventQueue::new();
         tx.start_flow(SimTime::ZERO, spec(9, 0, 5, 10_000), &mut ev2);
         let _ = drain_transmissions(&mut tx, &mut ev2);
-        let nack = Packet::ack(FlowId(9), NodeId(5), NodeId(0), 1, true, false, Vec::new());
+        let nack = Packet::ack(FlowId(9), NodeId(5), NodeId(0), 1, true, false, Default::default());
         tx.handle_packet(SimTime::from_micros(50), nack, &mut ev2);
         let resent = drain_transmissions(&mut tx, &mut ev2);
         let seqs: Vec<u64> = resent.iter().filter(|p| p.is_data()).map(|p| p.seq).collect();

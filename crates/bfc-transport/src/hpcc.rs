@@ -9,7 +9,7 @@
 //! `η = 0.95`, with at most `maxStage` additive steps between multiplicative
 //! updates.
 
-use bfc_net::packet::IntHop;
+use bfc_net::packet::{IntHop, IntPath};
 
 use crate::config::HpccParams;
 
@@ -25,8 +25,8 @@ pub struct HpccState {
     /// Sequence number that must be acknowledged before the reference window
     /// may be updated again (the "per-ACK vs per-RTT" guard of the paper).
     update_after_seq: u64,
-    /// Last INT record seen per hop.
-    last_int: Vec<IntHop>,
+    /// Last INT record seen per hop (stored inline: no per-ACK allocation).
+    last_int: IntPath,
     /// Additive increase in bytes.
     w_ai: f64,
     /// Base RTT in seconds.
@@ -45,7 +45,7 @@ impl HpccState {
             reference_window: bdp,
             inc_stage: 0,
             update_after_seq: 0,
-            last_int: Vec::new(),
+            last_int: IntPath::new(),
             w_ai: bdp * params.w_ai_fraction,
             base_rtt_secs,
             max_window: bdp,
@@ -85,7 +85,7 @@ impl HpccState {
     /// (both in packets); they gate the once-per-RTT reference-window update.
     pub fn on_ack(&mut self, int: &[IntHop], acked_seq: u64, snd_nxt: u64, params: &HpccParams) {
         let utilization = self.max_utilization(int);
-        self.last_int = int.to_vec();
+        self.last_int = IntPath::from_slice(int);
         let Some(u) = utilization else {
             return;
         };

@@ -3,11 +3,19 @@
 //! at the last-hop switch, PFC fires, and utilization collapses. BFC holds
 //! the backlog upstream with per-flow pauses instead.
 //!
+//! The (scheme, fan-in) grid is fanned out through `ParallelRunner` — each
+//! cell builds its own trace and runs independently, so the example doubles
+//! as a smoke test for the parallel driver. Output order (and every number)
+//! is identical at any `BFC_THREADS` setting.
+//!
 //! ```sh
 //! cargo run --release --example incast_collapse
+//! BFC_THREADS=4 cargo run --release --example incast_collapse
 //! ```
 
-use backpressure_flow_control::experiments::{run_experiment, ExperimentConfig, Scheme};
+use backpressure_flow_control::experiments::{
+    run_experiment, ExperimentConfig, ParallelRunner, Scheme,
+};
 use backpressure_flow_control::net::topology::{fat_tree, FatTreeParams};
 use backpressure_flow_control::sim::SimDuration;
 use backpressure_flow_control::workloads::concurrent_long_flows;
@@ -18,33 +26,45 @@ fn main() {
     let receiver = hosts[0];
     let duration = SimDuration::from_micros(400);
 
-    println!("incast of N senders x 400 KB each into {receiver}\n");
+    let runner = ParallelRunner::from_env();
+    println!(
+        "incast of N senders x 400 KB each into {receiver} ({} worker thread{})\n",
+        runner.threads(),
+        if runner.threads() == 1 { "" } else { "s" },
+    );
     println!(
         "{:<16} {:>7} {:>12} {:>16} {:>10} {:>8}",
         "scheme", "fan-in", "util %", "p99 buffer (KB)", "pauses", "drops"
     );
-    for scheme in [
+
+    // Every (scheme, fan-in) cell is one independent job.
+    let jobs: Vec<(Scheme, usize)> = [
         Scheme::bfc(),
         Scheme::Dcqcn {
             window: true,
             sfq: false,
         },
-    ] {
-        for fan_in in [2usize, 4, 7] {
-            let trace = concurrent_long_flows(&hosts, receiver, fan_in, 400_000);
-            let mut config = ExperimentConfig::new(scheme.clone(), duration);
-            config.drain = duration * 8;
-            let r = run_experiment(&topo, &trace, &config);
-            println!(
-                "{:<16} {:>7} {:>12.1} {:>16.1} {:>10} {:>8}",
-                r.scheme,
-                fan_in,
-                r.utilization * 100.0,
-                r.occupancy.percentile_bytes(99.0) / 1e3,
-                r.policy_stats.pauses,
-                r.drops
-            );
-        }
+    ]
+    .into_iter()
+    .flat_map(|scheme| [2usize, 4, 7].into_iter().map(move |f| (scheme.clone(), f)))
+    .collect();
+    let results = runner.run_all(&jobs, |(scheme, fan_in)| {
+        let trace = concurrent_long_flows(&hosts, receiver, *fan_in, 400_000);
+        let mut config = ExperimentConfig::new(scheme.clone(), duration);
+        config.drain = duration * 8;
+        run_experiment(&topo, &trace, &config)
+    });
+
+    for ((_, fan_in), r) in jobs.iter().zip(&results) {
+        println!(
+            "{:<16} {:>7} {:>12.1} {:>16.1} {:>10} {:>8}",
+            r.scheme,
+            fan_in,
+            r.utilization * 100.0,
+            r.occupancy.percentile_bytes(99.0) / 1e3,
+            r.policy_stats.pauses,
+            r.drops
+        );
     }
     println!("\nBFC keeps tail buffer occupancy bounded by pausing flows hop by hop;");
     println!("DCQCN+Win lets the incast pile up at the receiver's ToR.");

@@ -1,12 +1,17 @@
 //! Head-to-head comparison of every scheme the paper evaluates (BFC,
 //! Ideal-FQ, DCQCN, DCQCN+Win, HPCC, DCQCN+Win+SFQ) on one workload — a
-//! miniature of Fig. 5.
+//! miniature of Fig. 5, run through the parallel experiment driver so it
+//! doubles as a smoke test for `ParallelRunner`.
 //!
 //! ```sh
 //! cargo run --release --example scheme_comparison
+//! BFC_THREADS=1 cargo run --release --example scheme_comparison   # serial
 //! ```
+//!
+//! The output is bit-identical at any `BFC_THREADS` setting; only the
+//! wall-clock time changes.
 
-use backpressure_flow_control::experiments::{run_experiment, ExperimentConfig, Scheme};
+use backpressure_flow_control::experiments::{ExperimentConfig, ParallelRunner, Scheme};
 use backpressure_flow_control::net::topology::{fat_tree, FatTreeParams};
 use backpressure_flow_control::sim::SimDuration;
 use backpressure_flow_control::workloads::{synthesize, TraceParams, Workload};
@@ -27,17 +32,25 @@ fn main() {
             seed: 7,
         },
     );
+    let runner = ParallelRunner::from_env();
     println!(
-        "{} flows, Google distribution, 60% load + 5% incast\n",
-        trace.len()
+        "{} flows, Google distribution, 60% load + 5% incast ({} worker thread{})\n",
+        trace.len(),
+        runner.threads(),
+        if runner.threads() == 1 { "" } else { "s" },
     );
     println!(
         "{:<16} {:>10} {:>12} {:>12} {:>10} {:>8}",
         "scheme", "p99 all", "p99 <3KB", "p99 >100KB", "util %", "drops"
     );
-    for scheme in Scheme::paper_lineup() {
-        let config = ExperimentConfig::new(scheme, duration);
-        let r = run_experiment(&topo, &trace, &config);
+
+    // One config per scheme; the runner fans them out and returns results
+    // in scheme order no matter which worker finishes first.
+    let configs: Vec<ExperimentConfig> = Scheme::paper_lineup()
+        .into_iter()
+        .map(|scheme| ExperimentConfig::new(scheme, duration))
+        .collect();
+    for r in runner.run_experiments(&topo, &trace, &configs) {
         let p99_all = r.fct.overall.as_ref().map(|o| o.p99).unwrap_or(f64::NAN);
         let p99_small = r
             .fct

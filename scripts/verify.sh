@@ -2,10 +2,15 @@
 # Standing pre-commit check for this repository:
 #   1. tier-1: release build + the root test suites (end-to-end, properties, doctest)
 #   2. the bfc-testkit harness's own unit tests
-#   3. a quick benchmark smoke run (also refreshes BENCH.json if missing)
+#   3. a quick benchmark run diffed against the committed BENCH.json —
+#      any benchmark whose median regresses more than 25% fails the check
+#      (benchmarks without a committed baseline entry are skipped)
 #
 # Usage: scripts/verify.sh [--workspace]
 #   --workspace  additionally run every crate's unit tests
+#
+# Refresh the committed baseline after an intentional perf change with:
+#   cargo run --release -p bfc-bench            # full-fidelity run, writes BENCH.json
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,13 +29,25 @@ if [[ "${1:-}" == "--workspace" ]]; then
     cargo test -q --workspace
 fi
 
-echo "== bench smoke: cargo run --release -p bfc-bench -- --quick"
-out="BENCH.json"
-if [[ -f "$out" ]]; then
-    # Don't clobber the committed baseline during routine verification.
+echo "== bench: cargo run --release -p bfc-bench -- --quick"
+# The committed baseline records absolute ns on the machine that wrote it at
+# full fidelity, while this check runs in quick mode — noise and machine
+# differences eat into the margin. 25% is the standing tolerance on the
+# baseline machine; on different hardware raise it via
+#   BFC_BENCH_MAX_REGRESS=60 scripts/verify.sh
+# or refresh the baseline (see above) from that machine instead.
+max_regress="${BFC_BENCH_MAX_REGRESS:-25}"
+baseline="BENCH.json"
+if [[ -f "$baseline" ]]; then
+    # Don't clobber the committed baseline during routine verification;
+    # write to a temp file and diff the medians against the baseline.
     out="$(mktemp -t bfc-bench-XXXXXX.json)"
     trap 'rm -f "$out"' EXIT
+    cargo run --release -q -p bfc-bench -- --quick --out "$out" --compare "$baseline" --max-regress "$max_regress"
+else
+    # First run on a fresh checkout: establish the baseline.
+    cargo run --release -q -p bfc-bench -- --quick --out "$baseline" >/dev/null
+    echo "wrote initial $baseline (no baseline to compare against)"
 fi
-cargo run --release -q -p bfc-bench -- --quick --out "$out" >/dev/null
 
 echo "verify: OK"

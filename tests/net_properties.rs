@@ -1,0 +1,152 @@
+//! `bfc-testkit` properties for `bfc-net`: shared-buffer accounting and PFC
+//! threshold invariants under randomized admit/release sequences.
+//!
+//! On failure the runner prints the per-case seed; rerun exactly that case
+//! with `BFC_TESTKIT_SEED=<seed> cargo test <property_name>`.
+
+use backpressure_flow_control::net::buffer::SharedBuffer;
+use backpressure_flow_control::net::config::PfcConfig;
+use bfc_testkit::{int_range, property, triple, vec_of};
+
+const NUM_PORTS: usize = 4;
+
+/// One randomized step: which ingress, how many bytes, and whether to admit
+/// (0, 1) or release the oldest admitted packet (2).
+type Op = (u64, u64, u64);
+
+fn op_gen() -> impl bfc_testkit::Gen<Value = Vec<Op>> {
+    vec_of(
+        triple(
+            int_range(0u64..NUM_PORTS as u64),
+            int_range(64u64..3_000),
+            int_range(0u64..3),
+        ),
+        1..400,
+    )
+}
+
+property! {
+    /// Shared-buffer accounting never goes negative, never exceeds the
+    /// capacity, and the per-ingress occupancies always sum to the switch
+    /// total (the buffer is fully attributed to ingress ports).
+    fn shared_buffer_accounting_is_exact(ops in op_gen()) {
+        let capacity = 64_000u64;
+        let mut buffer = SharedBuffer::new(capacity, NUM_PORTS);
+        // Model: the admitted packets still held, per ingress, FIFO.
+        let mut held: Vec<Vec<u64>> = vec![Vec::new(); NUM_PORTS];
+        let mut expected_drops = 0u64;
+
+        for &(ingress, bytes, action) in &ops {
+            let (ingress, bytes) = (ingress as u32, bytes as u32);
+            if action < 2 {
+                let fits = buffer.occupancy() + bytes as u64 <= capacity;
+                let admitted = buffer.admit(bytes, ingress);
+                assert_eq!(admitted, fits, "admit must succeed exactly when the packet fits");
+                if admitted {
+                    held[ingress as usize].push(bytes as u64);
+                } else {
+                    expected_drops += 1;
+                }
+            } else if let Some(bytes) = held[ingress as usize].first().copied() {
+                held[ingress as usize].remove(0);
+                buffer.release(bytes as u32, ingress);
+            }
+
+            // Invariants after every step.
+            let model_total: u64 = held.iter().flatten().sum();
+            assert_eq!(buffer.occupancy(), model_total, "occupancy mirrors the held packets");
+            assert!(buffer.occupancy() <= capacity, "occupancy never exceeds capacity");
+            assert_eq!(buffer.free(), capacity - buffer.occupancy());
+            let per_ingress_sum: u64 = (0..NUM_PORTS as u32)
+                .map(|i| buffer.ingress_occupancy(i))
+                .sum();
+            assert_eq!(
+                per_ingress_sum,
+                buffer.occupancy(),
+                "per-ingress occupancies must sum to the switch total"
+            );
+            for (i, packets) in held.iter().enumerate() {
+                assert_eq!(
+                    buffer.ingress_occupancy(i as u32),
+                    packets.iter().sum::<u64>(),
+                    "ingress {i} accounting must match its held packets"
+                );
+            }
+            assert_eq!(buffer.drops(), expected_drops);
+        }
+    }
+
+    /// The dynamic PFC threshold is honored: a pause transition happens
+    /// exactly when an unpaused ingress exceeds the threshold, a resume
+    /// exactly when a paused ingress falls below the resume fraction of it,
+    /// and nothing otherwise.
+    fn pfc_pause_thresholds_are_honored(ops in op_gen()) {
+        let pfc = PfcConfig::default();
+        let capacity = 48_000u64;
+        let mut buffer = SharedBuffer::new(capacity, NUM_PORTS);
+        let mut held: Vec<Vec<u64>> = vec![Vec::new(); NUM_PORTS];
+
+        for &(ingress, bytes, action) in &ops {
+            let (ingress, bytes) = (ingress as u32, bytes as u32);
+            if action < 2 {
+                if buffer.admit(bytes, ingress) {
+                    held[ingress as usize].push(bytes as u64);
+                }
+            } else if let Some(bytes) = held[ingress as usize].first().copied() {
+                held[ingress as usize].remove(0);
+                buffer.release(bytes as u32, ingress);
+            }
+
+            // Evaluate the documented transition rule for the touched port.
+            let threshold = pfc.pause_threshold(buffer.free());
+            let occupancy = buffer.ingress_occupancy(ingress);
+            let was_paused = buffer.upstream_paused(ingress);
+            let transition = buffer.pfc_transition(ingress, &pfc);
+            match transition {
+                Some(true) => {
+                    assert!(!was_paused, "pause only fires from the unpaused state");
+                    assert!(
+                        occupancy > threshold,
+                        "pause requires occupancy {occupancy} > threshold {threshold}"
+                    );
+                    assert!(buffer.upstream_paused(ingress));
+                }
+                Some(false) => {
+                    assert!(was_paused, "resume only fires from the paused state");
+                    assert!(
+                        (occupancy as f64) < pfc.resume_fraction * threshold as f64,
+                        "resume requires occupancy below the resume fraction"
+                    );
+                    assert!(!buffer.upstream_paused(ingress));
+                }
+                None => {
+                    assert_eq!(
+                        buffer.upstream_paused(ingress),
+                        was_paused,
+                        "no transition must not change the pause state"
+                    );
+                    if !was_paused {
+                        assert!(occupancy <= threshold, "unpaused above threshold must pause");
+                    } else {
+                        assert!(
+                            (occupancy as f64) >= pfc.resume_fraction * threshold as f64,
+                            "paused below the resume point must resume"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A disabled PFC never produces transitions no matter the load.
+    fn disabled_pfc_never_transitions(ops in op_gen()) {
+        let pfc = PfcConfig::disabled();
+        let mut buffer = SharedBuffer::new(16_000, NUM_PORTS);
+        for &(ingress, bytes, _) in &ops {
+            let ingress = ingress as u32;
+            buffer.admit(bytes as u32, ingress);
+            assert_eq!(buffer.pfc_transition(ingress, &pfc), None);
+            assert!(!buffer.upstream_paused(ingress));
+        }
+    }
+}
