@@ -28,7 +28,7 @@ use bfc_net::topology::{fat_tree, FatTreeParams};
 use bfc_net::types::{FlowId, NodeId};
 use bfc_net::{Link, NetEvent, Port, SwitchConfig};
 use bfc_sim::{EventQueue, SimDuration, SimTime};
-use bfc_workloads::{synthesize, TraceParams, Workload};
+use bfc_workloads::{export_csv, import_csv, synthesize, TraceParams, Workload};
 
 const USAGE: &str = "usage: bfc-bench [--quick] [--out <path>] [--filter <substr>] \
 [--no-json] [--compare <baseline.json>] [--max-regress <pct>]";
@@ -213,6 +213,21 @@ fn bench_calendar_queue(h: &mut Harness) {
     });
 }
 
+fn bench_trace_io(h: &mut Harness) {
+    // A few thousand flows: representative of the quick-scale traces the
+    // figure sweeps import/export, large enough that per-row costs dominate.
+    let hosts: Vec<NodeId> = (0..64).map(NodeId).collect();
+    let trace = synthesize(
+        &hosts,
+        &TraceParams::background_only(Workload::Google, 0.6, SimDuration::from_micros(400), 9),
+    );
+    let csv = export_csv(&trace);
+    h.bench("trace_csv_export", || export_csv(&trace).len());
+    h.bench("trace_csv_import", || {
+        import_csv(&csv).expect("exported traces always parse").len()
+    });
+}
+
 fn bench_parallel_runner(h: &mut Harness) {
     let topo = fat_tree(FatTreeParams::tiny());
     let trace = synthesize(
@@ -289,6 +304,7 @@ fn main() -> ExitCode {
     bench_bloom(&mut h);
     bench_flow_table(&mut h);
     bench_switch_forwarding(&mut h);
+    bench_trace_io(&mut h);
     bench_end_to_end(&mut h);
     bench_parallel_runner(&mut h);
 

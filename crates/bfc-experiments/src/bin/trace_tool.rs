@@ -1,0 +1,335 @@
+//! `trace-tool` — synthesize, summarize and replay workload traces in the
+//! CSV format of `bfc_workloads::io`.
+//!
+//! ```sh
+//! cargo run --release -p bfc-experiments --bin trace-tool -- synth --out trace.csv
+//! cargo run --release -p bfc-experiments --bin trace-tool -- stats trace.csv
+//! cargo run --release -p bfc-experiments --bin trace-tool -- replay trace.csv --scheme lineup
+//! ```
+//!
+//! `synth` generates a trace over the hosts of a built-in fat-tree topology
+//! and writes it as CSV; `stats` prints a summary (flow count, offered load,
+//! size percentiles); `replay` validates the trace against the same topology
+//! and runs it through the experiment driver (all schemes fan out across the
+//! `ParallelRunner`; results are bit-identical at any `BFC_THREADS`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bfc_experiments::{ExperimentConfig, ParallelRunner, ReplayTrace, Scheme};
+use bfc_net::topology::{fat_tree, FatTreeParams, Topology};
+use bfc_sim::SimDuration;
+use bfc_workloads::io::{read_csv_file, write_csv_file, TraceStats};
+use bfc_workloads::{synthesize, ArrivalShape, IncastSchedule, TraceParams, Workload};
+
+const USAGE: &str = "\
+usage: trace-tool <command> [options]
+
+commands:
+  synth --out <path>      synthesize a trace and write it as CSV
+    --topo tiny|t1|t2       topology whose hosts the trace runs over [tiny]
+    --workload google|fb-hadoop|websearch   flow-size CDF [google]
+    --load <frac>           background offered load [0.6]
+    --incast-load <frac>    extra incast load, 0 disables [0.05]
+    --fan-in <n>            senders per incast event [6]
+    --incast-bytes <n>      aggregate bytes per incast event [500000]
+    --duration-us <n>       trace duration in microseconds [300]
+    --seed <n>              RNG seed [1]
+    --arrivals lognormal|poisson|bursty     background gap shape [lognormal]
+    --incast-schedule periodic|lognormal    incast event spacing [periodic]
+
+  stats <path>            print a summary of a trace CSV
+    --gbps <rate>           host link rate for the load arithmetic [100]
+
+  replay <path>           replay a trace CSV through the experiment driver
+    --topo tiny|t1|t2       topology to replay over (must cover the trace's
+                            host ids) [tiny]
+    --scheme bfc|bfc-vfid|ideal-fq|dcqcn|dcqcn-win|dcqcn-win-sfq|hpcc|lineup
+                            scheme(s) to run [bfc]
+    --seed <n>              experiment seed [1]
+    --drain-x <n>           drain window as a multiple of the horizon [4]";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trace-tool: {msg}\n\n{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn parse_topology(name: &str) -> Option<Topology> {
+    let params = match name {
+        "tiny" => FatTreeParams::tiny(),
+        "t1" => FatTreeParams::t1(),
+        "t2" => FatTreeParams::t2(),
+        _ => return None,
+    };
+    Some(fat_tree(params))
+}
+
+fn parse_workload(name: &str) -> Option<Workload> {
+    match name {
+        "google" => Some(Workload::Google),
+        "fb-hadoop" | "fb_hadoop" | "hadoop" => Some(Workload::FbHadoop),
+        "websearch" | "web-search" => Some(Workload::WebSearch),
+        _ => None,
+    }
+}
+
+fn parse_schemes(name: &str) -> Option<Vec<Scheme>> {
+    Some(match name {
+        "bfc" => vec![Scheme::bfc()],
+        "bfc-vfid" => vec![Scheme::bfc_vfid()],
+        "ideal-fq" => vec![Scheme::IdealFq],
+        "dcqcn" => vec![Scheme::Dcqcn { window: false, sfq: false }],
+        "dcqcn-win" => vec![Scheme::Dcqcn { window: true, sfq: false }],
+        "dcqcn-win-sfq" => vec![Scheme::Dcqcn { window: true, sfq: true }],
+        "hpcc" => vec![Scheme::Hpcc],
+        "lineup" | "all" => Scheme::paper_lineup(),
+        _ => return None,
+    })
+}
+
+/// `--flag value` option walker shared by the three subcommands: returns the
+/// positional arguments, handing each `--flag`'s value to `set`.
+fn walk_options(
+    args: &[String],
+    mut set: impl FnMut(&str, &str) -> Result<(), String>,
+) -> Result<Vec<String>, String> {
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(flag) = arg.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{flag} requires a value"))?;
+            set(flag, value)?;
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok(positional)
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("--{flag}: not a valid number: {value}"))
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let mut out: Option<PathBuf> = None;
+    let mut topo: Option<Topology> = None;
+    let mut topo_name = "tiny".to_string();
+    let mut workload = Workload::Google;
+    let mut load = 0.6f64;
+    let mut incast_load = 0.05f64;
+    let mut fan_in = 6usize;
+    let mut incast_bytes = 500_000u64;
+    let mut duration_us = 300u64;
+    let mut seed = 1u64;
+    let mut arrivals = ArrivalShape::paper_default();
+    let mut incast_schedule = IncastSchedule::paper_default();
+
+    let positional = walk_options(args, |flag, value| {
+        match flag {
+            "out" => out = Some(PathBuf::from(value)),
+            "topo" => {
+                topo = Some(
+                    parse_topology(value)
+                        .ok_or_else(|| format!("--topo: unknown topology {value}"))?,
+                );
+                topo_name = value.to_string();
+            }
+            "workload" => {
+                workload = parse_workload(value)
+                    .ok_or_else(|| format!("--workload: unknown workload {value}"))?;
+            }
+            "load" => load = parse_num(flag, value)?,
+            "incast-load" => incast_load = parse_num(flag, value)?,
+            "fan-in" => fan_in = parse_num(flag, value)?,
+            "incast-bytes" => incast_bytes = parse_num(flag, value)?,
+            "duration-us" => duration_us = parse_num(flag, value)?,
+            "seed" => seed = parse_num(flag, value)?,
+            "arrivals" => {
+                arrivals = match value {
+                    "lognormal" => ArrivalShape::paper_default(),
+                    "poisson" => ArrivalShape::Poisson,
+                    "bursty" => ArrivalShape::bursty_default(),
+                    _ => return Err(format!("--arrivals: unknown shape {value}")),
+                }
+            }
+            "incast-schedule" => {
+                incast_schedule = match value {
+                    "periodic" => IncastSchedule::Periodic,
+                    "lognormal" => IncastSchedule::LogNormalGaps { sigma: 1.0 },
+                    _ => return Err(format!("--incast-schedule: unknown schedule {value}")),
+                }
+            }
+            _ => return Err(format!("synth: unknown option --{flag}")),
+        }
+        Ok(())
+    })?;
+    if !positional.is_empty() {
+        return Err(format!("synth: unexpected argument {}", positional[0]));
+    }
+    let out = out.ok_or("synth: --out <path> is required")?;
+    // Keep the load arithmetic (and the incast event period) in sane,
+    // non-panicking ranges before handing the parameters to `synthesize`.
+    if !(load > 0.0 && load <= 1.5) {
+        return Err(format!("synth: --load must be in (0, 1.5], got {load}"));
+    }
+    if !(0.0..=1.5).contains(&incast_load) {
+        return Err(format!(
+            "synth: --incast-load must be in [0, 1.5], got {incast_load}"
+        ));
+    }
+    if incast_load > 0.0 && incast_bytes < 1_000 {
+        return Err(format!(
+            "synth: --incast-bytes must be at least 1000 when incast is enabled, got {incast_bytes}"
+        ));
+    }
+    if duration_us == 0 {
+        return Err("synth: --duration-us must be positive".into());
+    }
+
+    let topo = topo.unwrap_or_else(|| parse_topology("tiny").expect("tiny always builds"));
+    let hosts = topo.hosts();
+    let params = TraceParams {
+        workload,
+        load,
+        incast_load,
+        incast_fan_in: fan_in,
+        incast_total_bytes: incast_bytes,
+        duration: SimDuration::from_micros(duration_us),
+        host_gbps: topo.host_uplink(hosts[0]).link.rate_gbps,
+        seed,
+        arrivals,
+        incast_schedule,
+    };
+    let flows = synthesize(&hosts, &params);
+    write_csv_file(&out, &flows).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "wrote {} flows over {} ({} hosts of `{topo_name}`) to {}",
+        flows.len(),
+        params.duration,
+        hosts.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let mut gbps = 100.0f64;
+    let positional = walk_options(args, |flag, value| {
+        match flag {
+            "gbps" => gbps = parse_num(flag, value)?,
+            _ => return Err(format!("stats: unknown option --{flag}")),
+        }
+        Ok(())
+    })?;
+    let [path] = positional.as_slice() else {
+        return Err("stats: exactly one trace path is required".into());
+    };
+    let flows = read_csv_file(path).map_err(|e| format!("{path}: {e}"))?;
+    match TraceStats::from_flows(&flows, gbps) {
+        Some(stats) => println!("{stats}"),
+        None => println!("{path}: empty trace"),
+    }
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let mut topo: Option<Topology> = None;
+    let mut topo_name = "tiny".to_string();
+    let mut schemes = vec![Scheme::bfc()];
+    let mut seed = 1u64;
+    let mut drain_x = 4u64;
+    let positional = walk_options(args, |flag, value| {
+        match flag {
+            "topo" => {
+                topo = Some(
+                    parse_topology(value)
+                        .ok_or_else(|| format!("--topo: unknown topology {value}"))?,
+                );
+                topo_name = value.to_string();
+            }
+            "scheme" => {
+                schemes = parse_schemes(value)
+                    .ok_or_else(|| format!("--scheme: unknown scheme {value}"))?;
+            }
+            "seed" => seed = parse_num(flag, value)?,
+            "drain-x" => drain_x = parse_num(flag, value)?,
+            _ => return Err(format!("replay: unknown option --{flag}")),
+        }
+        Ok(())
+    })?;
+    let [path] = positional.as_slice() else {
+        return Err("replay: exactly one trace path is required".into());
+    };
+
+    let topo = topo.unwrap_or_else(|| parse_topology("tiny").expect("tiny always builds"));
+    let replay = ReplayTrace::from_csv_path(path).map_err(|e| format!("{path}: {e}"))?;
+    let horizon = replay.horizon();
+    let configs: Vec<ExperimentConfig> = schemes
+        .into_iter()
+        .map(|scheme| {
+            let mut config = ExperimentConfig::new(scheme, horizon).with_seed(seed);
+            config.drain = horizon * drain_x;
+            config
+        })
+        .collect();
+    let runner = ParallelRunner::from_env();
+    let results = replay
+        .run_all(&topo, &configs, &runner)
+        .map_err(|e| format!("{path}: {e}"))?;
+
+    println!(
+        "replayed {} flows (horizon {horizon}) over `{topo_name}` with {} worker thread{}\n",
+        replay.flows().len(),
+        runner.threads(),
+        if runner.threads() == 1 { "" } else { "s" },
+    );
+    println!(
+        "{:<16} {:>11} {:>9} {:>9} {:>8} {:>7}",
+        "scheme", "completed", "p50", "p99", "util %", "drops"
+    );
+    for r in &results {
+        let (p50, p99) = r
+            .fct
+            .overall
+            .as_ref()
+            .map(|o| (o.p50, o.p99))
+            .unwrap_or((f64::NAN, f64::NAN));
+        println!(
+            "{:<16} {:>5}/{:<5} {:>9.2} {:>9.2} {:>8.1} {:>7}",
+            r.scheme,
+            r.completed_flows,
+            r.total_flows,
+            p50,
+            p99,
+            r.utilization * 100.0,
+            r.drops
+        );
+    }
+    println!("\n(FCT slowdown percentiles over non-incast flows)");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        return fail("missing command");
+    };
+    let result = match command.as_str() {
+        "synth" => cmd_synth(rest),
+        "stats" => cmd_stats(rest),
+        "replay" => cmd_replay(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => return fail(&format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => fail(&msg),
+    }
+}

@@ -18,7 +18,7 @@ use bfc_net::types::NodeId;
 use bfc_sim::SimDuration;
 use bfc_workloads::{
     concurrent_long_flows, cross_dc_trace, incast_trace, long_lived_per_receiver, synthesize,
-    TraceFlow, TraceParams, Workload,
+    ArrivalShape, IncastSchedule, TraceFlow, TraceParams, Workload,
 };
 
 use crate::parallel::ParallelRunner;
@@ -38,27 +38,50 @@ pub struct Scale {
     pub full: bool,
     /// RNG seed shared by all figures.
     pub seed: u64,
+    /// Background arrival shape for the synthetic workloads (paper default:
+    /// log-normal σ = 2; `--bursty` switches to Markov-modulated on/off).
+    pub arrivals: ArrivalShape,
+    /// Incast event schedule (paper default: periodic; `--lognormal-incast`
+    /// switches to log-normal inter-event gaps).
+    pub incast_schedule: IncastSchedule,
 }
 
 impl Scale {
     /// Small topology, short traces: every figure finishes in seconds.
     pub fn quick() -> Self {
-        Scale { full: false, seed: 1 }
+        Scale {
+            full: false,
+            seed: 1,
+            arrivals: ArrivalShape::paper_default(),
+            incast_schedule: IncastSchedule::paper_default(),
+        }
     }
 
     /// The paper's topologies and parameters (minutes per figure; run with
     /// `--release`).
     pub fn full() -> Self {
-        Scale { full: true, seed: 1 }
+        Scale {
+            full: true,
+            ..Scale::quick()
+        }
     }
 
-    /// Parses process arguments (`--full` switches to full scale).
+    /// Parses process arguments: `--full` switches to full scale, `--bursty`
+    /// to on/off background arrivals, `--lognormal-incast` to log-normal
+    /// incast inter-event gaps.
     pub fn from_args() -> Self {
-        if std::env::args().any(|a| a == "--full") {
+        let mut scale = if std::env::args().any(|a| a == "--full") {
             Scale::full()
         } else {
             Scale::quick()
+        };
+        if std::env::args().any(|a| a == "--bursty") {
+            scale.arrivals = ArrivalShape::bursty_default();
         }
+        if std::env::args().any(|a| a == "--lognormal-incast") {
+            scale.incast_schedule = IncastSchedule::LogNormalGaps { sigma: 1.0 };
+        }
+        scale
     }
 
     /// The T1-like topology used by the headline figures.
@@ -119,6 +142,8 @@ fn standard_trace(scale: &Scale, topo: &Topology, workload: Workload, load: f64,
         duration: scale.duration(),
         host_gbps: topo.host_uplink(topo.hosts()[0]).link.rate_gbps,
         seed: scale.seed,
+        arrivals: scale.arrivals,
+        incast_schedule: scale.incast_schedule,
     };
     synthesize(&topo.hosts(), &params)
 }
@@ -223,6 +248,8 @@ pub mod fig02 {
                     duration: scale.duration(),
                     host_gbps: gbps,
                     seed: scale.seed,
+                    arrivals: scale.arrivals,
+                    incast_schedule: scale.incast_schedule,
                 };
                 synthesize(&topo.hosts(), &p)
             };
@@ -512,6 +539,8 @@ pub mod fig09 {
             duration,
             host_gbps: params.dc.host_link.rate_gbps,
             seed: scale.seed,
+            arrivals: scale.arrivals,
+            incast_schedule: scale.incast_schedule,
         };
         let trace = cross_dc_trace(&built.dc0_hosts, &built.dc1_hosts, &trace_params, 0.2);
         let dc0: std::collections::HashSet<NodeId> = built.dc0_hosts.iter().copied().collect();
@@ -803,6 +832,15 @@ mod tests {
         let t = fig10::run(&Scale::quick());
         assert!(t.contains("BFC-BufferOpt"));
         assert!(t.contains("BFC "));
+    }
+
+    #[test]
+    fn sweeps_accept_bursty_and_clustered_incast_scales() {
+        let mut scale = Scale::quick();
+        scale.arrivals = ArrivalShape::bursty_default();
+        scale.incast_schedule = IncastSchedule::LogNormalGaps { sigma: 1.0 };
+        let t = fig05::run_google_incast(&scale);
+        assert!(t.contains("BFC"), "bursty sweep must still run:\n{t}");
     }
 
     #[test]

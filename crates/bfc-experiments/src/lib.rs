@@ -14,6 +14,10 @@
 //!   (scheme, sweep-point, seed) runs across `std::thread` workers with
 //!   order-preserving result collection, so every figure is bit-identical
 //!   at any thread count (`BFC_THREADS` controls the worker pool).
+//! * [`replay`] — the [`replay::ReplayTrace`] path: imported CSV traces
+//!   (see `bfc_workloads::io`) validated against a topology and replayed
+//!   through the same driver with bit-identical results; the `trace-tool`
+//!   binary (`synth` / `stats` / `replay`) is its CLI front end.
 //! * [`figures`] — one module per paper table/figure. Each `run` function
 //!   regenerates the corresponding rows/series; the `src/bin/figNN_*`
 //!   binaries are thin wrappers that print them, and the Criterion benches in
@@ -26,9 +30,11 @@
 
 pub mod figures;
 pub mod parallel;
+pub mod replay;
 pub mod runner;
 pub mod scheme;
 
 pub use parallel::ParallelRunner;
+pub use replay::{ReplayError, ReplayTrace};
 pub use runner::{run_experiment, ExperimentConfig, ExperimentResult};
 pub use scheme::Scheme;

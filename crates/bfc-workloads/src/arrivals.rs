@@ -38,6 +38,23 @@ pub enum ArrivalProcess {
         /// Shape parameter of the underlying normal.
         sigma: f64,
     },
+    /// Markov-modulated on/off arrivals: bursts of closely spaced flows
+    /// separated by long silences. Burst lengths are geometric with mean
+    /// `mean_burst_len`; within a burst, gaps are exponential with mean
+    /// `mean_secs * on_gap_fraction`, and each burst boundary inserts an
+    /// exponential off period sized so the overall mean gap is exactly
+    /// `mean_secs` — the offered load matches the smoother processes, only
+    /// the short-timescale variance differs.
+    Bursty {
+        /// Mean gap between flow arrivals in seconds (across bursts and
+        /// silences).
+        mean_secs: f64,
+        /// Expected number of arrivals per on-period (≥ 1).
+        mean_burst_len: f64,
+        /// Fraction of the mean gap attributable to in-burst spacing, in
+        /// (0, 1]; the remaining `1 - on_gap_fraction` is spent silent.
+        on_gap_fraction: f64,
+    },
 }
 
 impl ArrivalProcess {
@@ -49,11 +66,22 @@ impl ArrivalProcess {
         }
     }
 
+    /// A bursty on/off process at the given mean with the default burst
+    /// parameters (20 flows per burst, 10% duty cycle).
+    pub fn bursty(mean_secs: f64) -> Self {
+        ArrivalProcess::Bursty {
+            mean_secs,
+            mean_burst_len: 20.0,
+            on_gap_fraction: 0.1,
+        }
+    }
+
     /// Mean gap of the process in seconds.
     pub fn mean_secs(&self) -> f64 {
         match self {
             ArrivalProcess::Poisson { mean_secs } => *mean_secs,
             ArrivalProcess::LogNormal { mean_secs, .. } => *mean_secs,
+            ArrivalProcess::Bursty { mean_secs, .. } => *mean_secs,
         }
     }
 
@@ -63,6 +91,26 @@ impl ArrivalProcess {
             ArrivalProcess::Poisson { mean_secs } => rng.exponential(*mean_secs),
             ArrivalProcess::LogNormal { mean_secs, sigma } => {
                 rng.lognormal_with_mean(*mean_secs, *sigma)
+            }
+            ArrivalProcess::Bursty {
+                mean_secs,
+                mean_burst_len,
+                on_gap_fraction,
+            } => {
+                debug_assert!(*mean_burst_len >= 1.0, "mean_burst_len must be >= 1");
+                debug_assert!(
+                    *on_gap_fraction > 0.0 && *on_gap_fraction <= 1.0,
+                    "on_gap_fraction must be in (0, 1]"
+                );
+                // In-burst gap, plus — at a geometric burst boundary — an
+                // off period whose mean restores the overall target:
+                //   E[gap] = f·m + (1/B)·(1-f)·m·B = m.
+                let mut secs = rng.exponential(mean_secs * on_gap_fraction);
+                let off_mean = mean_secs * (1.0 - on_gap_fraction) * mean_burst_len;
+                if off_mean > 0.0 && rng.chance(1.0 / mean_burst_len) {
+                    secs += rng.exponential(off_mean);
+                }
+                secs
             }
         };
         SimDuration::from_secs_f64(secs)
@@ -75,6 +123,114 @@ impl ArrivalProcess {
         while t <= horizon {
             out.push(t);
             t += self.sample_gap(rng);
+        }
+        out
+    }
+}
+
+/// The shape of an arrival process, independent of its mean — what
+/// [`crate::TraceParams`] carries so trace synthesis can scale the gap
+/// distribution to the requested load. [`ArrivalShape::with_mean`] turns it
+/// into a concrete [`ArrivalProcess`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalShape {
+    /// Log-normal gaps with the given shape parameter (paper: σ = 2).
+    LogNormal {
+        /// Shape parameter of the underlying normal.
+        sigma: f64,
+    },
+    /// Memoryless Poisson arrivals.
+    Poisson,
+    /// Markov-modulated on/off bursts (see [`ArrivalProcess::Bursty`]).
+    Bursty {
+        /// Expected number of arrivals per burst (≥ 1).
+        mean_burst_len: f64,
+        /// Fraction of the mean gap spent inside bursts, in (0, 1].
+        on_gap_fraction: f64,
+    },
+}
+
+impl ArrivalShape {
+    /// The paper's default: log-normal with σ = 2.
+    pub fn paper_default() -> Self {
+        ArrivalShape::LogNormal { sigma: 2.0 }
+    }
+
+    /// The default bursty configuration (20 flows per burst, 10% duty cycle).
+    pub fn bursty_default() -> Self {
+        ArrivalShape::Bursty {
+            mean_burst_len: 20.0,
+            on_gap_fraction: 0.1,
+        }
+    }
+
+    /// Instantiates the shape at a concrete mean gap.
+    pub fn with_mean(&self, mean_secs: f64) -> ArrivalProcess {
+        match *self {
+            ArrivalShape::LogNormal { sigma } => ArrivalProcess::LogNormal { mean_secs, sigma },
+            ArrivalShape::Poisson => ArrivalProcess::Poisson { mean_secs },
+            ArrivalShape::Bursty {
+                mean_burst_len,
+                on_gap_fraction,
+            } => ArrivalProcess::Bursty {
+                mean_secs,
+                mean_burst_len,
+                on_gap_fraction,
+            },
+        }
+    }
+}
+
+/// How incast *events* are spaced in time. The paper fires one incast every
+/// fixed period; `LogNormalGaps` draws the inter-event gaps from a log-normal
+/// distribution with the same mean instead, so events cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IncastSchedule {
+    /// One event every `mean_gap`, exactly (the paper's setup).
+    Periodic,
+    /// Log-normal inter-event gaps with the given shape parameter, scaled so
+    /// the mean gap (and thus the incast offered load) is unchanged.
+    LogNormalGaps {
+        /// Shape parameter of the underlying normal.
+        sigma: f64,
+    },
+}
+
+impl IncastSchedule {
+    /// The paper's default: strictly periodic events.
+    pub fn paper_default() -> Self {
+        IncastSchedule::Periodic
+    }
+
+    /// Event instants until `horizon`, starting one gap after time zero.
+    /// `Periodic` consumes no randomness; `LogNormalGaps` draws every gap
+    /// from `rng`. `mean_gap` must be positive — a zero gap would mean an
+    /// unbounded number of events.
+    pub fn events_until(
+        &self,
+        mean_gap: SimDuration,
+        horizon: SimTime,
+        rng: &mut SimRng,
+    ) -> Vec<SimTime> {
+        assert!(!mean_gap.is_zero(), "event mean_gap must be positive");
+        let mut out = Vec::new();
+        match *self {
+            IncastSchedule::Periodic => {
+                let mut t = SimTime::ZERO + mean_gap;
+                while t <= horizon {
+                    out.push(t);
+                    t += mean_gap;
+                }
+            }
+            IncastSchedule::LogNormalGaps { sigma } => {
+                let mean_secs = mean_gap.as_secs_f64();
+                let mut t = SimTime::ZERO
+                    + SimDuration::from_secs_f64(rng.lognormal_with_mean(mean_secs, sigma));
+                while t <= horizon {
+                    out.push(t);
+                    t += SimDuration::from_secs_f64(rng.lognormal_with_mean(mean_secs, sigma));
+                }
+            }
         }
         out
     }
@@ -100,6 +256,7 @@ mod tests {
         for process in [
             ArrivalProcess::Poisson { mean_secs: mean },
             ArrivalProcess::paper_default(mean),
+            ArrivalProcess::bursty(mean),
         ] {
             let mut rng = SimRng::new(11);
             let horizon = SimTime::ZERO + SimDuration::from_millis(20);
@@ -135,5 +292,67 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn zero_load_rejected() {
         let _ = mean_interarrival_secs(0.0, 64, 100.0, 10_000.0);
+    }
+
+    #[test]
+    fn bursty_gaps_cluster_into_bursts() {
+        // Most gaps sit well below the mean (in-burst spacing), while the
+        // occasional off period is far above it — the gap distribution is
+        // bimodal in a way neither Poisson nor log-normal is.
+        let mut rng = SimRng::new(17);
+        let mean = 1e-6;
+        let process = ArrivalProcess::bursty(mean);
+        let gaps: Vec<f64> = (0..50_000)
+            .map(|_| process.sample_gap(&mut rng).as_secs_f64())
+            .collect();
+        let measured_mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!(
+            (measured_mean - mean).abs() / mean < 0.1,
+            "mean {measured_mean} should match {mean}"
+        );
+        let short = gaps.iter().filter(|&&g| g < 0.5 * mean).count() as f64 / gaps.len() as f64;
+        let long = gaps.iter().filter(|&&g| g > 4.0 * mean).count() as f64 / gaps.len() as f64;
+        assert!(short > 0.8, "in-burst gaps dominate, got {short}");
+        assert!(long > 0.02, "off periods exist, got {long}");
+    }
+
+    #[test]
+    fn arrival_shape_instantiates_matching_process() {
+        assert_eq!(
+            ArrivalShape::paper_default().with_mean(3e-6),
+            ArrivalProcess::paper_default(3e-6)
+        );
+        assert_eq!(
+            ArrivalShape::Poisson.with_mean(1e-6),
+            ArrivalProcess::Poisson { mean_secs: 1e-6 }
+        );
+        assert_eq!(
+            ArrivalShape::bursty_default().with_mean(2e-6),
+            ArrivalProcess::bursty(2e-6)
+        );
+    }
+
+    #[test]
+    fn incast_schedules_hit_the_target_event_rate() {
+        let mean_gap = SimDuration::from_micros(100);
+        let horizon = SimTime::ZERO + SimDuration::from_millis(50);
+        let mut rng = SimRng::new(23);
+        let periodic =
+            IncastSchedule::Periodic.events_until(mean_gap, horizon, &mut rng);
+        assert_eq!(periodic.len(), 500);
+        assert_eq!(periodic[0], SimTime::ZERO + mean_gap);
+        // Periodic consumed no randomness; a fresh rng produces the same
+        // log-normal schedule as a used-for-periodic one would.
+        let clustered = IncastSchedule::LogNormalGaps { sigma: 1.0 }
+            .events_until(mean_gap, horizon, &mut rng);
+        let expected = 500.0;
+        assert!(
+            (clustered.len() as f64 - expected).abs() / expected < 0.3,
+            "expected ≈{expected} events, got {}",
+            clustered.len()
+        );
+        for w in clustered.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
     }
 }

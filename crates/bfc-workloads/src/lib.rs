@@ -9,20 +9,29 @@
 //! * [`distributions`] — empirical flow-size CDFs and samplers for the three
 //!   workloads (plus helpers that regenerate the byte-weighted CDFs of
 //!   Fig. 4).
-//! * [`arrivals`] — offered-load arithmetic and the log-normal arrival
-//!   process.
+//! * [`arrivals`] — offered-load arithmetic and the arrival processes:
+//!   log-normal (paper default), Poisson, and bursty Markov-modulated on/off
+//!   gaps, plus the periodic / log-normal incast event schedules.
 //! * [`trace`] — complete trace synthesis: random sender/receiver pairs over
 //!   a host set, incast events (Fig. 5/8/11), long-lived flow patterns
 //!   (Figs. 8 and 10) and the cross-data-center mix of Fig. 9.
+//! * [`io`] — the std-only CSV trace format: `export_csv` / `import_csv`
+//!   with strict line-numbered parse errors, file helpers, and `TraceStats`
+//!   summaries, so real cluster traces can be persisted and replayed.
 //!
-//! All generation is deterministic given a seed.
+//! All generation is deterministic given a seed, and any trace round-trips
+//! bit-exactly through the CSV form.
 
 pub mod arrivals;
 pub mod distributions;
+pub mod io;
 pub mod trace;
 
-pub use arrivals::{mean_interarrival_secs, ArrivalProcess};
+pub use arrivals::{
+    mean_interarrival_secs, ArrivalProcess, ArrivalShape, IncastSchedule,
+};
 pub use distributions::{EmpiricalCdf, Workload};
+pub use io::{export_csv, import_csv, CsvError, CsvErrorKind, TraceStats};
 pub use trace::{
     concurrent_long_flows, cross_dc_trace, incast_trace, long_lived_per_receiver, synthesize,
     TraceFlow, TraceParams,

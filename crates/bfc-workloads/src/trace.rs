@@ -4,7 +4,7 @@
 use bfc_net::types::NodeId;
 use bfc_sim::{SimDuration, SimRng, SimTime};
 
-use crate::arrivals::{mean_interarrival_secs, ArrivalProcess};
+use crate::arrivals::{mean_interarrival_secs, ArrivalShape, IncastSchedule};
 use crate::distributions::Workload;
 
 /// One flow of a synthesized trace.
@@ -44,6 +44,10 @@ pub struct TraceParams {
     pub host_gbps: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Shape of the background inter-arrival gaps (paper: log-normal σ = 2).
+    pub arrivals: ArrivalShape,
+    /// How incast events are spaced (paper: strictly periodic).
+    pub incast_schedule: IncastSchedule,
 }
 
 impl TraceParams {
@@ -59,6 +63,8 @@ impl TraceParams {
             duration,
             host_gbps: 100.0,
             seed,
+            arrivals: ArrivalShape::paper_default(),
+            incast_schedule: IncastSchedule::paper_default(),
         }
     }
 
@@ -73,7 +79,21 @@ impl TraceParams {
             duration,
             host_gbps: 100.0,
             seed,
+            arrivals: ArrivalShape::paper_default(),
+            incast_schedule: IncastSchedule::paper_default(),
         }
+    }
+
+    /// Overrides the background arrival shape.
+    pub fn with_arrivals(mut self, arrivals: ArrivalShape) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Overrides the incast event schedule.
+    pub fn with_incast_schedule(mut self, schedule: IncastSchedule) -> Self {
+        self.incast_schedule = schedule;
+        self
     }
 }
 
@@ -88,9 +108,10 @@ fn pick_distinct_pair(hosts: &[NodeId], rng: &mut SimRng) -> (NodeId, NodeId) {
     }
 }
 
-/// Synthesizes the paper's standard workload: log-normal background arrivals
-/// matching `params.load`, plus periodic incast events adding
-/// `params.incast_load` of extra traffic.
+/// Synthesizes the paper's standard workload: background arrivals matching
+/// `params.load` (log-normal gaps by default; see [`TraceParams::arrivals`]),
+/// plus incast events adding `params.incast_load` of extra traffic on the
+/// schedule of [`TraceParams::incast_schedule`].
 pub fn synthesize(hosts: &[NodeId], params: &TraceParams) -> Vec<TraceFlow> {
     let mut rng = SimRng::new(params.seed);
     let cdf = params.workload.cdf();
@@ -102,7 +123,7 @@ pub fn synthesize(hosts: &[NodeId], params: &TraceParams) -> Vec<TraceFlow> {
     if params.load > 0.0 {
         let mean_gap =
             mean_interarrival_secs(params.load, hosts.len(), params.host_gbps, mean_size);
-        let process = ArrivalProcess::paper_default(mean_gap);
+        let process = params.arrivals.with_mean(mean_gap);
         let mut arrival_rng = rng.split(1);
         let mut size_rng = rng.split(2);
         let mut pair_rng = rng.split(3);
@@ -118,15 +139,19 @@ pub fn synthesize(hosts: &[NodeId], params: &TraceParams) -> Vec<TraceFlow> {
         }
     }
 
-    // Incast events.
-    if params.incast_load > 0.0 && params.incast_fan_in > 0 {
+    // Incast events. The byte guard matters: a zero event size would make
+    // the event rate infinite (period zero) below.
+    if params.incast_load > 0.0 && params.incast_fan_in > 0 && params.incast_total_bytes > 0 {
         let aggregate_bps = hosts.len() as f64 * params.host_gbps * 1e9;
         let event_bits = params.incast_total_bytes as f64 * 8.0;
         let events_per_sec = params.incast_load * aggregate_bps / event_bits;
         let period = SimDuration::from_secs_f64(1.0 / events_per_sec);
         let mut incast_rng = rng.split(4);
-        let mut t = SimTime::ZERO + period;
-        while t <= horizon {
+        let mut schedule_rng = rng.split(5);
+        for t in params
+            .incast_schedule
+            .events_until(period, horizon, &mut schedule_rng)
+        {
             flows.extend(incast_event(
                 hosts,
                 params.incast_fan_in,
@@ -134,7 +159,6 @@ pub fn synthesize(hosts: &[NodeId], params: &TraceParams) -> Vec<TraceFlow> {
                 t,
                 &mut incast_rng,
             ));
-            t += period;
         }
     }
 
@@ -257,7 +281,7 @@ pub fn cross_dc_trace(
     let cdf = params.workload.cdf();
     let mean_size = cdf.mean_bytes();
     let mean_gap = mean_interarrival_secs(params.load, all.len(), params.host_gbps, mean_size);
-    let process = ArrivalProcess::paper_default(mean_gap);
+    let process = params.arrivals.with_mean(mean_gap);
     let horizon = SimTime::ZERO + params.duration;
     let mut arrival_rng = rng.split(1);
     let mut size_rng = rng.split(2);
@@ -353,6 +377,37 @@ mod tests {
     }
 
     #[test]
+    fn zero_byte_incast_is_disabled_rather_than_divergent() {
+        // incast_total_bytes = 0 would make the event period zero; the
+        // branch must be skipped like fan_in = 0, not loop forever.
+        let hosts = hosts(8);
+        let params = TraceParams {
+            incast_total_bytes: 0,
+            ..TraceParams::google_with_incast(SimDuration::from_micros(200), 2)
+        };
+        let flows = synthesize(&hosts, &params);
+        assert!(flows.iter().all(|f| !f.is_incast));
+        assert!(!flows.is_empty());
+    }
+
+    #[test]
+    fn bursty_arrivals_and_clustered_incast_keep_the_offered_load() {
+        let hosts = hosts(64);
+        let params = TraceParams::google_with_incast(SimDuration::from_millis(5), 13)
+            .with_arrivals(ArrivalShape::bursty_default())
+            .with_incast_schedule(IncastSchedule::LogNormalGaps { sigma: 1.0 });
+        let flows = synthesize(&hosts, &params);
+        let bytes: u64 = flows.iter().filter(|f| !f.is_incast).map(|f| f.size_bytes).sum();
+        let ratio = bytes as f64 * 8.0 / 5e-3 / (0.60 * 64.0 * 100e9);
+        assert!((0.5..1.5).contains(&ratio), "background offered/target = {ratio}");
+        for w in flows.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        // Same seed, same trace; the variants are deterministic too.
+        assert_eq!(flows, synthesize(&hosts, &params));
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let hosts = hosts(16);
         let params = TraceParams::google_with_incast(SimDuration::from_millis(1), 42);
@@ -417,6 +472,8 @@ mod tests {
             duration: SimDuration::from_millis(2),
             host_gbps: 10.0,
             seed: 4,
+            arrivals: ArrivalShape::paper_default(),
+            incast_schedule: IncastSchedule::paper_default(),
         };
         let flows = cross_dc_trace(&dc0, &dc1, &params, 0.2);
         assert!(!flows.is_empty());

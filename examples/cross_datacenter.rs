@@ -3,16 +3,21 @@
 //! inside each data center, so intra-DC tail latency is insulated from the
 //! long-RTT inter-DC flows; end-to-end control (DCQCN+Win) is not.
 //!
+//! Both schemes fan out through the parallel experiment driver
+//! (`BFC_THREADS` sets the worker count; output is identical at any value).
+//!
 //! ```sh
 //! cargo run --release --example cross_datacenter
 //! ```
 
-use backpressure_flow_control::experiments::{run_experiment, ExperimentConfig, Scheme};
+use backpressure_flow_control::experiments::{ExperimentConfig, ParallelRunner, Scheme};
 use backpressure_flow_control::metrics::fct::{FctSummary, SizeBucket};
 use backpressure_flow_control::net::topology::{cross_dc, CrossDcParams, FatTreeParams};
 use backpressure_flow_control::net::Link;
 use backpressure_flow_control::sim::SimDuration;
-use backpressure_flow_control::workloads::{cross_dc_trace, TraceParams, Workload};
+use backpressure_flow_control::workloads::{
+    cross_dc_trace, ArrivalShape, IncastSchedule, TraceParams, Workload,
+};
 
 fn main() {
     // Two small 10 Gbps data centers, 100 Gbps long-haul link with 20 us of
@@ -42,24 +47,34 @@ fn main() {
             duration,
             host_gbps: 10.0,
             seed: 11,
+            arrivals: ArrivalShape::paper_default(),
+            incast_schedule: IncastSchedule::paper_default(),
         },
         0.2,
     );
     let dc0: std::collections::HashSet<_> = built.dc0_hosts.iter().copied().collect();
-    println!("{} flows, 20% of them inter-DC\n", trace.len());
+    let runner = ParallelRunner::from_env();
+    println!(
+        "{} flows, 20% of them inter-DC ({} worker thread{})\n",
+        trace.len(),
+        runner.threads(),
+        if runner.threads() == 1 { "" } else { "s" },
+    );
     println!(
         "{:<16} {:<9} {:>7} {:>8} {:>8}",
         "scheme", "class", "flows", "p50", "p99"
     );
-    for scheme in [
+    let configs: Vec<ExperimentConfig> = [
         Scheme::bfc(),
         Scheme::Dcqcn {
             window: true,
             sfq: false,
         },
-    ] {
-        let config = ExperimentConfig::new(scheme, duration);
-        let r = run_experiment(&built.topology, &trace, &config);
+    ]
+    .into_iter()
+    .map(|scheme| ExperimentConfig::new(scheme, duration))
+    .collect();
+    for r in runner.run_experiments(&built.topology, &trace, &configs) {
         for inter in [false, true] {
             let records: Vec<_> = r
                 .records

@@ -1,14 +1,21 @@
 //! Quickstart: build a small leaf-spine fabric, synthesize a Google-like
 //! workload, run it under BFC and print the tail-latency summary.
 //!
+//! Like every other example, the run goes through the parallel experiment
+//! driver (`ParallelRunner::from_env`, thread count from `BFC_THREADS`);
+//! with a single config it degenerates to a serial run, and the output is
+//! identical at any thread count.
+//!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use backpressure_flow_control::experiments::{run_experiment, ExperimentConfig, Scheme};
+use backpressure_flow_control::experiments::{ExperimentConfig, ParallelRunner, Scheme};
 use backpressure_flow_control::net::topology::{fat_tree, FatTreeParams};
 use backpressure_flow_control::sim::SimDuration;
-use backpressure_flow_control::workloads::{synthesize, TraceParams, Workload};
+use backpressure_flow_control::workloads::{
+    synthesize, ArrivalShape, IncastSchedule, TraceParams, Workload,
+};
 
 fn main() {
     // A 2-rack, 8-host leaf-spine fabric with 100 Gbps links (use
@@ -29,14 +36,17 @@ fn main() {
             duration,
             host_gbps: 100.0,
             seed: 42,
+            arrivals: ArrivalShape::paper_default(),
+            incast_schedule: IncastSchedule::paper_default(),
         },
     );
     println!("synthesized {} flows over {duration}", trace.len());
 
     // Run the trace under BFC with the paper's switch parameters
     // (32 queues/port, 12 MB shared buffer, 1 KB MTU).
-    let config = ExperimentConfig::new(Scheme::bfc(), duration);
-    let result = run_experiment(&topo, &trace, &config);
+    let configs = [ExperimentConfig::new(Scheme::bfc(), duration)];
+    let results = ParallelRunner::from_env().run_experiments(&topo, &trace, &configs);
+    let result = &results[0];
 
     println!(
         "completed {}/{} flows, utilization {:.1}%, PFC pause time {:.3}%, drops {}",

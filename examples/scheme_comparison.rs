@@ -14,7 +14,9 @@
 use backpressure_flow_control::experiments::{ExperimentConfig, ParallelRunner, Scheme};
 use backpressure_flow_control::net::topology::{fat_tree, FatTreeParams};
 use backpressure_flow_control::sim::SimDuration;
-use backpressure_flow_control::workloads::{synthesize, TraceParams, Workload};
+use backpressure_flow_control::workloads::{
+    synthesize, ArrivalShape, IncastSchedule, TraceParams, Workload,
+};
 
 fn main() {
     let topo = fat_tree(FatTreeParams::tiny());
@@ -30,6 +32,8 @@ fn main() {
             duration,
             host_gbps: 100.0,
             seed: 7,
+            arrivals: ArrivalShape::paper_default(),
+            incast_schedule: IncastSchedule::paper_default(),
         },
     );
     let runner = ParallelRunner::from_env();

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Standing pre-commit check for this repository:
-#   1. tier-1: release build + the root test suites (end-to-end, properties, doctest)
+# Standing pre-commit check for this repository (see also README "Tests"):
+#   1. tier-1: release build + the root test suites (end-to-end, properties,
+#      trace round-trip/replay, doctest)
 #   2. the bfc-testkit harness's own unit tests
-#   3. a quick benchmark run diffed against the committed BENCH.json —
+#   3. a trace-tool smoke: synth -> stats -> replay on a tiny CSV trace
+#   4. a quick benchmark run diffed against the committed BENCH.json —
 #      any benchmark whose median regresses more than 25% fails the check
 #      (benchmarks without a committed baseline entry are skipped)
 #
@@ -14,6 +16,9 @@
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+tmpdir="$(mktemp -d -t bfc-verify-XXXXXX)"
+trap 'rm -rf "$tmpdir"' EXIT
 
 echo "== tier-1: cargo build --release"
 cargo build --release
@@ -29,6 +34,13 @@ if [[ "${1:-}" == "--workspace" ]]; then
     cargo test -q --workspace
 fi
 
+echo "== trace-tool: synth -> stats -> replay round-trip"
+trace_csv="$tmpdir/trace.csv"
+cargo run --release -q -p bfc-experiments --bin trace-tool -- \
+    synth --out "$trace_csv" --duration-us 120 --seed 7
+cargo run --release -q -p bfc-experiments --bin trace-tool -- stats "$trace_csv"
+cargo run --release -q -p bfc-experiments --bin trace-tool -- replay "$trace_csv" --scheme bfc
+
 echo "== bench: cargo run --release -p bfc-bench -- --quick"
 # The committed baseline records absolute ns on the machine that wrote it at
 # full fidelity, while this check runs in quick mode — noise and machine
@@ -41,8 +53,7 @@ baseline="BENCH.json"
 if [[ -f "$baseline" ]]; then
     # Don't clobber the committed baseline during routine verification;
     # write to a temp file and diff the medians against the baseline.
-    out="$(mktemp -t bfc-bench-XXXXXX.json)"
-    trap 'rm -f "$out"' EXIT
+    out="$tmpdir/bench.json"
     cargo run --release -q -p bfc-bench -- --quick --out "$out" --compare "$baseline" --max-regress "$max_regress"
 else
     # First run on a fresh checkout: establish the baseline.

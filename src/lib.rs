@@ -15,7 +15,7 @@
 //! | [`net`] | `bfc-net` | packets, links, switches, shared buffers, PFC, topologies, routing |
 //! | [`core`] | `bfc-core` | **the paper's contribution**: the BFC switch policy (flow table, dynamic queue assignment, bloom-filter pauses, thresholds, high-priority queue) |
 //! | [`transport`] | `bfc-transport` | host / NIC models: Go-Back-N, DCQCN, HPCC, window caps |
-//! | [`workloads`] | `bfc-workloads` | Google / FB_Hadoop / WebSearch traces, incast, cross-DC mixes |
+//! | [`workloads`] | `bfc-workloads` | Google / FB_Hadoop / WebSearch traces, incast, cross-DC mixes, CSV trace import/export |
 //! | [`metrics`] | `bfc-metrics` | FCT slowdown, percentiles, occupancy, utilization, pause time |
 //! | [`experiments`] | `bfc-experiments` | scheme registry, simulation driver, one module + binary per figure |
 //!
@@ -42,9 +42,12 @@
 //! ```
 //!
 //! The runnable examples in `examples/` show the same flow end to end
-//! (`quickstart`, `incast_collapse`, `cross_datacenter`, `scheme_comparison`),
-//! and `cargo run --release -p bfc-experiments --bin fig05_main_fct` (plus the
-//! other `figNN_*` binaries) regenerates the paper's figures.
+//! (`quickstart`, `incast_collapse`, `cross_datacenter`, `scheme_comparison`,
+//! `trace_replay`), `cargo run --release -p bfc-experiments --bin
+//! fig05_main_fct` (plus the other `figNN_*` binaries) regenerates the
+//! paper's figures, and `cargo run --release -p bfc-experiments --bin
+//! trace-tool` synthesizes, summarizes and replays CSV traces (see the
+//! README's "Trace I/O and replay" section).
 
 pub use bfc_core as core;
 pub use bfc_experiments as experiments;

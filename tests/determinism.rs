@@ -1,17 +1,22 @@
-//! Determinism regression tests for the engine-refactor PR:
+//! Determinism regression tests:
 //!
 //! 1. The same `ExperimentConfig` run serially and through the
 //!    `ParallelRunner` at 1, 2 and 4 threads yields identical `FctSummary`
 //!    output (and identical scalar metrics).
 //! 2. The calendar-queue `EventQueue` and the reference heap implementation
 //!    deliver identical sequences on randomized event schedules.
+//! 3. Traces replayed from CSV (including the bursty / clustered-incast
+//!    variants) stay bit-identical through the `ParallelRunner` at 1, 2 and
+//!    4 threads.
 
 use backpressure_flow_control::experiments::{
-    run_experiment, ExperimentConfig, ParallelRunner, Scheme,
+    run_experiment, ExperimentConfig, ParallelRunner, ReplayTrace, Scheme,
 };
 use backpressure_flow_control::net::topology::{fat_tree, FatTreeParams};
 use backpressure_flow_control::sim::{EventQueue, ReferenceEventQueue, SimDuration, SimTime};
-use backpressure_flow_control::workloads::{synthesize, TraceFlow, TraceParams, Workload};
+use backpressure_flow_control::workloads::{
+    export_csv, synthesize, ArrivalShape, IncastSchedule, TraceFlow, TraceParams, Workload,
+};
 use bfc_testkit::{int_range, pair, property, vec_of};
 
 fn tiny_trace(topo: &backpressure_flow_control::net::Topology, seed: u64) -> Vec<TraceFlow> {
@@ -108,6 +113,46 @@ property! {
         }
     }
 
+}
+
+/// A trace that went through the CSV format replays bit-identically through
+/// the `ParallelRunner` at every thread count — for the paper-default
+/// workload and for the bursty / log-normal-incast arrival variants.
+#[test]
+fn replayed_csv_traces_are_bit_identical_at_1_2_4_threads() {
+    let topo = fat_tree(FatTreeParams::tiny());
+    let variants = [
+        TraceParams::google_with_incast(SimDuration::from_micros(150), 29),
+        TraceParams::google_with_incast(SimDuration::from_micros(150), 29)
+            .with_arrivals(ArrivalShape::bursty_default())
+            .with_incast_schedule(IncastSchedule::LogNormalGaps { sigma: 1.0 }),
+    ];
+    for params in variants {
+        let params = TraceParams {
+            incast_fan_in: 6,
+            incast_total_bytes: 400_000,
+            ..params
+        };
+        let trace = synthesize(&topo.hosts(), &params);
+        let replay = ReplayTrace::from_csv_str(&export_csv(&trace)).expect("round trip");
+        assert_eq!(replay.flows(), &trace[..]);
+        let configs = [ExperimentConfig::new(Scheme::bfc(), SimDuration::from_micros(150))];
+        let ground_truth = run_experiment(&topo, &trace, &configs[0]);
+        for threads in [1, 2, 4] {
+            let replayed = replay
+                .run_all(&topo, &configs, &ParallelRunner::new(threads))
+                .expect("valid trace");
+            assert_eq!(replayed.len(), 1);
+            assert_eq!(
+                ground_truth.fct, replayed[0].fct,
+                "{threads} threads, {:?}",
+                params.arrivals
+            );
+            assert_eq!(ground_truth.records, replayed[0].records);
+            assert_eq!(ground_truth.end_time, replayed[0].end_time);
+            assert_eq!(ground_truth.drops, replayed[0].drops);
+        }
+    }
 }
 
 /// Replaying the same seed through the full experiment pipeline is

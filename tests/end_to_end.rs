@@ -5,7 +5,7 @@ use backpressure_flow_control::experiments::{run_experiment, ExperimentConfig, S
 use backpressure_flow_control::net::topology::{fat_tree, FatTreeParams};
 use backpressure_flow_control::sim::SimDuration;
 use backpressure_flow_control::workloads::{
-    concurrent_long_flows, synthesize, TraceParams, Workload,
+    concurrent_long_flows, synthesize, ArrivalShape, IncastSchedule, TraceParams, Workload,
 };
 
 fn congested_trace(topo: &backpressure_flow_control::net::Topology, seed: u64) -> Vec<backpressure_flow_control::workloads::TraceFlow> {
@@ -18,6 +18,8 @@ fn congested_trace(topo: &backpressure_flow_control::net::Topology, seed: u64) -
         duration: SimDuration::from_micros(300),
         host_gbps: 100.0,
         seed,
+        arrivals: ArrivalShape::paper_default(),
+        incast_schedule: IncastSchedule::paper_default(),
     };
     synthesize(&topo.hosts(), &params)
 }
