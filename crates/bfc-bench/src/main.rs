@@ -213,6 +213,27 @@ fn bench_calendar_queue(h: &mut Harness) {
     });
 }
 
+fn bench_routing_recompute(h: &mut Harness) {
+    // The dynamics subsystem recomputes routing on every link event; this is
+    // the re-convergence cost on the paper's T1 fat tree (128 hosts, 16
+    // switches) with one dead core link, as a fault schedule would leave it.
+    let topo = fat_tree(FatTreeParams::t1());
+    let tor0 = topo.switches()[0];
+    let spine0 = topo.switches()[8];
+    let dead_port = routes_port(&topo, tor0, spine0);
+    let back_port = routes_port(&topo, spine0, tor0);
+    h.bench("routing_recompute_fat_tree", || {
+        let routes = RoutingTables::compute_filtered(&topo, |n, p| {
+            !(n == tor0 && p == dead_port) && !(n == spine0 && p == back_port)
+        });
+        routes.hosts().len()
+    });
+}
+
+fn routes_port(topo: &bfc_net::Topology, a: NodeId, b: NodeId) -> u32 {
+    topo.port_towards(a, b).expect("adjacent in the fat tree")
+}
+
 fn bench_trace_io(h: &mut Harness) {
     // A few thousand flows: representative of the quick-scale traces the
     // figure sweeps import/export, large enough that per-row costs dominate.
@@ -304,6 +325,7 @@ fn main() -> ExitCode {
     bench_bloom(&mut h);
     bench_flow_table(&mut h);
     bench_switch_forwarding(&mut h);
+    bench_routing_recompute(&mut h);
     bench_trace_io(&mut h);
     bench_end_to_end(&mut h);
     bench_parallel_runner(&mut h);

@@ -16,7 +16,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bfc_experiments::{ExperimentConfig, ParallelRunner, ReplayTrace, Scheme};
+use bfc_experiments::figures::failure_sweep;
+use bfc_experiments::{ExperimentConfig, ParallelRunner, ReplayTrace, ScenarioSpec, Scheme};
 use bfc_net::topology::{fat_tree, FatTreeParams, Topology};
 use bfc_sim::SimDuration;
 use bfc_workloads::io::{read_csv_file, write_csv_file, TraceStats};
@@ -46,6 +47,23 @@ commands:
                             host ids) [tiny]
     --scheme bfc|bfc-vfid|ideal-fq|dcqcn|dcqcn-win|dcqcn-win-sfq|hpcc|lineup
                             scheme(s) to run [bfc]
+    --seed <n>              experiment seed [1]
+    --drain-x <n>           drain window as a multiple of the horizon [4]
+
+  scenario <path>         run a link-dynamics scenario (fault-injection)
+                          file through the experiment driver and report the
+                          recovery metrics. The scenario format is one
+                          directive per line:
+                            at <time> down|up <a> <b>
+                            at <time> rate <a> <b> <gbps>
+                            flap <a> <b> from <t> every <period> until <t>
+                          with times like 100us/2ms and endpoints named by
+                          topology label (tor0, spine1, host3) or node id.
+    --topo tiny|t1|t2       topology the scenario runs over [tiny]
+    --trace <csv>           replay this trace instead of synthesizing one
+    --scheme ... (as replay) scheme(s) to run [lineup]
+    --load <frac>           background load of the synthetic trace [0.6]
+    --duration-us <n>       synthetic trace duration in microseconds [300]
     --seed <n>              experiment seed [1]
     --drain-x <n>           drain window as a multiple of the horizon [4]";
 
@@ -313,6 +331,109 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_scenario(args: &[String]) -> Result<(), String> {
+    let mut topo: Option<Topology> = None;
+    let mut topo_name = "tiny".to_string();
+    let mut schemes = Scheme::paper_lineup();
+    let mut trace_path: Option<PathBuf> = None;
+    let mut load = 0.6f64;
+    let mut duration_us = 300u64;
+    let mut seed = 1u64;
+    let mut drain_x = 4u64;
+    let positional = walk_options(args, |flag, value| {
+        match flag {
+            "topo" => {
+                topo = Some(
+                    parse_topology(value)
+                        .ok_or_else(|| format!("--topo: unknown topology {value}"))?,
+                );
+                topo_name = value.to_string();
+            }
+            "scheme" => {
+                schemes = parse_schemes(value)
+                    .ok_or_else(|| format!("--scheme: unknown scheme {value}"))?;
+            }
+            "trace" => trace_path = Some(PathBuf::from(value)),
+            "load" => load = parse_num(flag, value)?,
+            "duration-us" => duration_us = parse_num(flag, value)?,
+            "seed" => seed = parse_num(flag, value)?,
+            "drain-x" => drain_x = parse_num(flag, value)?,
+            _ => return Err(format!("scenario: unknown option --{flag}")),
+        }
+        Ok(())
+    })?;
+    let [path] = positional.as_slice() else {
+        return Err("scenario: exactly one scenario path is required".into());
+    };
+    if !(load > 0.0 && load <= 1.5) {
+        return Err(format!("scenario: --load must be in (0, 1.5], got {load}"));
+    }
+    if duration_us == 0 {
+        return Err("scenario: --duration-us must be positive".into());
+    }
+
+    let topo = topo.unwrap_or_else(|| parse_topology("tiny").expect("tiny always builds"));
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let spec = ScenarioSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let schedule = spec.resolve(&topo).map_err(|e| format!("{path}: {e}"))?;
+
+    let (flows, horizon) = match &trace_path {
+        Some(csv) => {
+            let replay =
+                ReplayTrace::from_csv_path(csv).map_err(|e| format!("{}: {e}", csv.display()))?;
+            replay
+                .validate(&topo)
+                .map_err(|e| format!("{}: {e}", csv.display()))?;
+            let horizon = replay.horizon();
+            (replay.flows().to_vec(), horizon)
+        }
+        None => {
+            let hosts = topo.hosts();
+            let duration = SimDuration::from_micros(duration_us);
+            let params = TraceParams::background_only(Workload::Google, load, duration, seed);
+            let params = TraceParams {
+                host_gbps: topo.host_uplink(hosts[0]).link.rate_gbps,
+                ..params
+            };
+            (synthesize(&hosts, &params), duration)
+        }
+    };
+    let configs: Vec<ExperimentConfig> = schemes
+        .into_iter()
+        .map(|scheme| {
+            let mut config = ExperimentConfig::new(scheme, horizon)
+                .with_seed(seed)
+                .with_dynamics(schedule.clone());
+            config.drain = horizon * drain_x;
+            config
+        })
+        .collect();
+    let runner = ParallelRunner::from_env();
+    let results = runner.run_experiments(&topo, &flows, &configs);
+
+    println!(
+        "scenario `{path}`: {} fault event{} over `{topo_name}`, {} flows, {} worker thread{}\n",
+        schedule.len(),
+        if schedule.len() == 1 { "" } else { "s" },
+        flows.len(),
+        runner.threads(),
+        if runner.threads() == 1 { "" } else { "s" },
+    );
+    // The scenario file's stem labels the rows; the table itself is the
+    // failure-sweep figure's formatter, so the CLI and figure cannot drift.
+    let label = std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "scenario".to_string());
+    print!("{}", failure_sweep::HEADER);
+    for r in &results {
+        print!("{}", failure_sweep::result_row(&label, r));
+    }
+    println!("\n(FCT slowdown p99 over non-incast flows; ttr = goodput recovery after the last fault)");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -322,6 +443,7 @@ fn main() -> ExitCode {
         "synth" => cmd_synth(rest),
         "stats" => cmd_stats(rest),
         "replay" => cmd_replay(rest),
+        "scenario" => cmd_scenario(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())

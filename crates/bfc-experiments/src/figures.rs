@@ -787,6 +787,139 @@ pub mod fig14 {
     }
 }
 
+/// Failure sweep (dynamics subsystem): BFC vs DCQCN+Win vs HPCC under link
+/// failures, degradation and flapping — the regime where hop-by-hop
+/// backpressure's 1-RTT reaction time should differentiate.
+pub mod failure_sweep {
+    use super::*;
+    use crate::scenario::ScenarioSpec;
+
+    /// The schemes compared by the sweep.
+    pub fn schemes() -> Vec<Scheme> {
+        vec![
+            Scheme::bfc(),
+            Scheme::Dcqcn {
+                window: true,
+                sfq: false,
+            },
+            Scheme::Hpcc,
+        ]
+    }
+
+    /// The three canonical scenario shapes at this scale, over the t2-style
+    /// topology's `tor`/`spine` labels: a single cable down/up, a degraded
+    /// core cable (25 Gbps, later restored), and a flapping cable.
+    pub fn shapes(scale: &Scale) -> Vec<(&'static str, ScenarioSpec)> {
+        let d = scale.duration();
+        vec![
+            (
+                "single down/up",
+                ScenarioSpec::single_link_down_up("tor0", "spine0", d / 4, d * 3 / 5),
+            ),
+            (
+                "degraded core",
+                ScenarioSpec::degraded_link("tor0", "spine1", d / 4, 25.0, d * 3 / 4, 100.0),
+            ),
+            (
+                "flapping",
+                ScenarioSpec::flapping_link("tor1", "spine0", d / 5, d / 10, d * 7 / 10),
+            ),
+        ]
+    }
+
+    /// The failure-rate sweep: how many distinct ToR↔spine cables die at
+    /// once (down at 25% of the window, repaired at 60%).
+    pub fn failure_counts() -> Vec<usize> {
+        vec![0, 1, 2]
+    }
+
+    /// One recovery-results row, shared with `trace-tool scenario` so the
+    /// figure and the CLI cannot drift apart.
+    pub fn result_row(label: &str, result: &ExperimentResult) -> String {
+        let p99 = result
+            .fct
+            .overall
+            .as_ref()
+            .map(|o| o.p99)
+            .unwrap_or(f64::NAN);
+        let ttr = result
+            .recovery
+            .time_to_recover
+            .map(|d| format!("{:.1}", d.as_micros_f64()))
+            .unwrap_or_else(|| "-".to_string());
+        format!(
+            "{:<16} {:>15} {:>11} {:>9.2} {:>11} {:>9} {:>8} {:>7.2}\n",
+            result.scheme,
+            label,
+            format!("{}/{}", result.completed_flows, result.total_flows),
+            p99,
+            result.recovery.blackholed_packets,
+            result.recovery.reroutes,
+            ttr,
+            result.recovery.goodput_dip_depth,
+        )
+    }
+
+    /// Header matching [`result_row`]'s columns.
+    pub const HEADER: &str = "scheme                     shape   completed   fct p99  blackholed  reroutes  ttr(us)     dip\n";
+
+    /// Runs the shape comparison and the failure-rate sweep.
+    pub fn run(scale: &Scale) -> String {
+        let topo = scale.t2();
+        let trace = standard_trace(scale, &topo, Workload::Google, 0.60, 0.0);
+        let mut out = String::from("Fig 15a: recovery under three failure shapes\n");
+        out.push_str(HEADER);
+
+        let shapes = shapes(scale);
+        let jobs: Vec<(usize, Scheme)> = (0..shapes.len())
+            .flat_map(|i| schemes().into_iter().map(move |s| (i, s)))
+            .collect();
+        let results = runner().run_all(&jobs, |(shape, scheme)| {
+            let schedule = shapes[*shape]
+                .1
+                .resolve(&topo)
+                .expect("shape labels exist in the sweep topology");
+            let config = config_for(scale, scheme.clone()).with_dynamics(schedule);
+            run_experiment(&topo, &trace, &config)
+        });
+        for ((shape, _), result) in jobs.iter().zip(&results) {
+            out.push_str(&result_row(shapes[*shape].0, result));
+        }
+
+        out.push_str("\nFig 15b: FCT tail vs number of failed core links\n");
+        out.push_str(HEADER);
+        let d = scale.duration();
+        let counts = failure_counts();
+        let jobs: Vec<(usize, Scheme)> = counts
+            .iter()
+            .flat_map(|&k| schemes().into_iter().map(move |s| (k, s)))
+            .collect();
+        let results = runner().run_all(&jobs, |(k, scheme)| {
+            let mut spec = ScenarioSpec::new();
+            for link in 0..*k {
+                let tor = format!("tor{link}");
+                let spine = format!("spine{link}");
+                spec = spec
+                    .down(d / 4, tor.clone(), spine.clone())
+                    .up(d * 3 / 5, tor, spine);
+            }
+            let schedule = spec
+                .resolve(&topo)
+                .expect("swept links exist in the sweep topology");
+            let config = config_for(scale, scheme.clone()).with_dynamics(schedule);
+            run_experiment(&topo, &trace, &config)
+        });
+        for ((k, _), result) in jobs.iter().zip(&results) {
+            out.push_str(&result_row(&format!("{k} links down"), result));
+        }
+        out.push_str(
+            "(p99 FCT slowdown over non-incast flows; blackholed = packets lost to dead \
+             links/routes; ttr = goodput recovery time after the last fault)\n",
+        );
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,7 +17,12 @@
 //! * [`replay`] — the [`replay::ReplayTrace`] path: imported CSV traces
 //!   (see `bfc_workloads::io`) validated against a topology and replayed
 //!   through the same driver with bit-identical results; the `trace-tool`
-//!   binary (`synth` / `stats` / `replay`) is its CLI front end.
+//!   binary (`synth` / `stats` / `replay` / `scenario`) is its CLI front end.
+//! * [`scenario`] — the [`scenario::ScenarioSpec`] layer over
+//!   `bfc_net::dynamics`: link-fault scenarios written by label (builder API
+//!   or a small text format) and resolved into executable fault schedules
+//!   that thread through `run_experiment` / `ParallelRunner` / `ReplayTrace`
+//!   via `ExperimentConfig::dynamics`.
 //! * [`figures`] — one module per paper table/figure. Each `run` function
 //!   regenerates the corresponding rows/series; the `src/bin/figNN_*`
 //!   binaries are thin wrappers that print them, and the Criterion benches in
@@ -32,9 +37,11 @@ pub mod figures;
 pub mod parallel;
 pub mod replay;
 pub mod runner;
+pub mod scenario;
 pub mod scheme;
 
 pub use parallel::ParallelRunner;
 pub use replay::{ReplayError, ReplayTrace};
 pub use runner::{run_experiment, ExperimentConfig, ExperimentResult};
+pub use scenario::{ScenarioError, ScenarioSpec};
 pub use scheme::Scheme;

@@ -6,7 +6,9 @@
 //! paper reports into an [`ExperimentResult`].
 
 use bfc_metrics::fct::{FctRecord, FctSummary};
+use bfc_metrics::recovery::{RecoveryMetrics, RecoveryTracker};
 use bfc_metrics::series::{OccupancySeries, UtilizationTracker};
+use bfc_net::dynamics::{FaultEvent, FaultSchedule, LinkAction, LinkStateMap};
 use bfc_net::event::NetEvent;
 use bfc_net::packet::vfid_for_flow;
 use bfc_net::policy::PolicyStats;
@@ -40,6 +42,10 @@ pub struct ExperimentConfig {
     pub drain: SimDuration,
     /// Buffer-occupancy sampling interval.
     pub sample_interval: SimDuration,
+    /// Scheduled link faults / repairs / rate changes. Empty (the default)
+    /// is bit-identical to a run of this build with no dynamics at all — the
+    /// link-state checks short-circuit and nothing else changes.
+    pub dynamics: FaultSchedule,
 }
 
 impl ExperimentConfig {
@@ -54,6 +60,7 @@ impl ExperimentConfig {
             horizon,
             drain: horizon * 4,
             sample_interval: SimDuration::from_micros(10),
+            dynamics: FaultSchedule::default(),
         }
     }
 
@@ -72,6 +79,12 @@ impl ExperimentConfig {
     /// Overrides the number of physical queues per port.
     pub fn with_queues_per_port(mut self, queues: usize) -> Self {
         self.queues_per_port = queues;
+        self
+    }
+
+    /// Installs a fault schedule (link down/up, degradation, flapping).
+    pub fn with_dynamics(mut self, dynamics: FaultSchedule) -> Self {
+        self.dynamics = dynamics;
         self
     }
 }
@@ -107,6 +120,8 @@ pub struct ExperimentResult {
     pub total_flows: usize,
     /// Simulated time at which the run ended.
     pub end_time: SimTime,
+    /// Fault-recovery metrics (all zero / `None` for a run without dynamics).
+    pub recovery: RecoveryMetrics,
 }
 
 impl ExperimentResult {
@@ -133,7 +148,10 @@ struct FlowMeta {
 /// array access instead of a hash lookup, and iteration order for metrics is
 /// the (deterministic) node order.
 struct FabricSim<'a> {
-    routes: &'a RoutingTables,
+    topo: &'a Topology,
+    routes: RoutingTables,
+    link_state: LinkStateMap,
+    dynamics: &'a [FaultEvent],
     switches: Vec<Option<Switch>>,
     hosts: Vec<Option<Host>>,
     flows: Vec<FlowMeta>,
@@ -142,25 +160,97 @@ struct FabricSim<'a> {
     occupied_queue_samples: Vec<f64>,
     sample_interval: SimDuration,
     sample_until: SimTime,
+    /// Goodput sampling for the recovery metrics keeps running through the
+    /// drain window (faults late in the horizon recover during drain); the
+    /// occupancy/queue series stop at `sample_until` as before.
+    goodput_until: SimTime,
     completed: usize,
+    recovery: RecoveryTracker,
 }
 
 impl FabricSim<'_> {
-    fn take_samples(&mut self) {
-        let mut max_queue = 0u64;
-        let mut max_occupied = 0usize;
-        for sw in self.switches.iter().flatten() {
-            self.occupancy.record(sw.buffer().occupancy());
-            for p in 0..sw.num_ports() {
-                let port = sw.port(p as u32);
-                max_occupied = max_occupied.max(port.occupied_queue_count());
-                for q in 0..port.num_queues() {
-                    max_queue = max_queue.max(port.queue_bytes(q));
+    fn take_samples(&mut self, now: SimTime) {
+        if now <= self.sample_until {
+            let mut max_queue = 0u64;
+            let mut max_occupied = 0usize;
+            for sw in self.switches.iter().flatten() {
+                self.occupancy.record(sw.buffer().occupancy());
+                for p in 0..sw.num_ports() {
+                    let port = sw.port(p as u32);
+                    max_occupied = max_occupied.max(port.occupied_queue_count());
+                    for q in 0..port.num_queues() {
+                        max_queue = max_queue.max(port.queue_bytes(q));
+                    }
+                }
+            }
+            self.peak_queue_samples.push(max_queue as f64);
+            self.occupied_queue_samples.push(max_occupied as f64);
+        }
+        if !self.dynamics.is_empty() {
+            let delivered: u64 = self
+                .hosts
+                .iter()
+                .flatten()
+                .map(|h| h.counters().rx_data_bytes)
+                .sum();
+            self.recovery.record_goodput(now, delivered);
+        }
+    }
+
+    /// Applies one fault-schedule event: mutates the live link state, updates
+    /// the affected switch/host ports (flushing dead egresses), and recomputes
+    /// routing over the surviving links.
+    fn apply_dynamics(
+        &mut self,
+        now: SimTime,
+        action: LinkAction,
+        queue: &mut EventQueue<NetEvent>,
+    ) {
+        let endpoints = self
+            .link_state
+            .apply(self.topo, &action)
+            .expect("fault schedule was validated against the topology");
+        for ep in endpoints {
+            let idx = ep.node.index();
+            match action {
+                LinkAction::Down { .. } => {
+                    if let Some(sw) = self.switches[idx].as_mut() {
+                        // Flushed data packets are counted in the switch's
+                        // own `blackholed` counter, folded into the recovery
+                        // metrics at the end of the run.
+                        let _ = sw.handle_link_down(now, ep.port, queue);
+                    } else if let Some(host) = self.hosts[idx].as_mut() {
+                        host.set_uplink_up(now, false, queue);
+                    }
+                }
+                LinkAction::Up { .. } => {
+                    if let Some(sw) = self.switches[idx].as_mut() {
+                        sw.handle_link_up(now, ep.port, queue);
+                    } else if let Some(host) = self.hosts[idx].as_mut() {
+                        host.set_uplink_up(now, true, queue);
+                    }
+                }
+                LinkAction::SetRate { gbps, .. } => {
+                    if let Some(sw) = self.switches[idx].as_mut() {
+                        sw.set_port_rate(ep.port, gbps);
+                    } else if let Some(host) = self.hosts[idx].as_mut() {
+                        host.set_uplink_rate(gbps);
+                    }
                 }
             }
         }
-        self.peak_queue_samples.push(max_queue as f64);
-        self.occupied_queue_samples.push(max_occupied as f64);
+        // Deterministic re-convergence: recompute shortest paths over the
+        // surviving links. Rendezvous-hash ECMP keeps surviving flows on
+        // their old paths (stable rehash). Rate changes leave the up/down
+        // graph — and therefore the tables — untouched, so only down/up
+        // events pay the recompute (and count as reroutes).
+        if !matches!(action, LinkAction::SetRate { .. }) {
+            let link_state = &self.link_state;
+            self.routes =
+                RoutingTables::compute_filtered(self.topo, |n, p| link_state.is_up(n, p));
+            self.recovery.record_reroute();
+        }
+        self.recovery.record_fault(now);
     }
 }
 
@@ -182,8 +272,17 @@ impl Simulation for FabricSim<'_> {
                     .start_flow(now, spec, queue);
             }
             NetEvent::PacketArrive { node, port, packet } => {
+                // In-flight packets are blackholed if the cable they crossed
+                // is down at their delivery instant.
+                if !self.link_state.all_up() && !self.link_state.is_up(node, port) {
+                    if packet.is_data() {
+                        self.recovery.add_blackholed(1);
+                    }
+                    return;
+                }
+                let routes = &self.routes;
                 if let Some(sw) = self.switches[node.index()].as_mut() {
-                    sw.handle_packet(now, port, packet, self.routes, queue);
+                    sw.handle_packet(now, port, packet, routes, queue);
                 } else if let Some(host) = self.hosts[node.index()].as_mut() {
                     host.handle_packet(now, packet, queue);
                 }
@@ -213,10 +312,14 @@ impl Simulation for FabricSim<'_> {
                 }
             }
             NetEvent::Sample => {
-                self.take_samples();
-                if now + self.sample_interval <= self.sample_until {
+                self.take_samples(now);
+                if now + self.sample_interval <= self.goodput_until {
                     queue.push(now + self.sample_interval, NetEvent::Sample);
                 }
+            }
+            NetEvent::NetworkDynamics { index } => {
+                let action = self.dynamics[index].action;
+                self.apply_dynamics(now, action, queue);
             }
         }
     }
@@ -234,6 +337,9 @@ pub fn run_experiment(
     trace: &[TraceFlow],
     config: &ExperimentConfig,
 ) -> ExperimentResult {
+    if let Err(e) = config.dynamics.validate(topo) {
+        panic!("invalid fault schedule for this topology: {e}");
+    }
     let routes = RoutingTables::compute(topo);
     let hosts_list = topo.hosts();
     assert!(hosts_list.len() >= 2, "need at least two hosts");
@@ -308,11 +414,17 @@ pub fn run_experiment(
         queue.push(t.start, NetEvent::FlowArrival { index: i });
     }
     queue.push(SimTime::ZERO + config.sample_interval, NetEvent::Sample);
+    for (index, event) in config.dynamics.events().iter().enumerate() {
+        queue.push(event.at, NetEvent::NetworkDynamics { index });
+    }
 
     let sample_until = SimTime::ZERO + config.horizon;
     let deadline = SimTime::ZERO + config.horizon + config.drain;
     let mut sim = FabricSim {
-        routes: &routes,
+        topo,
+        routes,
+        link_state: LinkStateMap::new(topo),
+        dynamics: config.dynamics.events(),
         switches,
         hosts,
         flows,
@@ -321,7 +433,13 @@ pub fn run_experiment(
         occupied_queue_samples: Vec::new(),
         sample_interval: config.sample_interval,
         sample_until,
+        goodput_until: if config.dynamics.is_empty() {
+            sample_until
+        } else {
+            deadline
+        },
         completed: 0,
+        recovery: RecoveryTracker::new(),
     };
     let end_time = run_until(&mut sim, &mut queue, deadline);
 
@@ -360,10 +478,14 @@ pub fn run_experiment(
     for sw in sim.switches.iter().flatten() {
         policy_stats.merge(&sw.policy_stats());
         drops += sw.counters().drops;
+        // Switch-local blackholes (dead-egress flushes, unroutable arrivals)
+        // join the driver's in-flight drops in the recovery metrics.
+        sim.recovery.add_blackholed(sw.counters().blackholed);
         for p in 0..sw.num_ports() {
             tracker.add_pfc_paused(sw.port(p as u32).pfc_paused_time(end_time));
         }
     }
+    let recovery = sim.recovery.finish();
 
     ExperimentResult {
         scheme: config.scheme.name(),
@@ -379,6 +501,7 @@ pub fn run_experiment(
         completed_flows: sim.completed,
         total_flows: trace.len(),
         end_time,
+        recovery,
     }
 }
 

@@ -11,11 +11,15 @@
 //! * [`stats`] — percentiles, means and CDF construction.
 //! * [`series`] — time-series sampling (buffer occupancy) and utilization /
 //!   pause-time accounting.
+//! * [`recovery`] — fault-recovery metrics for runs with network dynamics:
+//!   blackholed packets, reroute count, time-to-recover, goodput dip depth.
 
 pub mod fct;
+pub mod recovery;
 pub mod series;
 pub mod stats;
 
 pub use fct::{FctRecord, FctSummary, SizeBucket};
+pub use recovery::{RecoveryMetrics, RecoveryTracker};
 pub use series::{OccupancySeries, UtilizationTracker};
 pub use stats::{build_cdf, mean, percentile};

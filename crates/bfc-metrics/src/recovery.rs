@@ -1,0 +1,266 @@
+//! Recovery metrics for experiments with network dynamics.
+//!
+//! When a fault schedule perturbs the fabric (link down/up, degradation,
+//! flapping), four quantities summarize how well a scheme rode it out:
+//!
+//! * **blackholed packets** — data packets lost to the dynamics themselves:
+//!   flushed from a dead egress, dropped in flight on a severed cable, or
+//!   arriving at a switch with no route to the destination;
+//! * **reroutes** — how many times routing re-converged (one per
+//!   topology-changing event, i.e. link down/up; rate changes don't
+//!   reroute);
+//! * **time to recover** — how long after the *last* fault event the
+//!   fabric-wide goodput climbed back to the pre-fault baseline;
+//! * **goodput dip depth** — how far goodput fell below the baseline during
+//!   the disturbed window (0 = no dip, 1 = complete stall).
+//!
+//! The baseline is the mean per-sample goodput over the samples strictly
+//! before the first fault, and "recovered" means a per-sample goodput of at
+//! least [`RecoveryTracker::RECOVERY_FRACTION`] of that baseline. Everything
+//! is computed from the driver's periodic samples, so the metrics are
+//! bit-identical across thread counts like every other result.
+
+use bfc_sim::{SimDuration, SimTime};
+
+/// The recovery summary of one experiment run. For a run without dynamics
+/// every field is zero / `None`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecoveryMetrics {
+    /// Data packets lost to network dynamics (dead-egress flushes, in-flight
+    /// drops on severed cables, unroutable arrivals).
+    pub blackholed_packets: u64,
+    /// Number of routing re-convergences (one per link down/up event; rate
+    /// changes do not alter the topology and so do not reroute).
+    pub reroutes: u64,
+    /// Fault events applied during the run.
+    pub faults: usize,
+    /// Time from the last fault event until goodput first returned to the
+    /// pre-fault baseline. `None` if there were no faults, no pre-fault
+    /// baseline existed, or goodput never recovered before the run ended.
+    pub time_to_recover: Option<SimDuration>,
+    /// `1 - min(goodput during the disturbed window) / baseline`, clamped to
+    /// `[0, 1]`. Zero when no baseline exists.
+    pub goodput_dip_depth: f64,
+}
+
+/// Accumulates goodput samples and fault instants during a run and distills
+/// them into [`RecoveryMetrics`] at the end.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryTracker {
+    /// Per-sample delivered bytes: `(instant, bytes since previous sample)`.
+    samples: Vec<(SimTime, u64)>,
+    last_cumulative: u64,
+    disruptions: Vec<SimTime>,
+    blackholed: u64,
+    reroutes: u64,
+}
+
+impl RecoveryTracker {
+    /// A sample counts as "recovered" at this fraction of the pre-fault
+    /// baseline goodput.
+    pub const RECOVERY_FRACTION: f64 = 0.9;
+
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        RecoveryTracker::default()
+    }
+
+    /// Records one goodput sample: `cumulative_bytes` is the running total of
+    /// delivered bytes across all receivers at `now`. Call at every sample
+    /// tick, in time order.
+    pub fn record_goodput(&mut self, now: SimTime, cumulative_bytes: u64) {
+        let delta = cumulative_bytes.saturating_sub(self.last_cumulative);
+        self.last_cumulative = cumulative_bytes;
+        self.samples.push((now, delta));
+    }
+
+    /// Records that a fault event was applied at `now` (anchors the
+    /// time-to-recover / dip windows).
+    pub fn record_fault(&mut self, now: SimTime) {
+        self.disruptions.push(now);
+    }
+
+    /// Records one routing re-convergence. Counted separately from faults:
+    /// rate changes disturb goodput but do not change the topology, so they
+    /// anchor recovery windows without a reroute.
+    pub fn record_reroute(&mut self) {
+        self.reroutes += 1;
+    }
+
+    /// Adds blackholed data packets observed by the driver or a switch.
+    pub fn add_blackholed(&mut self, packets: u64) {
+        self.blackholed += packets;
+    }
+
+    /// Blackholed packets recorded so far.
+    pub fn blackholed(&self) -> u64 {
+        self.blackholed
+    }
+
+    /// Distills the recorded run into its [`RecoveryMetrics`].
+    pub fn finish(&self) -> RecoveryMetrics {
+        let mut metrics = RecoveryMetrics {
+            blackholed_packets: self.blackholed,
+            reroutes: self.reroutes,
+            faults: self.disruptions.len(),
+            time_to_recover: None,
+            goodput_dip_depth: 0.0,
+        };
+        let (Some(&first), Some(&last)) = (self.disruptions.first(), self.disruptions.last())
+        else {
+            return metrics;
+        };
+        let pre_fault: Vec<u64> = self
+            .samples
+            .iter()
+            .filter(|(t, _)| *t < first)
+            .map(|(_, d)| *d)
+            .collect();
+        if pre_fault.is_empty() {
+            return metrics;
+        }
+        let baseline = pre_fault.iter().sum::<u64>() as f64 / pre_fault.len() as f64;
+        if baseline <= 0.0 {
+            return metrics;
+        }
+
+        // A sample's delta covers the window since the *previous* sample, so
+        // the first sample at/after the fault mostly counts pre-fault bytes.
+        // Only samples whose whole window lies after the last fault are
+        // eligible as recovery evidence.
+        let mut window_start = SimTime::ZERO;
+        let mut recovered_at = None;
+        for &(t, d) in &self.samples {
+            if window_start >= last && d as f64 >= Self::RECOVERY_FRACTION * baseline {
+                recovered_at = Some(t);
+                break;
+            }
+            window_start = t;
+        }
+        metrics.time_to_recover = recovered_at.map(|t| t.saturating_since(last));
+
+        // The disturbed window: from the first fault until recovery (or the
+        // end of the run if goodput never came back).
+        let window_end = recovered_at.unwrap_or(SimTime::MAX);
+        let min_goodput = self
+            .samples
+            .iter()
+            .filter(|(t, _)| *t >= first && *t <= window_end)
+            .map(|(_, d)| *d)
+            .min();
+        if let Some(min) = min_goodput {
+            metrics.goodput_dip_depth = (1.0 - min as f64 / baseline).clamp(0.0, 1.0);
+        }
+        metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_micros(n)
+    }
+
+    #[test]
+    fn no_faults_yield_empty_metrics() {
+        let mut t = RecoveryTracker::new();
+        t.record_goodput(us(10), 1_000);
+        t.record_goodput(us(20), 2_000);
+        let m = t.finish();
+        assert_eq!(m, RecoveryMetrics::default());
+    }
+
+    #[test]
+    fn dip_and_recovery_are_measured_from_samples() {
+        let mut t = RecoveryTracker::new();
+        // Steady 1000 B per tick before the fault.
+        let mut cumulative = 0;
+        for i in 1..=4u64 {
+            cumulative += 1_000;
+            t.record_goodput(us(i * 10), cumulative);
+        }
+        t.record_fault(us(45));
+        t.record_reroute();
+        // Goodput collapses to 100 B, then recovers to 950 B at t=80.
+        for (at, delta) in [(50, 100u64), (60, 100), (70, 500), (80, 950), (90, 1_000)] {
+            cumulative += delta;
+            t.record_goodput(us(at), cumulative);
+        }
+        t.add_blackholed(7);
+        let m = t.finish();
+        assert_eq!(m.blackholed_packets, 7);
+        assert_eq!(m.reroutes, 1);
+        assert_eq!(m.faults, 1);
+        // Recovery threshold is 900 B: first met at t=80, 35 us after the fault.
+        assert_eq!(m.time_to_recover, Some(SimDuration::from_micros(35)));
+        assert!((m.goodput_dip_depth - 0.9).abs() < 1e-9, "dip {}", m.goodput_dip_depth);
+    }
+
+    #[test]
+    fn unrecovered_runs_report_none() {
+        let mut t = RecoveryTracker::new();
+        t.record_goodput(us(10), 1_000);
+        t.record_fault(us(15));
+        t.record_goodput(us(20), 1_050);
+        t.record_goodput(us(30), 1_100);
+        let m = t.finish();
+        assert_eq!(m.time_to_recover, None);
+        assert!(m.goodput_dip_depth > 0.9);
+    }
+
+    #[test]
+    fn fault_before_any_sample_has_no_baseline() {
+        let mut t = RecoveryTracker::new();
+        t.record_fault(us(1));
+        t.record_goodput(us(10), 1_000);
+        let m = t.finish();
+        assert_eq!(m.time_to_recover, None);
+        assert_eq!(m.goodput_dip_depth, 0.0);
+        assert_eq!(m.faults, 1);
+    }
+
+    #[test]
+    fn recovery_measured_from_last_fault_of_a_flap() {
+        let mut t = RecoveryTracker::new();
+        let mut cumulative = 0;
+        for i in 1..=3u64 {
+            cumulative += 1_000;
+            t.record_goodput(us(i * 10), cumulative);
+        }
+        t.record_fault(us(35)); // down
+        cumulative += 100;
+        t.record_goodput(us(40), cumulative);
+        t.record_fault(us(45)); // up
+        cumulative += 1_000;
+        t.record_goodput(us(50), cumulative);
+        cumulative += 1_000;
+        t.record_goodput(us(60), cumulative);
+        let m = t.finish();
+        assert_eq!(m.faults, 2);
+        // The t=50 sample's window (40..50) straddles the t=45 fault, so it
+        // is not recovery evidence; the first clean window ends at t=60.
+        assert_eq!(m.time_to_recover, Some(SimDuration::from_micros(15)));
+    }
+
+    #[test]
+    fn straddling_sample_windows_do_not_count_as_recovery() {
+        let mut t = RecoveryTracker::new();
+        let mut cumulative = 0;
+        for i in 1..=4u64 {
+            cumulative += 1_000;
+            t.record_goodput(us(i * 10), cumulative);
+        }
+        // Fault just before the next sample: that sample's delta is almost
+        // entirely pre-fault traffic and must not count as recovery.
+        t.record_fault(us(49));
+        cumulative += 990;
+        t.record_goodput(us(50), cumulative);
+        // Goodput is actually dead afterwards.
+        t.record_goodput(us(60), cumulative);
+        t.record_goodput(us(70), cumulative);
+        let m = t.finish();
+        assert_eq!(m.time_to_recover, None);
+    }
+}

@@ -70,6 +70,13 @@ pub enum NetEvent {
     },
     /// Periodic metrics sampling tick (buffer occupancy, utilization).
     Sample,
+    /// The `index`-th event of the experiment's fault schedule fires: a link
+    /// goes down/up or changes rate, and routing re-converges. Consumed by
+    /// the driver, which owns the live link state.
+    NetworkDynamics {
+        /// Index into the experiment's `FaultSchedule`.
+        index: usize,
+    },
 }
 
 impl NetEvent {
@@ -80,9 +87,10 @@ impl NetEvent {
             | NetEvent::TxComplete { node, .. }
             | NetEvent::PauseFrameTimer { node, .. }
             | NetEvent::HostTimer { node, .. } => Some(*node),
-            NetEvent::FlowArrival { .. } | NetEvent::FlowCompleted { .. } | NetEvent::Sample => {
-                None
-            }
+            NetEvent::FlowArrival { .. }
+            | NetEvent::FlowCompleted { .. }
+            | NetEvent::Sample
+            | NetEvent::NetworkDynamics { .. } => None,
         }
     }
 }

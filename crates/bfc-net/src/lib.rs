@@ -17,6 +17,9 @@
 //!   PFC generation, scheduling and forwarding.
 //! * [`topology`] + [`routing`] — fat-tree builders (the paper's T1 and T2),
 //!   the cross-data-center topology, and ECMP up/down routing.
+//! * [`dynamics`] — scheduled link faults, degradation and repair: the live
+//!   link-state overlay, fault schedules, and the stable-rehash routing
+//!   re-convergence they drive.
 //! * [`event`] — the global event vocabulary used by the simulation driver.
 //!
 //! The crate deliberately knows nothing about congestion-control algorithms
@@ -25,6 +28,7 @@
 
 pub mod buffer;
 pub mod config;
+pub mod dynamics;
 pub mod event;
 pub mod link;
 pub mod packet;
@@ -38,6 +42,7 @@ pub mod types;
 
 pub use buffer::SharedBuffer;
 pub use config::{EcnConfig, PfcConfig, SwitchConfig};
+pub use dynamics::{DynamicsError, FaultEvent, FaultSchedule, LinkAction, LinkStateMap};
 pub use event::{NetEvent, TransportTimer};
 pub use link::Link;
 pub use packet::{IntHop, IntPath, Packet, PacketKind, PauseFrame, MAX_INT_HOPS};

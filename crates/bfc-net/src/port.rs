@@ -17,6 +17,8 @@
 //! BFC [`PauseFrame`] pauses individual physical queues based on the VFID of
 //! their head packet, re-evaluated after every dequeue (§3.6).
 
+use std::collections::VecDeque;
+
 use bfc_sim::{SimDuration, SimTime};
 
 use crate::link::Link;
@@ -30,7 +32,8 @@ use crate::types::NodeId;
 pub struct Port {
     /// The node on the other end of the cable and its local port index there.
     pub peer: Option<(NodeId, u32)>,
-    /// The attached link (egress direction).
+    /// The attached link (egress direction). Mutable under network dynamics
+    /// (rate degradation) via [`Port::set_link_rate`].
     pub link: Link,
 
     control: PhysQueue,
@@ -39,14 +42,22 @@ pub struct Port {
     queues: Vec<PhysQueue>,
 
     // Deficit round robin state over `queues` plus the overflow queue, which
-    // is scheduled as index `queues.len()`.
+    // is scheduled as index `queues.len()`. Instead of scanning every queue,
+    // the scheduler keeps the backlogged queues in `active` (rotation order)
+    // and only ever touches those — with Q queues per port but a handful
+    // backlogged, a pick is O(backlogged), not O(Q).
     deficit: Vec<u64>,
-    drr_current: usize,
+    active: VecDeque<usize>,
+    in_active: Vec<bool>,
     drr_credited: bool,
     quantum: u32,
 
     /// True while the transmitter is serializing a packet.
     pub busy: bool,
+
+    /// Whether the attached cable is up. A down egress never transmits; its
+    /// queues are flushed by the owning switch when the link dies.
+    up: bool,
 
     pfc_paused: bool,
     pfc_pause_started: Option<SimTime>,
@@ -72,10 +83,12 @@ impl Port {
             overflow: PhysQueue::new(),
             queues: (0..num_queues).map(|_| PhysQueue::new()).collect(),
             deficit: vec![0; num_queues + 1],
-            drr_current: 0,
+            active: VecDeque::new(),
+            in_active: vec![false; num_queues + 1],
             drr_credited: false,
             quantum,
             busy: false,
+            up: true,
             pfc_paused: false,
             pfc_pause_started: None,
             pfc_paused_total: SimDuration::ZERO,
@@ -84,6 +97,28 @@ impl Port {
             tx_data_bytes: 0,
             tx_packets: 0,
         }
+    }
+
+    /// Whether the attached cable is currently up.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Marks the cable up or down. Going down also clears the pause state:
+    /// PFC and per-flow pauses are MAC-level state that does not survive a
+    /// link reset (accumulated pause time is preserved for metrics).
+    pub fn set_up(&mut self, up: bool, now: SimTime) {
+        self.up = up;
+        if !up {
+            self.set_pfc_paused(false, now);
+            self.pause_frame = None;
+        }
+    }
+
+    /// Changes the egress link rate (degradation / repair under dynamics).
+    pub fn set_link_rate(&mut self, gbps: f64) {
+        assert!(gbps > 0.0, "link rate must be positive");
+        self.link.rate_gbps = gbps;
     }
 
     /// Number of physical queues (excluding control/high-priority/overflow).
@@ -208,11 +243,23 @@ impl Port {
         match target {
             QueueTarget::Control => self.control.push(packet, ingress),
             QueueTarget::HighPriority => self.high_priority.push(packet, ingress),
-            QueueTarget::Overflow => self.overflow.push(packet, ingress),
+            QueueTarget::Overflow => {
+                self.overflow.push(packet, ingress);
+                self.drr_activate(self.overflow_index());
+            }
             QueueTarget::Phys(i) => {
                 assert!(i < self.queues.len(), "physical queue index out of range");
                 self.queues[i].push(packet, ingress);
+                self.drr_activate(i);
             }
+        }
+    }
+
+    /// Adds a freshly backlogged queue to the DRR rotation.
+    fn drr_activate(&mut self, i: usize) {
+        if !self.in_active[i] {
+            self.in_active[i] = true;
+            self.active.push_back(i);
         }
     }
 
@@ -244,14 +291,6 @@ impl Port {
         self.queues.len()
     }
 
-    fn drr_queue_eligible(&self, i: usize) -> bool {
-        if i == self.overflow_index() {
-            !self.overflow.is_empty()
-        } else {
-            !self.queues[i].is_empty() && !self.is_queue_paused(i)
-        }
-    }
-
     fn drr_head_size(&self, i: usize) -> u64 {
         let head = if i == self.overflow_index() {
             self.overflow.head()
@@ -269,56 +308,114 @@ impl Port {
         }
     }
 
-    fn drr_advance(&mut self) {
-        self.drr_current = (self.drr_current + 1) % (self.queues.len() + 1);
+    fn drr_queue_empty(&self, i: usize) -> bool {
+        if i == self.overflow_index() {
+            self.overflow.is_empty()
+        } else {
+            self.queues[i].is_empty()
+        }
+    }
+
+    /// Moves the current (front) queue to the back of the rotation, closing
+    /// out its visit.
+    fn drr_rotate(&mut self) {
+        if let Some(i) = self.active.pop_front() {
+            self.active.push_back(i);
+        }
+        self.drr_credited = false;
+    }
+
+    /// Drops the current (front) queue from the rotation — it drained, so its
+    /// residual deficit is discarded, per classic DRR.
+    fn drr_deactivate_front(&mut self, i: usize) {
+        self.deficit[i] = 0;
+        self.in_active[i] = false;
+        self.active.pop_front();
         self.drr_credited = false;
     }
 
     fn drr_pick(&mut self) -> Option<(QueuedPacket, QueueTarget)> {
-        let n = self.queues.len() + 1;
-        // Each queue needs at most two visits per pass: one to close out a
-        // previous partially-served visit (residual deficit too small) and one
-        // freshly credited visit. Bounding by 2n+1 therefore guarantees that
-        // every backlogged, unpaused queue is offered a full quantum before we
-        // conclude nothing is schedulable.
+        // Only backlogged queues live in `active`. Each needs at most two
+        // visits per pass: one to close out a previous partially-served visit
+        // (residual deficit too small) and one freshly credited visit.
+        // Bounding by 2·|active|+1 guarantees every backlogged, unpaused
+        // queue is offered a full quantum before we conclude nothing is
+        // schedulable (everything left is paused).
         let mut scanned = 0;
-        while scanned < 2 * n + 1 {
-            let i = self.drr_current;
-            if self.drr_queue_eligible(i) {
-                if !self.drr_credited {
-                    self.deficit[i] = self.deficit[i].saturating_add(self.quantum as u64);
-                    self.drr_credited = true;
-                }
-                let head_size = self.drr_head_size(i);
-                if self.deficit[i] >= head_size {
-                    let qp = self.drr_pop(i).expect("eligible queue must have a head");
-                    self.deficit[i] -= head_size;
-                    if !self.drr_queue_eligible(i) {
-                        // Finished with this queue for now; residual deficit is
-                        // discarded when the queue drains, per classic DRR.
-                        if (i == self.overflow_index() && self.overflow.is_empty())
-                            || (i != self.overflow_index() && self.queues[i].is_empty())
-                        {
-                            self.deficit[i] = 0;
-                        }
-                        self.drr_advance();
-                    }
-                    let target = if i == self.overflow_index() {
-                        QueueTarget::Overflow
-                    } else {
-                        QueueTarget::Phys(i)
-                    };
-                    return Some((qp, target));
-                }
-                // Deficit insufficient: move on, keeping the residual.
-                self.drr_advance();
-            } else {
-                self.deficit[i] = 0;
-                self.drr_advance();
+        let limit = 2 * self.active.len() + 1;
+        while scanned < limit {
+            let Some(&i) = self.active.front() else {
+                return None;
+            };
+            if self.drr_queue_empty(i) {
+                // Flush paths can drain queues without going through
+                // `drr_pop`; shed the stale entry.
+                self.drr_deactivate_front(i);
+                continue;
             }
+            if i != self.overflow_index() && self.is_queue_paused(i) {
+                // A paused queue forfeits its residual deficit, exactly as
+                // the previous full-scan scheduler zeroed ineligible queues
+                // on every visit — pausing must not bank credit to burst
+                // with on resume.
+                self.deficit[i] = 0;
+                self.drr_rotate();
+                scanned += 1;
+                continue;
+            }
+            if !self.drr_credited {
+                self.deficit[i] = self.deficit[i].saturating_add(self.quantum as u64);
+                self.drr_credited = true;
+            }
+            let head_size = self.drr_head_size(i);
+            if self.deficit[i] >= head_size {
+                let qp = self.drr_pop(i).expect("eligible queue must have a head");
+                self.deficit[i] -= head_size;
+                if self.drr_queue_empty(i) {
+                    self.drr_deactivate_front(i);
+                } else if i != self.overflow_index() && self.is_queue_paused(i) {
+                    // New head is paused: move on, keeping the residual.
+                    self.drr_rotate();
+                }
+                let target = if i == self.overflow_index() {
+                    QueueTarget::Overflow
+                } else {
+                    QueueTarget::Phys(i)
+                };
+                return Some((qp, target));
+            }
+            // Deficit insufficient: move on, keeping the residual.
+            self.drr_rotate();
             scanned += 1;
         }
         None
+    }
+
+    /// Removes and returns every queued packet (control, high-priority,
+    /// overflow and physical queues, in that order), resetting the DRR state.
+    /// Used by the switch when the attached cable dies: the packets are
+    /// handed back so buffer accounting and blackhole counting stay exact.
+    pub fn flush_all(&mut self) -> Vec<(QueuedPacket, QueueTarget)> {
+        let mut flushed = Vec::new();
+        while let Some(qp) = self.control.pop() {
+            flushed.push((qp, QueueTarget::Control));
+        }
+        while let Some(qp) = self.high_priority.pop() {
+            flushed.push((qp, QueueTarget::HighPriority));
+        }
+        while let Some(qp) = self.overflow.pop() {
+            flushed.push((qp, QueueTarget::Overflow));
+        }
+        for i in 0..self.queues.len() {
+            while let Some(qp) = self.queues[i].pop() {
+                flushed.push((qp, QueueTarget::Phys(i)));
+            }
+        }
+        self.active.clear();
+        self.in_active.fill(false);
+        self.deficit.fill(0);
+        self.drr_credited = false;
+        flushed
     }
 
     /// Records that a packet was handed to the transmitter.

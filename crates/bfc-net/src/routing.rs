@@ -8,7 +8,12 @@
 //!
 //! Routes are precomputed with a breadth-first search from every host, which
 //! works for arbitrary topologies (including the cross-DC one), not just fat
-//! trees.
+//! trees. Under network dynamics (see [`crate::dynamics`]) the tables are
+//! recomputed with [`RoutingTables::compute_filtered`], which skips dead
+//! links; the ECMP choice uses **rendezvous (highest-random-weight) hashing**
+//! so re-convergence is a *stable rehash*: flows whose previous next hop
+//! survived keep it, and only flows that were mapped to a vanished candidate
+//! move.
 
 use std::collections::VecDeque;
 
@@ -32,8 +37,18 @@ pub struct RoutingTables {
 }
 
 impl RoutingTables {
-    /// Computes routes for every (node, destination-host) pair.
+    /// Computes routes for every (node, destination-host) pair, using every
+    /// link of the topology.
     pub fn compute(topo: &Topology) -> Self {
+        RoutingTables::compute_filtered(topo, |_, _| true)
+    }
+
+    /// Computes routes over the subgraph of links for which `link_up(node,
+    /// local_port)` is true — the re-convergence primitive of the dynamics
+    /// subsystem. Cables are full duplex, so `link_up` must be symmetric
+    /// (both directed views of one cable agree); nodes that become
+    /// unreachable get empty candidate lists and `u32::MAX` distances.
+    pub fn compute_filtered(topo: &Topology, link_up: impl Fn(NodeId, u32) -> bool) -> Self {
         let n = topo.num_nodes();
         let hosts = topo.hosts();
         let mut host_rank = vec![None; n];
@@ -44,13 +59,17 @@ impl RoutingTables {
         let mut distance = vec![vec![u32::MAX; hosts.len()]; n];
 
         for (rank, &dst) in hosts.iter().enumerate() {
-            // BFS outward from the destination host over the undirected graph.
+            // BFS outward from the destination host over the undirected graph
+            // of live links.
             let mut dist = vec![u32::MAX; n];
             dist[dst.index()] = 0;
             let mut queue = VecDeque::new();
             queue.push_back(dst);
             while let Some(u) = queue.pop_front() {
-                for spec in topo.ports(u) {
+                for (port, spec) in topo.ports(u).iter().enumerate() {
+                    if !link_up(u, port as u32) {
+                        continue;
+                    }
                     let v = spec.peer;
                     if dist[v.index()] == u32::MAX {
                         dist[v.index()] = dist[u.index()] + 1;
@@ -65,7 +84,12 @@ impl RoutingTables {
                 }
                 let node_id = NodeId(node as u32);
                 for (port, spec) in topo.ports(node_id).iter().enumerate() {
-                    if dist[spec.peer.index()] + 1 == dist[node] {
+                    if !link_up(node_id, port as u32) {
+                        continue;
+                    }
+                    if dist[spec.peer.index()] != u32::MAX
+                        && dist[spec.peer.index()] + 1 == dist[node]
+                    {
                         next_hops[node][rank].push(port as u32);
                     }
                 }
@@ -89,19 +113,41 @@ impl RoutingTables {
     }
 
     /// The egress port `node` uses for a packet of the flow identified by
-    /// `flow_hash`, destined to host `dst`. ECMP picks among equal-cost ports
-    /// by hashing the flow, so a flow's packets stay on one path.
-    pub fn egress_port(&self, node: NodeId, dst: NodeId, flow_hash: u64) -> u32 {
+    /// `flow_hash`, destined to host `dst`, or `None` if `dst` is
+    /// unreachable from `node` over the links the tables were computed with.
+    ///
+    /// ECMP picks among equal-cost ports by *rendezvous hashing*: each
+    /// candidate port is scored by a hash of (node, flow, port) and the
+    /// highest score wins. A flow's packets stay on one path, and when the
+    /// candidate set changes (link failure / repair) only flows whose winning
+    /// port vanished are remapped — everyone else keeps their path.
+    pub fn try_egress_port(&self, node: NodeId, dst: NodeId, flow_hash: u64) -> Option<u32> {
         let candidates = self.candidates(node, dst);
-        assert!(
-            !candidates.is_empty(),
-            "no route from {node} to {dst}; topology is disconnected"
-        );
-        if candidates.len() == 1 {
-            candidates[0]
-        } else {
-            candidates[(mix64(flow_hash) % candidates.len() as u64) as usize]
+        match candidates {
+            [] => None,
+            [only] => Some(*only),
+            _ => {
+                let base = mix64(flow_hash.wrapping_add((node.0 as u64) << 40));
+                let mut best = candidates[0];
+                let mut best_weight = 0u64;
+                for &port in candidates {
+                    let weight = mix64(base ^ (port as u64 + 1));
+                    if weight > best_weight {
+                        best_weight = weight;
+                        best = port;
+                    }
+                }
+                Some(best)
+            }
         }
+    }
+
+    /// Like [`RoutingTables::try_egress_port`] but panics when `dst` is
+    /// unreachable — the right call on a path that has already validated
+    /// connectivity (initial setup, ideal-FCT computation).
+    pub fn egress_port(&self, node: NodeId, dst: NodeId, flow_hash: u64) -> u32 {
+        self.try_egress_port(node, dst, flow_hash)
+            .unwrap_or_else(|| panic!("no route from {node} to {dst}; topology is disconnected"))
     }
 
     /// Number of links on the shortest path from `node` to host `dst`.
@@ -253,6 +299,59 @@ mod tests {
         let rtt = routes.base_rtt(&topo, hosts[0], hosts[63], 1000);
         let us = rtt.as_micros_f64();
         assert!((8.0..9.5).contains(&us), "base RTT was {us} us");
+    }
+
+    #[test]
+    fn filtered_compute_avoids_down_links_and_flags_disconnection() {
+        let topo = fat_tree(FatTreeParams::tiny());
+        let hosts = topo.hosts();
+        let tor0 = topo.host_uplink(hosts[0]).peer;
+        let spine0 = topo.switches()[2];
+        let dead = topo.port_towards(tor0, spine0).expect("adjacent");
+        let routes = RoutingTables::compute_filtered(&topo, |n, p| !(n == tor0 && p == dead)
+            && !(n == spine0 && topo.ports(spine0)[p as usize].peer == tor0));
+        // Cross-rack traffic from rack 0 must avoid the dead uplink.
+        for h in 0..64u64 {
+            let egress = routes.try_egress_port(tor0, hosts[7], h).expect("still connected");
+            assert_ne!(egress, dead);
+        }
+        // Taking down a host's only uplink disconnects it.
+        let uplink_peer = topo.host_uplink(hosts[0]).peer;
+        let host_port = topo.port_towards(uplink_peer, hosts[0]).expect("adjacent");
+        let routes = RoutingTables::compute_filtered(&topo, |n, p| {
+            !(n == hosts[0] && p == 0) && !(n == uplink_peer && p == host_port)
+        });
+        assert_eq!(routes.try_egress_port(hosts[4], hosts[0], 1), None);
+        assert_eq!(routes.hops(hosts[4], hosts[0]), u32::MAX);
+    }
+
+    #[test]
+    fn rendezvous_rehash_is_stable_for_surviving_candidates() {
+        let topo = fat_tree(FatTreeParams::t2());
+        let hosts = topo.hosts();
+        let tor0 = topo.host_uplink(hosts[0]).peer;
+        let dst = hosts[63];
+        let full = RoutingTables::compute(&topo);
+        // Kill tor0's first spine uplink and recompute.
+        let dead = full.candidates(tor0, dst)[0];
+        let dead_peer = topo.ports(tor0)[dead as usize].peer;
+        let back = topo.port_towards(dead_peer, tor0).expect("adjacent");
+        let pruned = RoutingTables::compute_filtered(&topo, |n, p| {
+            !(n == tor0 && p == dead) && !(n == dead_peer && p == back)
+        });
+        assert_eq!(pruned.candidates(tor0, dst).len(), full.candidates(tor0, dst).len() - 1);
+        let mut moved = 0;
+        for h in 0..512u64 {
+            let before = full.egress_port(tor0, dst, h);
+            let after = pruned.egress_port(tor0, dst, h);
+            if before == dead {
+                moved += 1;
+                assert_ne!(after, dead);
+            } else {
+                assert_eq!(before, after, "flow {h} moved although its port survived");
+            }
+        }
+        assert!(moved > 0, "some flows must have used the dead port");
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub struct SwitchCounters {
     pub pfc_pauses_sent: u64,
     /// BFC flow-pause frames sent upstream.
     pub flow_pause_frames_sent: u64,
+    /// Data packets lost to network dynamics at this switch: flushed from a
+    /// dead egress or arriving with no route to their destination.
+    pub blackholed: u64,
 }
 
 /// A shared-buffer switch.
@@ -172,11 +175,20 @@ impl Switch {
         events: &mut EventQueue<NetEvent>,
     ) {
         self.counters.rx_packets += 1;
-        let egress = routes.egress_port(self.id, packet.dst, packet.flow.0 as u64);
-        debug_assert_ne!(
-            egress, ingress,
-            "routing sent a packet back out its ingress port"
-        );
+        let Some(egress) = routes.try_egress_port(self.id, packet.dst, packet.flow.0 as u64) else {
+            // The destination is unreachable after a link failure: blackhole
+            // the packet; Go-Back-N at the sender recovers once routing (or
+            // the link) comes back.
+            if packet.is_data() {
+                self.counters.blackholed += 1;
+            }
+            return;
+        };
+        // `egress == ingress` is legitimate after a routing re-convergence: a
+        // packet that was in flight toward a now-detoured region is sent back
+        // the way it came. The recomputed tables are shortest-path over the
+        // live graph, so distances strictly decrease from here and the packet
+        // still cannot loop.
 
         if !self.buffer.admit(packet.size_bytes, ingress) {
             // Dropped: Go-Back-N at the sender recovers it.
@@ -294,10 +306,64 @@ impl Switch {
         }
     }
 
+    /// Takes the egress at `port` down: flushes every queued packet (releasing
+    /// shared-buffer space and counting flushed data packets as blackholed),
+    /// clears the MAC-level pause state, and re-evaluates PFC for every
+    /// ingress whose buffer usage just dropped. Returns the number of data
+    /// packets blackholed by the flush.
+    pub fn handle_link_down(
+        &mut self,
+        now: SimTime,
+        port: u32,
+        events: &mut EventQueue<NetEvent>,
+    ) -> u64 {
+        let idx = port as usize;
+        self.ports[idx].set_up(false, now);
+        let flushed = self.ports[idx].flush_all();
+        let mut blackholed = 0;
+        for (qp, from_queue) in flushed {
+            self.buffer.release(qp.packet.size_bytes, qp.ingress);
+            if qp.packet.is_data() {
+                blackholed += 1;
+            }
+            if from_queue != QueueTarget::Control {
+                let ctx = DequeueCtx {
+                    now,
+                    switch: self.id,
+                    ingress: qp.ingress,
+                    egress: port,
+                    port: &self.ports[idx],
+                    queue: from_queue,
+                };
+                // Tell the policy the packet left the switch so flow state
+                // (queue residency, pause bookkeeping) does not leak.
+                self.policy.on_dequeue(&ctx, &qp.packet);
+            }
+        }
+        self.counters.blackholed += blackholed;
+        // Releasing a burst of buffer can cross PFC resume thresholds.
+        for ingress in 0..self.ports.len() {
+            self.maybe_send_pfc(now, ingress as u32, events);
+        }
+        blackholed
+    }
+
+    /// Brings the egress at `port` back up and restarts transmission.
+    pub fn handle_link_up(&mut self, now: SimTime, port: u32, events: &mut EventQueue<NetEvent>) {
+        self.ports[port as usize].set_up(true, now);
+        self.try_transmit(now, port, events);
+    }
+
+    /// Applies a link-rate change (degradation / repair) to the egress at
+    /// `port`. A packet already being serialized finishes at the old rate.
+    pub fn set_port_rate(&mut self, port: u32, gbps: f64) {
+        self.ports[port as usize].set_link_rate(gbps);
+    }
+
     /// Starts transmitting the next packet on `port` if the egress is free.
     fn try_transmit(&mut self, now: SimTime, port: u32, events: &mut EventQueue<NetEvent>) {
         let idx = port as usize;
-        if self.ports[idx].busy || self.ports[idx].is_pfc_paused() {
+        if self.ports[idx].busy || !self.ports[idx].is_up() || self.ports[idx].is_pfc_paused() {
             return;
         }
         let Some((queued, from_queue)) = self.ports[idx].dequeue_next() else {
@@ -581,6 +647,66 @@ mod tests {
         assert_eq!(arrivals, 0, "the paused flow's packet must not be forwarded");
         assert_eq!(sw.port(1).queue_bytes(0), 1_000);
         assert!(sw.port(1).is_queue_paused(0));
+    }
+
+    #[test]
+    fn link_down_flushes_queues_and_counts_blackholed() {
+        let (_topo, routes, mut sw) = tor_under_test(SwitchConfig::default());
+        let mut events = EventQueue::new();
+        // Queue several packets toward host 1: the first is serialized
+        // immediately, the rest sit in the egress queue.
+        for seq in 0..5 {
+            sw.handle_packet(SimTime::ZERO, 0, data_packet(1, 0, 1, seq), &routes, &mut events);
+        }
+        let occupied_before = sw.buffer().occupancy();
+        assert!(occupied_before > 0);
+        let egress = 1; // host 1's port on ToR 0 in the tiny topology
+        let blackholed = sw.handle_link_down(SimTime::from_nanos(100), egress, &mut events);
+        assert_eq!(blackholed, 4, "all queued packets flushed");
+        assert_eq!(sw.counters().blackholed, 4);
+        assert_eq!(sw.buffer().occupancy(), 0, "buffer space released");
+        assert!(!sw.port(egress).is_up());
+        // While down, new arrivals for that egress queue but do not transmit.
+        sw.handle_packet(SimTime::from_nanos(200), 0, data_packet(1, 0, 1, 9), &routes, &mut events);
+        sw.handle_tx_complete(SimTime::from_nanos(200), egress, &mut events);
+        while events.pop().is_some() {}
+        assert!(sw.port(egress).total_queued_bytes() > 0);
+        // Repair restarts transmission.
+        sw.handle_link_up(SimTime::from_nanos(300), egress, &mut events);
+        assert!(!events.is_empty(), "link up resumes the egress");
+    }
+
+    #[test]
+    fn unroutable_packet_is_blackholed_not_forwarded() {
+        let (topo, _routes, mut sw) = tor_under_test(SwitchConfig::default());
+        let mut events = EventQueue::new();
+        // Recompute routing with host 1's uplink dead: ToR 0 has no route.
+        let dead_host = NodeId(1);
+        let host_port = topo.port_towards(sw.id, dead_host).expect("adjacent");
+        let sw_id = sw.id;
+        let routes = RoutingTables::compute_filtered(&topo, |n, p| {
+            !(n == sw_id && p == host_port) && !(n == dead_host && p == 0)
+        });
+        sw.handle_packet(SimTime::ZERO, 0, data_packet(1, 0, 1, 0), &routes, &mut events);
+        assert_eq!(sw.counters().blackholed, 1);
+        assert!(events.is_empty(), "nothing scheduled for a blackholed packet");
+    }
+
+    #[test]
+    fn rate_degradation_slows_serialization() {
+        let (_topo, routes, mut sw) = tor_under_test(SwitchConfig::default());
+        let mut events = EventQueue::new();
+        sw.set_port_rate(1, 25.0); // 100 -> 25 Gbps toward host 1
+        sw.handle_packet(SimTime::ZERO, 0, data_packet(1, 0, 1, 0), &routes, &mut events);
+        let mut saw_tx = false;
+        while let Some((t, e)) = events.pop() {
+            if let NetEvent::TxComplete { .. } = e {
+                // 1000 B at 25 Gbps = 320 ns (was 80 ns at 100 Gbps).
+                assert_eq!(t.as_nanos(), 320);
+                saw_tx = true;
+            }
+        }
+        assert!(saw_tx);
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub struct Host {
     line_rate_gbps: f64,
 
     busy: bool,
+    uplink_up: bool,
     pfc_paused: bool,
     pause_frame: Option<PauseFrame>,
     pending_wakeup: Option<SimTime>,
@@ -77,6 +78,7 @@ impl Host {
             peer,
             config,
             busy: false,
+            uplink_up: true,
             pfc_paused: false,
             pause_frame: None,
             pending_wakeup: None,
@@ -101,6 +103,33 @@ impl Host {
     /// The host configuration.
     pub fn config(&self) -> &HostConfig {
         &self.config
+    }
+
+    /// Whether the NIC's uplink cable is currently up.
+    pub fn uplink_is_up(&self) -> bool {
+        self.uplink_up
+    }
+
+    /// Applies an uplink state change from the dynamics subsystem. Going
+    /// down clears MAC-level pause state (it does not survive a link reset);
+    /// coming back up restarts transmission. Packets already in flight are
+    /// the driver's concern (they are blackholed at delivery time).
+    pub fn set_uplink_up(&mut self, now: SimTime, up: bool, events: &mut EventQueue<NetEvent>) {
+        self.uplink_up = up;
+        if up {
+            self.try_send(now, events);
+        } else {
+            self.pfc_paused = false;
+            self.pause_frame = None;
+        }
+    }
+
+    /// Applies an uplink rate change (degradation / repair). Only the wire
+    /// rate changes; congestion-control state keeps its configured line rate,
+    /// like a real NIC unaware of a degraded cable.
+    pub fn set_uplink_rate(&mut self, gbps: f64) {
+        assert!(gbps > 0.0, "link rate must be positive");
+        self.uplink.rate_gbps = gbps;
     }
 
     /// Registers a flow this host will receive, so completion can be
@@ -390,7 +419,7 @@ impl Host {
 
     /// Attempts to transmit one packet (control first, then data round-robin).
     fn try_send(&mut self, now: SimTime, events: &mut EventQueue<NetEvent>) {
-        if self.busy || self.pfc_paused {
+        if self.busy || !self.uplink_up || self.pfc_paused {
             return;
         }
         if let Some(pkt) = self.control_queue.pop_front() {
@@ -613,6 +642,37 @@ mod tests {
         assert_eq!(sent, 6);
         assert_eq!(host.active_sender_flows(), 0, "flow removed once fully acked");
         assert!(t_now > SimTime::ZERO);
+    }
+
+    #[test]
+    fn uplink_down_blocks_and_repair_restarts() {
+        let mut host = sender(HostConfig::bfc(MTU, BASE_RTT));
+        let mut events = EventQueue::new();
+        host.set_uplink_up(SimTime::ZERO, false, &mut events);
+        host.start_flow(SimTime::ZERO, spec(1, 0, 1, 3_000), &mut events);
+        // Only the retransmit timer is scheduled while the cable is dead.
+        assert_eq!(events.total_scheduled(), 1, "down NIC transmits nothing");
+        assert!(!host.uplink_is_up());
+        host.set_uplink_up(SimTime::from_micros(5), true, &mut events);
+        assert!(events.total_scheduled() > 1, "repair restarts transmission");
+        assert!(host.uplink_is_up());
+    }
+
+    #[test]
+    fn uplink_degradation_stretches_serialization() {
+        let mut host = sender(HostConfig::bfc(MTU, BASE_RTT));
+        host.set_uplink_rate(10.0);
+        let mut events = EventQueue::new();
+        host.start_flow(SimTime::ZERO, spec(1, 0, 1, 1_000), &mut events);
+        let mut saw_tx = false;
+        while let Some((t, ev)) = events.pop() {
+            if matches!(ev, NetEvent::TxComplete { .. }) {
+                // 1000 B at 10 Gbps = 800 ns (100 Gbps would be 80 ns).
+                assert_eq!(t.as_nanos(), 800);
+                saw_tx = true;
+            }
+        }
+        assert!(saw_tx);
     }
 
     #[test]

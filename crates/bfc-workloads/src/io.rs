@@ -31,9 +31,15 @@
 //!
 //! Every parse error is a [`CsvError`] carrying the 1-based line number of
 //! the offending input line; the parser never panics on malformed text.
+//!
+//! Import is **streaming**: [`read_csv_file`] / [`import_csv_reader`] feed a
+//! reused line buffer through the incremental [`CsvParser`], so a
+//! multi-gigabyte trace file is never resident in memory as a whole —
+//! [`import_csv`] over an in-memory string drives the exact same core.
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::io::BufRead;
 use std::path::Path;
 
 use bfc_net::types::NodeId;
@@ -234,20 +240,35 @@ fn node_field(
     Ok(NodeId(value as u32))
 }
 
-/// Parses a trace from the CSV format of this module, enforcing the header,
-/// field syntax, node-id range, no self-flows and the sortedness contract.
-/// Errors carry the 1-based line number; malformed input never panics.
-pub fn import_csv(text: &str) -> Result<Vec<TraceFlow>, CsvError> {
-    let mut flows = Vec::new();
-    let mut saw_header = false;
-    let mut prev_start = SimTime::ZERO;
-    for (index, raw) in text.lines().enumerate() {
-        let line = index + 1;
+/// Incremental trace-CSV parser: feed it one line at a time (in order) and
+/// collect the flows at the end. This is the core both [`import_csv`] (over
+/// an in-memory string) and [`import_csv_reader`] (streaming over any
+/// `BufRead`, one line resident at a time) drive, so multi-gigabyte trace
+/// files never have to be loaded eagerly.
+#[derive(Debug, Default)]
+pub struct CsvParser {
+    flows: Vec<TraceFlow>,
+    saw_header: bool,
+    prev_start: SimTime,
+    line: usize,
+}
+
+impl CsvParser {
+    /// Creates a parser expecting the header line first.
+    pub fn new() -> Self {
+        CsvParser::default()
+    }
+
+    /// Consumes the next input line (excluding the terminator). Lines must be
+    /// fed in file order; the parser tracks 1-based line numbers for errors.
+    pub fn push_line(&mut self, raw: &str) -> Result<(), CsvError> {
+        self.line += 1;
+        let line = self.line;
         let content = raw.trim();
         if content.is_empty() || content.starts_with('#') {
-            continue;
+            return Ok(());
         }
-        if !saw_header {
+        if !self.saw_header {
             if content != TRACE_CSV_HEADER {
                 return Err(CsvError {
                     line,
@@ -256,17 +277,22 @@ pub fn import_csv(text: &str) -> Result<Vec<TraceFlow>, CsvError> {
                     },
                 });
             }
-            saw_header = true;
-            continue;
+            self.saw_header = true;
+            return Ok(());
         }
 
-        let fields: Vec<&str> = content.split(',').map(str::trim).collect();
-        if fields.len() != 5 {
+        let mut fields = [""; 5];
+        let mut found = 0;
+        for part in content.split(',') {
+            if found < 5 {
+                fields[found] = part.trim();
+            }
+            found += 1;
+        }
+        if found != 5 {
             return Err(CsvError {
                 line,
-                kind: CsvErrorKind::WrongFieldCount {
-                    found: fields.len(),
-                },
+                kind: CsvErrorKind::WrongFieldCount { found },
             });
         }
         let src = node_field(line, "src", fields[0])?;
@@ -304,13 +330,13 @@ pub fn import_csv(text: &str) -> Result<Vec<TraceFlow>, CsvError> {
             },
         })?;
         let start = SimTime::from_picos(start_ps);
-        if start < prev_start {
+        if start < self.prev_start {
             return Err(CsvError {
                 line,
                 kind: CsvErrorKind::UnsortedStart,
             });
         }
-        prev_start = start;
+        self.prev_start = start;
         let is_incast = match fields[4] {
             "0" | "false" => false,
             "1" | "true" => true,
@@ -325,21 +351,57 @@ pub fn import_csv(text: &str) -> Result<Vec<TraceFlow>, CsvError> {
                 })
             }
         };
-        flows.push(TraceFlow {
+        self.flows.push(TraceFlow {
             src,
             dst,
             size_bytes,
             start,
             is_incast,
         });
+        Ok(())
     }
-    if !saw_header {
-        return Err(CsvError {
-            line: 0,
-            kind: CsvErrorKind::MissingHeader,
-        });
+
+    /// Finishes parsing, returning the flows. Fails if no header (and hence
+    /// no content) was ever seen.
+    pub fn finish(self) -> Result<Vec<TraceFlow>, CsvError> {
+        if !self.saw_header {
+            return Err(CsvError {
+                line: 0,
+                kind: CsvErrorKind::MissingHeader,
+            });
+        }
+        Ok(self.flows)
     }
-    Ok(flows)
+}
+
+/// Parses a trace from the CSV format of this module, enforcing the header,
+/// field syntax, node-id range, no self-flows and the sortedness contract.
+/// Errors carry the 1-based line number; malformed input never panics.
+pub fn import_csv(text: &str) -> Result<Vec<TraceFlow>, CsvError> {
+    let mut parser = CsvParser::new();
+    for raw in text.lines() {
+        parser.push_line(raw)?;
+    }
+    parser.finish()
+}
+
+/// Streams a trace out of any [`BufRead`] source, holding one line in memory
+/// at a time — the import path for traces too large to slurp. The line
+/// buffer is reused across rows, so steady-state parsing allocates only for
+/// the flows themselves.
+pub fn import_csv_reader<R: BufRead>(mut reader: R) -> Result<Vec<TraceFlow>, TraceReadError> {
+    let mut parser = CsvParser::new();
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf)? == 0 {
+            break;
+        }
+        // `read_line` keeps the terminator; `push_line` trims whitespace
+        // (including `\r` from CRLF files) anyway.
+        parser.push_line(buf.trim_end_matches('\n'))?;
+    }
+    Ok(parser.finish()?)
 }
 
 /// Writes `flows` to `path` in the CSV format of this module.
@@ -347,10 +409,11 @@ pub fn write_csv_file<P: AsRef<Path>>(path: P, flows: &[TraceFlow]) -> std::io::
     std::fs::write(path, export_csv(flows))
 }
 
-/// Reads and parses a trace CSV file.
+/// Reads and parses a trace CSV file, streaming it line by line (the file is
+/// never resident in memory as a whole).
 pub fn read_csv_file<P: AsRef<Path>>(path: P) -> Result<Vec<TraceFlow>, TraceReadError> {
-    let text = std::fs::read_to_string(path)?;
-    Ok(import_csv(&text)?)
+    let file = std::fs::File::open(path)?;
+    import_csv_reader(std::io::BufReader::new(file))
 }
 
 /// Summary statistics of a trace, as printed by `trace-tool stats`.
@@ -607,6 +670,42 @@ mod tests {
         let csv = format!("{TRACE_CSV_HEADER}\n0,1,100,1.5,0\n");
         let flows = import_csv(&csv).expect("short fraction pads right");
         assert_eq!(flows[0].start, SimTime::from_picos(1_500));
+    }
+
+    #[test]
+    fn streaming_reader_matches_in_memory_import() {
+        let hosts = hosts(16);
+        let params = TraceParams::google_with_incast(SimDuration::from_micros(400), 11);
+        let flows = synthesize(&hosts, &params);
+        let csv = export_csv(&flows);
+        // Tiny buffer capacity: lines still come out whole via read_line.
+        let reader = std::io::BufReader::with_capacity(7, csv.as_bytes());
+        let streamed = import_csv_reader(reader).expect("streaming parse");
+        assert_eq!(streamed, flows);
+        assert_eq!(streamed, import_csv(&csv).expect("in-memory parse"));
+    }
+
+    #[test]
+    fn streaming_reader_reports_line_numbered_errors() {
+        let csv = format!("{TRACE_CSV_HEADER}\n0,1,100,5,0\n0,1,100,4,0\n");
+        let err = import_csv_reader(std::io::BufReader::new(csv.as_bytes()))
+            .expect_err("unsorted row");
+        match err {
+            TraceReadError::Csv(e) => {
+                assert_eq!(e.line, 3);
+                assert_eq!(e.kind, CsvErrorKind::UnsortedStart);
+            }
+            TraceReadError::Io(e) => panic!("expected a CSV error, got io: {e}"),
+        }
+    }
+
+    #[test]
+    fn crlf_input_streams_cleanly() {
+        let csv = format!("{TRACE_CSV_HEADER}\r\n0,1,100,5,0\r\n");
+        let flows = import_csv_reader(std::io::BufReader::new(csv.as_bytes()))
+            .expect("CRLF tolerated");
+        assert_eq!(flows.len(), 1);
+        assert!(!flows[0].is_incast);
     }
 
     #[test]

@@ -16,8 +16,10 @@
 //!   a host set, incast events (Fig. 5/8/11), long-lived flow patterns
 //!   (Figs. 8 and 10) and the cross-data-center mix of Fig. 9.
 //! * [`io`] — the std-only CSV trace format: `export_csv` / `import_csv`
-//!   with strict line-numbered parse errors, file helpers, and `TraceStats`
-//!   summaries, so real cluster traces can be persisted and replayed.
+//!   with strict line-numbered parse errors, a streaming `import_csv_reader`
+//!   (one line resident at a time, for multi-gigabyte traces), file helpers,
+//!   and `TraceStats` summaries, so real cluster traces can be persisted and
+//!   replayed.
 //!
 //! All generation is deterministic given a seed, and any trace round-trips
 //! bit-exactly through the CSV form.
@@ -31,7 +33,7 @@ pub use arrivals::{
     mean_interarrival_secs, ArrivalProcess, ArrivalShape, IncastSchedule,
 };
 pub use distributions::{EmpiricalCdf, Workload};
-pub use io::{export_csv, import_csv, CsvError, CsvErrorKind, TraceStats};
+pub use io::{export_csv, import_csv, import_csv_reader, CsvError, CsvErrorKind, TraceStats};
 pub use trace::{
     concurrent_long_flows, cross_dc_trace, incast_trace, long_lived_per_receiver, synthesize,
     TraceFlow, TraceParams,

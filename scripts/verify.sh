@@ -3,7 +3,8 @@
 #   1. tier-1: release build + the root test suites (end-to-end, properties,
 #      trace round-trip/replay, doctest)
 #   2. the bfc-testkit harness's own unit tests
-#   3. a trace-tool smoke: synth -> stats -> replay on a tiny CSV trace
+#   3. a trace-tool smoke: synth -> stats -> replay on a tiny CSV trace,
+#      plus a `scenario` run (link down/up + flap fault injection)
 #   4. a quick benchmark run diffed against the committed BENCH.json —
 #      any benchmark whose median regresses more than 25% fails the check
 #      (benchmarks without a committed baseline entry are skipped)
@@ -40,6 +41,19 @@ cargo run --release -q -p bfc-experiments --bin trace-tool -- \
     synth --out "$trace_csv" --duration-us 120 --seed 7
 cargo run --release -q -p bfc-experiments --bin trace-tool -- stats "$trace_csv"
 cargo run --release -q -p bfc-experiments --bin trace-tool -- replay "$trace_csv" --scheme bfc
+
+echo "== trace-tool: scenario (fault injection) smoke"
+scenario_txt="$tmpdir/scenario.txt"
+cat > "$scenario_txt" <<'EOF'
+# verify.sh smoke scenario: one failure with repair, plus a flap
+at 40us down tor0 spine0
+at 90us up   tor0 spine0
+flap tor1 spine1 from 30us every 20us until 100us
+EOF
+cargo run --release -q -p bfc-experiments --bin trace-tool -- \
+    scenario "$scenario_txt" --scheme bfc --duration-us 120 --seed 7
+cargo run --release -q -p bfc-experiments --bin trace-tool -- \
+    scenario "$scenario_txt" --trace "$trace_csv" --scheme dcqcn-win --seed 7
 
 echo "== bench: cargo run --release -p bfc-bench -- --quick"
 # The committed baseline records absolute ns on the machine that wrote it at

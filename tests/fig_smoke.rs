@@ -6,8 +6,8 @@
 
 use backpressure_flow_control::core::BfcConfig;
 use backpressure_flow_control::experiments::figures::{
-    self, fig02, fig03, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14,
-    Scale,
+    self, failure_sweep, fig02, fig03, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12,
+    fig13, fig14, Scale,
 };
 use backpressure_flow_control::experiments::{run_experiment, ExperimentConfig, Scheme};
 use backpressure_flow_control::net::topology::{fat_tree, FatTreeParams};
@@ -149,5 +149,22 @@ fn fig14_bloom_size_smoke() {
     let t = fig14::run(&Scale::quick());
     for b in fig14::bloom_sizes() {
         assert!(t.contains(&format!("{b:>8}")), "bloom size {b} missing:\n{t}");
+    }
+}
+
+#[test]
+fn fig15_failure_sweep_smoke() {
+    let t = failure_sweep::run(&Scale::quick());
+    for shape in ["single down/up", "degraded core", "flapping"] {
+        assert!(t.contains(shape), "shape {shape} missing:\n{t}");
+    }
+    for scheme in ["BFC", "DCQCN+Win", "HPCC"] {
+        assert!(t.contains(scheme), "scheme {scheme} missing:\n{t}");
+    }
+    for k in failure_sweep::failure_counts() {
+        assert!(
+            t.contains(&format!("{k} links down")),
+            "failure count {k} missing:\n{t}"
+        );
     }
 }
