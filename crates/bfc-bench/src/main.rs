@@ -19,7 +19,7 @@ use std::process::ExitCode;
 
 use bfc_bench::{compare_against_baseline, comparison_report, parse_baseline, Harness};
 use bfc_core::{BfcConfig, BfcPolicy, CountingBloom, FlowKey, FlowTable};
-use bfc_experiments::{run_experiment, ExperimentConfig, ParallelRunner, Scheme};
+use bfc_experiments::{run_experiment, run_experiment_sharded, ExperimentConfig, ParallelRunner, Scheme};
 use bfc_net::packet::{Packet, PauseFrame};
 use bfc_net::policy::{EnqueueCtx, FifoPolicy, SwitchPolicy};
 use bfc_net::routing::RoutingTables;
@@ -249,6 +249,60 @@ fn bench_trace_io(h: &mut Harness) {
     });
 }
 
+fn bench_port_counters(h: &mut Harness) {
+    // The BFC pause-threshold path calls `active_queue_count` on every
+    // enqueue and dequeue. This drives a 32-queue port through the same
+    // enqueue/query/dequeue/query pattern the policy produces; the counter
+    // is maintained incrementally, so each query is O(1) instead of an O(Q)
+    // scan.
+    h.bench("port_active_queue_count_32q", || {
+        let mut port = Port::new(Link::datacenter_default(), Some((NodeId(9), 0)), 32, 1_000);
+        let mut probe = 0usize;
+        for i in 0..1_000u64 {
+            let q = (i % 32) as usize;
+            let pkt = Packet::data(
+                FlowId(q as u32),
+                NodeId(0),
+                NodeId(1),
+                i,
+                1_000,
+                q as u32,
+                false,
+            );
+            port.enqueue(bfc_net::policy::QueueTarget::Phys(q), pkt, 0);
+            probe += black_box(port.active_queue_count());
+            if i % 2 == 1 {
+                let _ = port.dequeue_next();
+                probe += black_box(port.active_queue_count());
+            }
+        }
+        probe
+    });
+    // The dynamic PFC threshold: admit/release churn with a transition
+    // check per buffer movement, plus the fault path's all-ingress sweep at
+    // constant occupancy (where the per-occupancy cache pays off most).
+    h.bench("shared_buffer_pfc_transitions", || {
+        let pfc = bfc_net::config::PfcConfig::default();
+        let mut buffer = bfc_net::buffer::SharedBuffer::new(1_000_000, 24);
+        let mut transitions = 0usize;
+        for i in 0..1_000u32 {
+            let ingress = i % 24;
+            buffer.admit(1_000, ingress);
+            transitions += usize::from(buffer.pfc_transition(ingress, &pfc).is_some());
+            if i % 3 == 2 {
+                buffer.release(1_000, ingress);
+                transitions += usize::from(buffer.pfc_transition(ingress, &pfc).is_some());
+            }
+            if i % 100 == 99 {
+                for sweep in 0..24u32 {
+                    transitions += usize::from(buffer.pfc_transition(sweep, &pfc).is_some());
+                }
+            }
+        }
+        transitions
+    });
+}
+
 fn bench_parallel_runner(h: &mut Harness) {
     let topo = fat_tree(FatTreeParams::tiny());
     let trace = synthesize(
@@ -270,6 +324,16 @@ fn bench_parallel_runner(h: &mut Harness) {
         ParallelRunner::new(4)
             .run_experiments(&topo, &trace, &configs)
             .len()
+    });
+    // Within-run parallelism: the same lineup with each run split across 4
+    // engine shards (bit-identical results; on a single-core container this
+    // is ≈ serial wall-clock plus barrier overhead, on multicore the run
+    // itself scales).
+    h.bench("paper_lineup_sharded_4x", || {
+        configs
+            .iter()
+            .map(|config| run_experiment_sharded(&topo, &trace, config, 4).completed_flows)
+            .sum::<usize>()
     });
 }
 
@@ -325,6 +389,7 @@ fn main() -> ExitCode {
     bench_bloom(&mut h);
     bench_flow_table(&mut h);
     bench_switch_forwarding(&mut h);
+    bench_port_counters(&mut h);
     bench_routing_recompute(&mut h);
     bench_trace_io(&mut h);
     bench_end_to_end(&mut h);

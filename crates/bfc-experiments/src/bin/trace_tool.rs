@@ -49,6 +49,8 @@ commands:
                             scheme(s) to run [bfc]
     --seed <n>              experiment seed [1]
     --drain-x <n>           drain window as a multiple of the horizon [4]
+    --shards <n>            split each run across n engine shards
+                            (bit-identical results; same as BFC_SHARDS=n)
 
   scenario <path>         run a link-dynamics scenario (fault-injection)
                           file through the experiment driver and report the
@@ -65,7 +67,9 @@ commands:
     --load <frac>           background load of the synthetic trace [0.6]
     --duration-us <n>       synthetic trace duration in microseconds [300]
     --seed <n>              experiment seed [1]
-    --drain-x <n>           drain window as a multiple of the horizon [4]";
+    --drain-x <n>           drain window as a multiple of the horizon [4]
+    --shards <n>            split each run across n engine shards
+                            (bit-identical results; same as BFC_SHARDS=n)";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("trace-tool: {msg}\n\n{USAGE}");
@@ -234,6 +238,14 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Routes the runs of this invocation through the sharded engine by setting
+/// `BFC_SHARDS` (the experiment paths read it via
+/// `bfc_experiments::sharded::shards_from_env`). Results are bit-identical
+/// at any shard count; only wall-clock changes.
+fn set_shards(_flag: &str, value: &str) -> Result<(), String> {
+    bfc_experiments::sharded::set_shards_env(value)
+}
+
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let mut gbps = 100.0f64;
     let positional = walk_options(args, |flag, value| {
@@ -275,6 +287,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             }
             "seed" => seed = parse_num(flag, value)?,
             "drain-x" => drain_x = parse_num(flag, value)?,
+            "shards" => set_shards(flag, value)?,
             _ => return Err(format!("replay: unknown option --{flag}")),
         }
         Ok(())
@@ -358,6 +371,7 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
             "duration-us" => duration_us = parse_num(flag, value)?,
             "seed" => seed = parse_num(flag, value)?,
             "drain-x" => drain_x = parse_num(flag, value)?,
+            "shards" => set_shards(flag, value)?,
             _ => return Err(format!("scenario: unknown option --{flag}")),
         }
         Ok(())

@@ -22,7 +22,8 @@ use bfc_workloads::{
 };
 
 use crate::parallel::ParallelRunner;
-use crate::runner::{run_experiment, ExperimentConfig, ExperimentResult};
+use crate::runner::{ExperimentConfig, ExperimentResult};
+use crate::sharded::run_experiment_auto;
 use crate::scheme::Scheme;
 
 /// The worker pool shared by every figure: thread count from `BFC_THREADS`
@@ -68,18 +69,27 @@ impl Scale {
 
     /// Parses process arguments: `--full` switches to full scale, `--bursty`
     /// to on/off background arrivals, `--lognormal-incast` to log-normal
-    /// incast inter-event gaps.
+    /// incast inter-event gaps, and `--shards N` routes every run through
+    /// the sharded engine (equivalent to setting `BFC_SHARDS=N`; results are
+    /// bit-identical at any shard count).
     pub fn from_args() -> Self {
-        let mut scale = if std::env::args().any(|a| a == "--full") {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = if args.iter().any(|a| a == "--full") {
             Scale::full()
         } else {
             Scale::quick()
         };
-        if std::env::args().any(|a| a == "--bursty") {
+        if args.iter().any(|a| a == "--bursty") {
             scale.arrivals = ArrivalShape::bursty_default();
         }
-        if std::env::args().any(|a| a == "--lognormal-incast") {
+        if args.iter().any(|a| a == "--lognormal-incast") {
             scale.incast_schedule = IncastSchedule::LogNormalGaps { sigma: 1.0 };
+        }
+        if let Some(i) = args.iter().position(|a| a == "--shards") {
+            let value = args.get(i + 1).map(String::as_str).unwrap_or("");
+            if let Err(e) = crate::sharded::set_shards_env(value) {
+                panic!("{e}");
+            }
         }
         scale
     }
@@ -257,7 +267,7 @@ pub mod fig02 {
             let mut config = config_for(scale, scheme);
             // The figure runs without PFC so buffers are free to grow.
             config.buffer_bytes = u64::MAX;
-            run_experiment(&topo, &trace, &config)
+            run_experiment_auto(&topo, &trace, &config)
         });
         for (gbps, result) in speeds.iter().zip(&results) {
             out.push_str(&format!(
@@ -487,7 +497,7 @@ pub mod fig08 {
             // Long-lived flows are not expected to finish: measure over
             // the window only.
             config.drain = SimDuration::ZERO;
-            run_experiment(&topo, &trace, &config)
+            run_experiment_auto(&topo, &trace, &config)
         });
         for ((_, fan_in), result) in jobs.iter().zip(&results) {
             out.push_str(&format!(
@@ -622,7 +632,7 @@ pub mod fig10 {
             let trace = concurrent_long_flows(&hosts, receiver, *n, size);
             let mut config = config_for(scale, scheme.clone());
             config.drain = scale.duration() * 8;
-            run_experiment(&topo, &trace, &config)
+            run_experiment_auto(&topo, &trace, &config)
         });
         for ((_, n), result) in jobs.iter().zip(&results) {
             let p99_kb = bfc_metrics::percentile(&result.peak_queue_samples, 99.0)
@@ -880,7 +890,7 @@ pub mod failure_sweep {
                 .resolve(&topo)
                 .expect("shape labels exist in the sweep topology");
             let config = config_for(scale, scheme.clone()).with_dynamics(schedule);
-            run_experiment(&topo, &trace, &config)
+            run_experiment_auto(&topo, &trace, &config)
         });
         for ((shape, _), result) in jobs.iter().zip(&results) {
             out.push_str(&result_row(shapes[*shape].0, result));
@@ -907,7 +917,7 @@ pub mod failure_sweep {
                 .resolve(&topo)
                 .expect("swept links exist in the sweep topology");
             let config = config_for(scale, scheme.clone()).with_dynamics(schedule);
-            run_experiment(&topo, &trace, &config)
+            run_experiment_auto(&topo, &trace, &config)
         });
         for ((k, _), result) in jobs.iter().zip(&results) {
             out.push_str(&result_row(&format!("{k} links down"), result));

@@ -14,6 +14,10 @@
 //!   (scheme, sweep-point, seed) runs across `std::thread` workers with
 //!   order-preserving result collection, so every figure is bit-identical
 //!   at any thread count (`BFC_THREADS` controls the worker pool).
+//! * [`sharded`] — within-run parallelism: one large fabric's switches and
+//!   hosts split across shards advancing in conservative lockstep epochs
+//!   ([`sharded::run_experiment_sharded`]), bit-identical to the serial
+//!   engine at any shard count (`BFC_SHARDS` / `--shards` select it).
 //! * [`replay`] — the [`replay::ReplayTrace`] path: imported CSV traces
 //!   (see `bfc_workloads::io`) validated against a topology and replayed
 //!   through the same driver with bit-identical results; the `trace-tool`
@@ -39,9 +43,11 @@ pub mod replay;
 pub mod runner;
 pub mod scenario;
 pub mod scheme;
+pub mod sharded;
 
 pub use parallel::ParallelRunner;
 pub use replay::{ReplayError, ReplayTrace};
 pub use runner::{run_experiment, ExperimentConfig, ExperimentResult};
 pub use scenario::{ScenarioError, ScenarioSpec};
 pub use scheme::Scheme;
+pub use sharded::{run_experiment_auto, run_experiment_sharded, ShardError, ShardPlan};

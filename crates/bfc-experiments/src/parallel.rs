@@ -17,7 +17,8 @@
 use bfc_net::topology::Topology;
 use bfc_workloads::TraceFlow;
 
-use crate::runner::{run_experiment, ExperimentConfig, ExperimentResult};
+use crate::runner::{ExperimentConfig, ExperimentResult};
+use crate::sharded::run_experiment_auto;
 
 /// Fans independent jobs across a fixed pool of `std::thread` workers while
 /// preserving job order in the results.
@@ -112,14 +113,15 @@ impl ParallelRunner {
     /// Runs one experiment per config over a shared topology and trace —
     /// the common "same workload, many schemes/parameters" sweep shape.
     /// Results come back in `configs` order, bit-identical at any thread
-    /// count.
+    /// count. Each run honours `BFC_SHARDS` (within-run sharding composes
+    /// with the across-run fan-out; results stay bit-identical either way).
     pub fn run_experiments(
         &self,
         topo: &Topology,
         trace: &[TraceFlow],
         configs: &[ExperimentConfig],
     ) -> Vec<ExperimentResult> {
-        self.run_all(configs, |config| run_experiment(topo, trace, config))
+        self.run_all(configs, |config| run_experiment_auto(topo, trace, config))
     }
 }
 

@@ -19,7 +19,7 @@ use bfc_workloads::io::{import_csv, read_csv_file, CsvError, TraceReadError};
 use bfc_workloads::TraceFlow;
 
 use crate::parallel::ParallelRunner;
-use crate::runner::{run_experiment, ExperimentConfig, ExperimentResult};
+use crate::runner::{ExperimentConfig, ExperimentResult};
 use crate::scheme::Scheme;
 
 /// Why a trace could not be replayed.
@@ -136,14 +136,15 @@ impl ReplayTrace {
     }
 
     /// Validates against `topo` and runs one experiment over the replayed
-    /// trace — exactly [`run_experiment`] on the imported flows.
+    /// trace — exactly [`run_experiment`] on the imported flows (sharded
+    /// when `BFC_SHARDS` asks for it; results are identical either way).
     pub fn run(
         &self,
         topo: &Topology,
         config: &ExperimentConfig,
     ) -> Result<ExperimentResult, ReplayError> {
         self.validate(topo)?;
-        Ok(run_experiment(topo, &self.flows, config))
+        Ok(crate::sharded::run_experiment_auto(topo, &self.flows, config))
     }
 
     /// Validates once, then fans one run per config across `runner` —
@@ -162,6 +163,7 @@ impl ReplayTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_experiment;
     use bfc_net::topology::{fat_tree, FatTreeParams};
     use bfc_sim::SimTime;
     use bfc_workloads::{export_csv, synthesize, TraceParams, Workload};

@@ -8,17 +8,20 @@
 use bfc_metrics::fct::{FctRecord, FctSummary};
 use bfc_metrics::recovery::{RecoveryMetrics, RecoveryTracker};
 use bfc_metrics::series::{OccupancySeries, UtilizationTracker};
+use bfc_net::config::SwitchConfig;
 use bfc_net::dynamics::{FaultEvent, FaultSchedule, LinkAction, LinkStateMap};
-use bfc_net::event::NetEvent;
+use bfc_net::event::{NetEvent, NetSink};
 use bfc_net::packet::vfid_for_flow;
 use bfc_net::policy::PolicyStats;
 use bfc_net::routing::RoutingTables;
 use bfc_net::switch::Switch;
 use bfc_net::topology::Topology;
-use bfc_net::types::FlowId;
+use bfc_net::types::{FlowId, NodeId};
 use bfc_sim::{run_until, EventQueue, SimDuration, SimTime, Simulation};
-use bfc_transport::{FlowSpec, Host};
+use bfc_transport::{FlowSpec, Host, HostConfig};
 use bfc_workloads::TraceFlow;
+
+use std::sync::Arc;
 
 use crate::scheme::Scheme;
 
@@ -135,37 +138,54 @@ impl ExperimentResult {
     }
 }
 
-struct FlowMeta {
-    spec: FlowSpec,
-    start: SimTime,
-    ideal_fct: SimDuration,
-    is_incast: bool,
-    completed: Option<SimTime>,
+pub(crate) struct FlowMeta {
+    pub(crate) spec: FlowSpec,
+    pub(crate) start: SimTime,
+    pub(crate) ideal_fct: SimDuration,
+    pub(crate) is_incast: bool,
 }
 
 /// Node dispatch table: every `NodeId` is dense, so switches and hosts live
 /// in vectors indexed by node id — per-event dispatch is a bounds-checked
 /// array access instead of a hash lookup, and iteration order for metrics is
 /// the (deterministic) node order.
-struct FabricSim<'a> {
-    topo: &'a Topology,
-    routes: RoutingTables,
-    link_state: LinkStateMap,
-    dynamics: &'a [FaultEvent],
-    switches: Vec<Option<Switch>>,
-    hosts: Vec<Option<Host>>,
-    flows: Vec<FlowMeta>,
-    occupancy: OccupancySeries,
-    peak_queue_samples: Vec<f64>,
-    occupied_queue_samples: Vec<f64>,
-    sample_interval: SimDuration,
-    sample_until: SimTime,
+///
+/// The same struct serves both engines: the serial engine builds one
+/// `FabricSim` holding every node, the sharded engine builds one per shard
+/// with `None` in every slot the shard does not own. All handler code is
+/// locality-agnostic — it simply skips `None` slots — so the two engines
+/// execute identical per-event logic.
+pub(crate) struct FabricSim<'a> {
+    pub(crate) topo: &'a Topology,
+    pub(crate) routes: RoutingTables,
+    pub(crate) link_state: LinkStateMap,
+    pub(crate) dynamics: &'a [FaultEvent],
+    pub(crate) switches: Vec<Option<Switch>>,
+    pub(crate) hosts: Vec<Option<Host>>,
+    /// Immutable per-flow metadata, computed once per run and shared by
+    /// every shard (`Arc`: N shards must not multiply the O(trace)
+    /// ideal-FCT route walks or the table's memory).
+    pub(crate) flows: Arc<Vec<FlowMeta>>,
+    /// Per-flow completion instants observed by *this* sim — a flow
+    /// completes in the one sim owning its destination host.
+    pub(crate) flow_completed: Vec<Option<SimTime>>,
+    pub(crate) occupancy: OccupancySeries,
+    pub(crate) peak_queue_samples: Vec<f64>,
+    pub(crate) occupied_queue_samples: Vec<f64>,
+    pub(crate) sample_interval: SimDuration,
+    pub(crate) sample_until: SimTime,
     /// Goodput sampling for the recovery metrics keeps running through the
     /// drain window (faults late in the horizon recover during drain); the
     /// occupancy/queue series stop at `sample_until` as before.
-    goodput_until: SimTime,
-    completed: usize,
-    recovery: RecoveryTracker,
+    pub(crate) goodput_until: SimTime,
+    pub(crate) completed: usize,
+    pub(crate) recovery: RecoveryTracker,
+    /// Whether this sim records the schedule-derived recovery metrics
+    /// (fault instants, reroute count). Every shard applies dynamics to its
+    /// own link-state/routing replica, but only one may *count* them, or the
+    /// merged metrics would multiply by the shard count. True for the serial
+    /// engine and shard 0.
+    pub(crate) record_dynamics_metrics: bool,
 }
 
 impl FabricSim<'_> {
@@ -200,12 +220,7 @@ impl FabricSim<'_> {
     /// Applies one fault-schedule event: mutates the live link state, updates
     /// the affected switch/host ports (flushing dead egresses), and recomputes
     /// routing over the surviving links.
-    fn apply_dynamics(
-        &mut self,
-        now: SimTime,
-        action: LinkAction,
-        queue: &mut EventQueue<NetEvent>,
-    ) {
+    fn apply_dynamics(&mut self, now: SimTime, action: LinkAction, queue: &mut impl NetSink) {
         let endpoints = self
             .link_state
             .apply(self.topo, &action)
@@ -248,28 +263,31 @@ impl FabricSim<'_> {
             let link_state = &self.link_state;
             self.routes =
                 RoutingTables::compute_filtered(self.topo, |n, p| link_state.is_up(n, p));
-            self.recovery.record_reroute();
+            if self.record_dynamics_metrics {
+                self.recovery.record_reroute();
+            }
         }
-        self.recovery.record_fault(now);
+        if self.record_dynamics_metrics {
+            self.recovery.record_fault(now);
+        }
     }
-}
 
-impl Simulation for FabricSim<'_> {
-    type Event = NetEvent;
-
-    fn handle(&mut self, now: SimTime, event: NetEvent, queue: &mut EventQueue<NetEvent>) {
+    /// Handles one event. Generic over the sink so the serial engine passes
+    /// the global queue and the sharded engine passes its boundary router.
+    pub(crate) fn dispatch(&mut self, now: SimTime, event: NetEvent, queue: &mut impl NetSink) {
         match event {
             NetEvent::FlowArrival { index } => {
                 let meta = &self.flows[index];
                 let spec = meta.spec;
-                self.hosts[spec.dst.index()]
-                    .as_mut()
-                    .expect("destination host exists")
-                    .expect_flow(spec);
-                self.hosts[spec.src.index()]
-                    .as_mut()
-                    .expect("source host exists")
-                    .start_flow(now, spec, queue);
+                // Receiver registration and sender start touch disjoint
+                // state; under sharding each half runs in the shard owning
+                // that host (both shards see the same `FlowArrival`).
+                if let Some(dst) = self.hosts[spec.dst.index()].as_mut() {
+                    dst.expect_flow(spec);
+                }
+                if let Some(src) = self.hosts[spec.src.index()].as_mut() {
+                    src.start_flow(now, spec, queue);
+                }
             }
             NetEvent::PacketArrive { node, port, packet } => {
                 // In-flight packets are blackholed if the cable they crossed
@@ -305,16 +323,16 @@ impl Simulation for FabricSim<'_> {
                 }
             }
             NetEvent::FlowCompleted { flow } => {
-                let meta = &mut self.flows[flow.index()];
-                if meta.completed.is_none() {
-                    meta.completed = Some(now);
+                let done = &mut self.flow_completed[flow.index()];
+                if done.is_none() {
+                    *done = Some(now);
                     self.completed += 1;
                 }
             }
             NetEvent::Sample => {
                 self.take_samples(now);
                 if now + self.sample_interval <= self.goodput_until {
-                    queue.push(now + self.sample_interval, NetEvent::Sample);
+                    queue.send(now + self.sample_interval, NetEvent::Sample);
                 }
             }
             NetEvent::NetworkDynamics { index } => {
@@ -325,108 +343,167 @@ impl Simulation for FabricSim<'_> {
     }
 }
 
-/// Runs one experiment: the given trace over `topo` under `config.scheme`.
-///
-/// This is a **pure, `Send` unit of work**: every switch, host, event queue
-/// and RNG is built from the inputs (all randomness derives from
-/// `config.seed`), nothing global is touched, and the result is a plain
-/// owned value — which is what lets [`crate::ParallelRunner`] fan
-/// independent runs across threads with bit-identical output.
-pub fn run_experiment(
-    topo: &Topology,
-    trace: &[TraceFlow],
-    config: &ExperimentConfig,
-) -> ExperimentResult {
-    if let Err(e) = config.dynamics.validate(topo) {
-        panic!("invalid fault schedule for this topology: {e}");
+impl Simulation for FabricSim<'_> {
+    type Event = NetEvent;
+
+    fn handle(&mut self, now: SimTime, event: NetEvent, queue: &mut EventQueue<NetEvent>) {
+        self.dispatch(now, event, queue);
     }
-    let routes = RoutingTables::compute(topo);
-    let hosts_list = topo.hosts();
-    assert!(hosts_list.len() >= 2, "need at least two hosts");
+}
 
-    // Base RTT: take the farthest-apart host pair we can cheaply identify
-    // (first and last host, which sit in different racks / data centers in
-    // every built-in topology).
-    let far_a = hosts_list[0];
-    let far_b = *hosts_list.last().expect("non-empty");
-    let base_rtt = routes.base_rtt(topo, far_a, far_b, config.mtu);
-    let host_gbps = topo.host_uplink(far_a).link.rate_gbps;
-    let bdp_bytes = (host_gbps * 1e9 / 8.0 * base_rtt.as_secs_f64()) as u64;
+/// Per-run values shared by every node regardless of which engine (serial or
+/// sharded) — or which shard — builds it.
+pub(crate) struct Frame {
+    pub(crate) routes: RoutingTables,
+    pub(crate) hosts_list: Vec<NodeId>,
+    pub(crate) host_gbps: f64,
+    pub(crate) switch_config: SwitchConfig,
+    pub(crate) host_config: HostConfig,
+}
 
-    // Switches.
-    let switch_config =
-        config
-            .scheme
-            .switch_config(config.queues_per_port, config.buffer_bytes, config.mtu);
+impl Frame {
+    /// Derives the shared per-run values from the experiment inputs.
+    pub(crate) fn new(topo: &Topology, config: &ExperimentConfig) -> Frame {
+        let routes = RoutingTables::compute(topo);
+        let hosts_list = topo.hosts();
+        assert!(hosts_list.len() >= 2, "need at least two hosts");
+
+        // Base RTT: take the farthest-apart host pair we can cheaply identify
+        // (first and last host, which sit in different racks / data centers
+        // in every built-in topology).
+        let far_a = hosts_list[0];
+        let far_b = *hosts_list.last().expect("non-empty");
+        let base_rtt = routes.base_rtt(topo, far_a, far_b, config.mtu);
+        let host_gbps = topo.host_uplink(far_a).link.rate_gbps;
+        let bdp_bytes = (host_gbps * 1e9 / 8.0 * base_rtt.as_secs_f64()) as u64;
+
+        Frame {
+            switch_config: config.scheme.switch_config(
+                config.queues_per_port,
+                config.buffer_bytes,
+                config.mtu,
+            ),
+            host_config: config.scheme.host_config(config.mtu, base_rtt, bdp_bytes),
+            routes,
+            hosts_list,
+            host_gbps,
+        }
+    }
+}
+
+/// Builds the switches whose node id satisfies `keep` (dense node-indexed
+/// table, `None` elsewhere). Seeds derive from the node id alone, so a shard
+/// building a subset gets byte-identical switches to the serial engine.
+pub(crate) fn build_switches(
+    topo: &Topology,
+    config: &ExperimentConfig,
+    frame: &Frame,
+    keep: impl Fn(NodeId) -> bool,
+) -> Vec<Option<Switch>> {
     let mut switches: Vec<Option<Switch>> = (0..topo.num_nodes()).map(|_| None).collect();
     for sw_id in topo.switches() {
+        if !keep(sw_id) {
+            continue;
+        }
         let policy = config.scheme.make_policy(config.seed ^ sw_id.0 as u64);
         switches[sw_id.index()] = Some(Switch::new(
             sw_id,
-            switch_config.clone(),
+            frame.switch_config.clone(),
             topo.ports(sw_id),
             policy,
             config.seed,
         ));
     }
+    switches
+}
 
-    // Hosts.
-    let host_config = config.scheme.host_config(config.mtu, base_rtt, bdp_bytes);
+/// Builds the hosts whose node id satisfies `keep`.
+pub(crate) fn build_hosts(
+    topo: &Topology,
+    frame: &Frame,
+    keep: impl Fn(NodeId) -> bool,
+) -> Vec<Option<Host>> {
     let mut hosts: Vec<Option<Host>> = (0..topo.num_nodes()).map(|_| None).collect();
-    for h in &hosts_list {
+    for h in &frame.hosts_list {
+        if !keep(*h) {
+            continue;
+        }
         let uplink = topo.host_uplink(*h);
         hosts[h.index()] = Some(Host::new(
             *h,
             uplink.link,
             (uplink.peer, uplink.peer_port),
-            host_config,
+            frame.host_config,
         ));
     }
+    hosts
+}
 
-    // Flow metadata and arrival events.
+/// Builds the per-flow metadata (spec, ideal FCT) for the whole trace — pure
+/// per-flow computation, identical in every engine and shard.
+pub(crate) fn build_flow_metas(
+    topo: &Topology,
+    trace: &[TraceFlow],
+    config: &ExperimentConfig,
+    frame: &Frame,
+) -> Vec<FlowMeta> {
     let num_vfids = config.scheme.num_vfids();
-    let mut queue = EventQueue::with_capacity(trace.len() * 4 + 16);
-    let mut flows = Vec::with_capacity(trace.len());
-    for (i, t) in trace.iter().enumerate() {
-        let flow_id = FlowId(i as u32);
-        let spec = FlowSpec {
-            flow: flow_id,
-            src: t.src,
-            dst: t.dst,
-            size_bytes: t.size_bytes,
-            vfid: vfid_for_flow(flow_id, config.seed, num_vfids),
-        };
-        let ideal_fct = routes.ideal_fct(
-            topo,
-            t.src,
-            t.dst,
-            t.size_bytes,
-            config.mtu,
-            flow_id.0 as u64,
-        );
-        flows.push(FlowMeta {
-            spec,
-            start: t.start,
-            ideal_fct,
-            is_incast: t.is_incast,
-            completed: None,
-        });
-        queue.push(t.start, NetEvent::FlowArrival { index: i });
-    }
-    queue.push(SimTime::ZERO + config.sample_interval, NetEvent::Sample);
-    for (index, event) in config.dynamics.events().iter().enumerate() {
-        queue.push(event.at, NetEvent::NetworkDynamics { index });
-    }
+    trace
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let flow_id = FlowId(i as u32);
+            // Fail loudly on malformed hand-built traces (the CSV replay
+            // path validates earlier); a switch endpoint would otherwise be
+            // silently skipped by the locality-tolerant FlowArrival handler.
+            assert!(
+                topo.is_host(t.src) && topo.is_host(t.dst),
+                "trace flow {i} endpoints must be hosts ({:?} -> {:?})",
+                t.src,
+                t.dst
+            );
+            FlowMeta {
+                spec: FlowSpec {
+                    flow: flow_id,
+                    src: t.src,
+                    dst: t.dst,
+                    size_bytes: t.size_bytes,
+                    vfid: vfid_for_flow(flow_id, config.seed, num_vfids),
+                },
+                start: t.start,
+                ideal_fct: frame.routes.ideal_fct(
+                    topo,
+                    t.src,
+                    t.dst,
+                    t.size_bytes,
+                    config.mtu,
+                    flow_id.0 as u64,
+                ),
+                is_incast: t.is_incast,
+            }
+        })
+        .collect()
+}
 
+/// Builds one `FabricSim` covering the nodes that satisfy `keep`.
+pub(crate) fn build_sim<'a>(
+    topo: &'a Topology,
+    flows: Arc<Vec<FlowMeta>>,
+    config: &'a ExperimentConfig,
+    frame: &Frame,
+    keep: impl Fn(NodeId) -> bool,
+    record_dynamics_metrics: bool,
+) -> FabricSim<'a> {
     let sample_until = SimTime::ZERO + config.horizon;
     let deadline = SimTime::ZERO + config.horizon + config.drain;
-    let mut sim = FabricSim {
+    FabricSim {
         topo,
-        routes,
+        routes: frame.routes.clone(),
         link_state: LinkStateMap::new(topo),
         dynamics: config.dynamics.events(),
-        switches,
-        hosts,
+        switches: build_switches(topo, config, frame, &keep),
+        hosts: build_hosts(topo, frame, &keep),
+        flow_completed: vec![None; flows.len()],
         flows,
         occupancy: OccupancySeries::new(),
         peak_queue_samples: Vec::new(),
@@ -440,24 +517,42 @@ pub fn run_experiment(
         },
         completed: 0,
         recovery: RecoveryTracker::new(),
-    };
-    let end_time = run_until(&mut sim, &mut queue, deadline);
+        record_dynamics_metrics,
+    }
+}
 
-    // Assemble results.
-    let records: Vec<FctRecord> = sim
-        .flows
-        .iter()
-        .filter_map(|m| {
-            m.completed.map(|done| FctRecord {
-                flow: m.spec.flow,
-                size_bytes: m.spec.size_bytes,
-                fct: done.saturating_since(m.start),
-                ideal_fct: m.ideal_fct,
-                is_incast: m.is_incast,
+/// Merges one or more finished `FabricSim`s (one from the serial engine, one
+/// per shard from the sharded engine) into an [`ExperimentResult`]. Every
+/// merge is either a disjoint union over nodes/flows in deterministic node
+/// order or an exact integer sum/max, so N sims produce bit-identical output
+/// to the single serial sim covering the same run.
+pub(crate) fn assemble_result(
+    topo: &Topology,
+    trace: &[TraceFlow],
+    config: &ExperimentConfig,
+    frame: &Frame,
+    mut sims: Vec<FabricSim<'_>>,
+    end_time: SimTime,
+) -> ExperimentResult {
+    assert!(!sims.is_empty(), "at least one sim");
+
+    // Per-flow completion: each flow completes in exactly one sim (the one
+    // owning its destination host).
+    let records: Vec<FctRecord> = (0..trace.len())
+        .filter_map(|i| {
+            let done = sims.iter().find_map(|s| s.flow_completed[i])?;
+            let meta = &sims[0].flows[i];
+            Some(FctRecord {
+                flow: meta.spec.flow,
+                size_bytes: meta.spec.size_bytes,
+                fct: done.saturating_since(meta.start),
+                ideal_fct: meta.ideal_fct,
+                is_incast: meta.is_incast,
             })
         })
         .collect();
     let fct = FctSummary::from_records(&records);
+    let completed: usize = sims.iter().map(|s| s.completed).sum();
 
     let elapsed = if end_time > SimTime::ZERO {
         end_time.saturating_since(SimTime::ZERO)
@@ -469,40 +564,139 @@ pub fn run_experiment(
     } else {
         elapsed
     };
-    let mut tracker = UtilizationTracker::new(hosts_list.len(), host_gbps, measured);
-    for host in sim.hosts.iter().flatten() {
-        tracker.add_delivered_bytes(host.counters().rx_data_bytes);
-    }
+
+    // Scalar per-node metrics, iterated in node order (each node lives in
+    // exactly one sim).
+    let mut tracker = UtilizationTracker::new(frame.hosts_list.len(), frame.host_gbps, measured);
     let mut policy_stats = PolicyStats::default();
     let mut drops = 0;
-    for sw in sim.switches.iter().flatten() {
-        policy_stats.merge(&sw.policy_stats());
-        drops += sw.counters().drops;
-        // Switch-local blackholes (dead-egress flushes, unroutable arrivals)
-        // join the driver's in-flight drops in the recovery metrics.
-        sim.recovery.add_blackholed(sw.counters().blackholed);
-        for p in 0..sw.num_ports() {
-            tracker.add_pfc_paused(sw.port(p as u32).pfc_paused_time(end_time));
+    let mut switch_blackholed = 0;
+    for idx in 0..topo.num_nodes() {
+        for sim in &sims {
+            if let Some(host) = &sim.hosts[idx] {
+                tracker.add_delivered_bytes(host.counters().rx_data_bytes);
+            }
+            if let Some(sw) = &sim.switches[idx] {
+                policy_stats.merge(&sw.policy_stats());
+                drops += sw.counters().drops;
+                // Switch-local blackholes (dead-egress flushes, unroutable
+                // arrivals) join the driver's in-flight drops in the
+                // recovery metrics.
+                switch_blackholed += sw.counters().blackholed;
+                for p in 0..sw.num_ports() {
+                    tracker.add_pfc_paused(sw.port(p as u32).pfc_paused_time(end_time));
+                }
+            }
         }
     }
-    let recovery = sim.recovery.finish();
+
+    // Recovery accumulators merge exactly: blackhole counts sum, the fault /
+    // reroute log lives in the one sim with `record_dynamics_metrics`, and
+    // per-tick goodput deltas sum across shards.
+    let recovery_parts: Vec<RecoveryTracker> = sims
+        .iter_mut()
+        .map(|s| std::mem::take(&mut s.recovery))
+        .collect();
+
+    // Sampled series. Each sim records one occupancy value per owned switch
+    // per tick (in node order) and one peak/occupied maximum per tick;
+    // interleaving by switch owner / taking elementwise maxima reconstructs
+    // exactly what one sim covering all switches would have recorded.
+    let ticks = sims[0].peak_queue_samples.len();
+    let (occupancy, peak_queue_samples, occupied_queue_samples) = if sims.len() == 1 {
+        let s = sims
+            .into_iter()
+            .next()
+            .expect("non-empty sims");
+        (s.occupancy, s.peak_queue_samples, s.occupied_queue_samples)
+    } else {
+        for s in &sims {
+            assert_eq!(s.peak_queue_samples.len(), ticks, "shards sample in lockstep");
+            assert_eq!(s.occupied_queue_samples.len(), ticks);
+        }
+        let owner_of: Vec<usize> = topo
+            .switches()
+            .iter()
+            .map(|sw| {
+                sims.iter()
+                    .position(|s| s.switches[sw.index()].is_some())
+                    .expect("every switch is owned by exactly one shard")
+            })
+            .collect();
+        let occupancy = OccupancySeries::merge_interleaved(
+            &sims.iter().map(|s| &s.occupancy).collect::<Vec<_>>(),
+            &owner_of,
+            ticks,
+        );
+        let mut peak = vec![0.0f64; ticks];
+        let mut occupied = vec![0.0f64; ticks];
+        for s in &sims {
+            for (acc, v) in peak.iter_mut().zip(&s.peak_queue_samples) {
+                *acc = acc.max(*v);
+            }
+            for (acc, v) in occupied.iter_mut().zip(&s.occupied_queue_samples) {
+                *acc = acc.max(*v);
+            }
+        }
+        (occupancy, peak, occupied)
+    };
+
+    let mut recovery_tracker = RecoveryTracker::merge(recovery_parts);
+    recovery_tracker.add_blackholed(switch_blackholed);
+    let recovery = recovery_tracker.finish();
 
     ExperimentResult {
         scheme: config.scheme.name(),
         fct,
         records,
-        occupancy: sim.occupancy,
-        peak_queue_samples: sim.peak_queue_samples,
-        occupied_queue_samples: sim.occupied_queue_samples,
+        occupancy,
+        peak_queue_samples,
+        occupied_queue_samples,
         utilization: tracker.utilization(),
         pfc_pause_fraction: tracker.pfc_pause_fraction(),
         policy_stats,
         drops,
-        completed_flows: sim.completed,
+        completed_flows: completed,
         total_flows: trace.len(),
         end_time,
         recovery,
     }
+}
+
+/// Runs one experiment: the given trace over `topo` under `config.scheme`.
+///
+/// This is a **pure, `Send` unit of work**: every switch, host, event queue
+/// and RNG is built from the inputs (all randomness derives from
+/// `config.seed`), nothing global is touched, and the result is a plain
+/// owned value — which is what lets [`crate::ParallelRunner`] fan
+/// independent runs across threads with bit-identical output. For within-run
+/// parallelism over one large fabric, see
+/// [`crate::sharded::run_experiment_sharded`], which produces bit-identical
+/// results to this function at any shard count.
+pub fn run_experiment(
+    topo: &Topology,
+    trace: &[TraceFlow],
+    config: &ExperimentConfig,
+) -> ExperimentResult {
+    if let Err(e) = config.dynamics.validate(topo) {
+        panic!("invalid fault schedule for this topology: {e}");
+    }
+    let frame = Frame::new(topo, config);
+    let flows = Arc::new(build_flow_metas(topo, trace, config, &frame));
+    let mut sim = build_sim(topo, flows, config, &frame, |_| true, true);
+
+    let mut queue = EventQueue::with_capacity(trace.len() * 4 + 16);
+    for (i, t) in trace.iter().enumerate() {
+        queue.send(t.start, NetEvent::FlowArrival { index: i });
+    }
+    queue.send(SimTime::ZERO + config.sample_interval, NetEvent::Sample);
+    for (index, event) in config.dynamics.events().iter().enumerate() {
+        queue.send(event.at, NetEvent::NetworkDynamics { index });
+    }
+
+    let deadline = SimTime::ZERO + config.horizon + config.drain;
+    let end_time = run_until(&mut sim, &mut queue, deadline);
+    assemble_result(topo, trace, config, &frame, vec![sim], end_time)
 }
 
 #[cfg(test)]

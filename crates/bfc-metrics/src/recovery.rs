@@ -97,6 +97,46 @@ impl RecoveryTracker {
         self.blackholed
     }
 
+    /// Merges per-shard trackers into the tracker one collector covering the
+    /// whole fabric would have built.
+    ///
+    /// Shards sample in lockstep, so every non-empty sample series carries
+    /// the same tick instants; per-tick deltas (each shard's local receivers)
+    /// sum to the fabric-wide delta exactly (`u64` addition). Fault instants
+    /// and reroute counts are recorded by a single designated shard, so
+    /// concatenation — kept time-sorted — reproduces the serial log.
+    /// `merge(vec![t])` is `t` itself.
+    pub fn merge(parts: Vec<RecoveryTracker>) -> RecoveryTracker {
+        let mut merged = RecoveryTracker::new();
+        for part in &parts {
+            merged.blackholed += part.blackholed;
+            merged.reroutes += part.reroutes;
+            merged.last_cumulative += part.last_cumulative;
+            merged.disruptions.extend(part.disruptions.iter().copied());
+        }
+        merged.disruptions.sort_unstable();
+        if let Some(longest) = parts.iter().map(|p| p.samples.len()).max() {
+            for tick in 0..longest {
+                let mut at = None;
+                let mut delta = 0u64;
+                for part in &parts {
+                    if let Some(&(t, d)) = part.samples.get(tick) {
+                        debug_assert!(
+                            at.is_none_or(|a| a == t),
+                            "shards must sample at identical instants"
+                        );
+                        at = Some(t);
+                        delta += d;
+                    }
+                }
+                if let Some(t) = at {
+                    merged.samples.push((t, delta));
+                }
+            }
+        }
+        merged
+    }
+
     /// Distills the recorded run into its [`RecoveryMetrics`].
     pub fn finish(&self) -> RecoveryMetrics {
         let mut metrics = RecoveryMetrics {
@@ -161,6 +201,42 @@ mod tests {
 
     fn us(n: u64) -> SimTime {
         SimTime::from_micros(n)
+    }
+
+    #[test]
+    fn merging_shard_trackers_matches_the_fabric_wide_tracker() {
+        // One fabric-wide tracker versus two shard trackers whose receivers
+        // split the delivered bytes; the designated shard 0 records faults.
+        let mut whole = RecoveryTracker::new();
+        let mut shard0 = RecoveryTracker::new();
+        let mut shard1 = RecoveryTracker::new();
+        let deliveries = [(10u64, 600u64, 400u64), (20, 700, 400), (30, 700, 500)];
+        for (at, a, b) in deliveries {
+            whole.record_goodput(us(at), a + b);
+            shard0.record_goodput(us(at), a);
+            shard1.record_goodput(us(at), b);
+        }
+        whole.record_fault(us(15));
+        whole.record_reroute();
+        shard0.record_fault(us(15));
+        shard0.record_reroute();
+        whole.add_blackholed(3);
+        shard0.add_blackholed(1);
+        shard1.add_blackholed(2);
+        let merged = RecoveryTracker::merge(vec![shard0, shard1]);
+        assert_eq!(merged.finish(), whole.finish());
+        assert_eq!(merged.blackholed(), 3);
+    }
+
+    #[test]
+    fn merging_a_single_tracker_is_identity() {
+        let mut t = RecoveryTracker::new();
+        t.record_goodput(us(10), 1_000);
+        t.record_fault(us(12));
+        t.record_goodput(us(20), 1_500);
+        t.add_blackholed(4);
+        let expected = t.finish();
+        assert_eq!(RecoveryTracker::merge(vec![t]).finish(), expected);
     }
 
     #[test]

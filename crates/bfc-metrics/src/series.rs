@@ -23,6 +23,52 @@ impl OccupancySeries {
         self.samples_bytes.push(bytes as f64);
     }
 
+    /// The raw samples, in recording order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples_bytes
+    }
+
+    /// Reassembles per-shard occupancy series into the series one collector
+    /// covering every switch would have recorded.
+    ///
+    /// Each part records its own switches — in global node order — at every
+    /// tick, so part `p` contributes `parts[p].len() / ticks` consecutive
+    /// values per tick. `owner` gives, for each global recording slot within
+    /// one tick (i.e. for each switch in global node order), the index of
+    /// the part that owns it. The merge walks every tick and pulls each
+    /// slot's value from its owner's cursor: a pure reordering, bit-exact.
+    pub fn merge_interleaved(parts: &[&OccupancySeries], owner: &[usize], ticks: usize) -> Self {
+        let mut cursors = vec![0usize; parts.len()];
+        let mut widths = vec![0usize; parts.len()];
+        for &p in owner {
+            widths[p] += 1;
+        }
+        for (p, part) in parts.iter().enumerate() {
+            assert_eq!(
+                part.len(),
+                widths[p] * ticks,
+                "part {p} must hold exactly its owned slots for every tick"
+            );
+        }
+        let mut merged = OccupancySeries {
+            samples_bytes: Vec::with_capacity(owner.len() * ticks),
+        };
+        for tick in 0..ticks {
+            for &p in owner {
+                // Owners record their slots in the same global order within
+                // each tick, so per-part cursors advance monotonically.
+                let base = tick * widths[p];
+                let offset = cursors[p] - base;
+                debug_assert!(offset < widths[p]);
+                merged
+                    .samples_bytes
+                    .push(parts[p].samples_bytes[base + offset]);
+                cursors[p] += 1;
+            }
+        }
+        merged
+    }
+
     /// Number of samples recorded.
     pub fn len(&self) -> usize {
         self.samples_bytes.len()
@@ -181,6 +227,42 @@ mod tests {
         assert!((cdf.last().unwrap().0 - 9.9).abs() < 1e-9);
         assert!(s.percentile_bytes(50.0) <= s.percentile_bytes(99.0));
         assert_eq!(s.max_bytes(), 9_900_000.0);
+    }
+
+    #[test]
+    fn merge_interleaved_reorders_shard_series_exactly() {
+        // Global switch order: [A(part0), B(part1), C(part0)] over 2 ticks.
+        // Part 0 records A, C per tick; part 1 records B per tick.
+        let mut p0 = OccupancySeries::new();
+        let mut p1 = OccupancySeries::new();
+        for tick in 0..2u64 {
+            p0.record(100 + tick); // A
+            p0.record(300 + tick); // C
+            p1.record(200 + tick); // B
+        }
+        let merged = OccupancySeries::merge_interleaved(&[&p0, &p1], &[0, 1, 0], 2);
+        assert_eq!(
+            merged.samples(),
+            &[100.0, 200.0, 300.0, 101.0, 201.0, 301.0]
+        );
+    }
+
+    #[test]
+    fn merge_interleaved_of_one_part_is_identity() {
+        let mut s = OccupancySeries::new();
+        for v in [5u64, 7, 9, 11] {
+            s.record(v);
+        }
+        let merged = OccupancySeries::merge_interleaved(&[&s], &[0, 0], 2);
+        assert_eq!(merged.samples(), s.samples());
+    }
+
+    #[test]
+    #[should_panic(expected = "every tick")]
+    fn merge_interleaved_rejects_misaligned_parts() {
+        let mut s = OccupancySeries::new();
+        s.record(1);
+        let _ = OccupancySeries::merge_interleaved(&[&s], &[0], 2);
     }
 
     #[test]

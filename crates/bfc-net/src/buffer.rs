@@ -21,6 +21,14 @@ pub struct SharedBuffer {
     peak_occupancy: u64,
     drops: u64,
     dropped_bytes: u64,
+    /// Cached PFC pause threshold, keyed by the occupancy it was computed
+    /// at. The dynamic threshold is a float function of the *free* buffer,
+    /// so it only changes when total occupancy does — one "region" is a
+    /// maximal run of evaluations at constant occupancy. Within a region
+    /// (every ingress of a link-down flush, repeated checks between buffer
+    /// movements) the float math runs once instead of per call; the cached
+    /// value is byte-exact, so PFC decisions are unchanged.
+    pfc_cache: Option<(u64, u64)>,
 }
 
 impl SharedBuffer {
@@ -35,6 +43,7 @@ impl SharedBuffer {
             peak_occupancy: 0,
             drops: 0,
             dropped_bytes: 0,
+            pfc_cache: None,
         }
     }
 
@@ -109,7 +118,7 @@ impl SharedBuffer {
             return None;
         }
         let idx = ingress as usize;
-        let threshold = pfc.pause_threshold(self.free());
+        let threshold = self.pfc_threshold(pfc);
         let occ = self.per_ingress[idx];
         if !self.pfc_paused_upstream[idx] && occ > threshold {
             self.pfc_paused_upstream[idx] = true;
@@ -122,6 +131,23 @@ impl SharedBuffer {
         } else {
             None
         }
+    }
+
+    /// The dynamic pause threshold for the current occupancy, recomputed
+    /// only when the occupancy has moved out of the cached region (see
+    /// `pfc_cache`). One switch always evaluates one `PfcConfig`, so the
+    /// cache is keyed on occupancy alone.
+    #[inline]
+    fn pfc_threshold(&mut self, pfc: &PfcConfig) -> u64 {
+        if let Some((occ, threshold)) = self.pfc_cache {
+            if occ == self.occupancy {
+                debug_assert_eq!(threshold, pfc.pause_threshold(self.free()));
+                return threshold;
+            }
+        }
+        let threshold = pfc.pause_threshold(self.free());
+        self.pfc_cache = Some((self.occupancy, threshold));
+        threshold
     }
 
     /// Whether this switch currently has a PFC pause outstanding toward the

@@ -118,8 +118,9 @@ impl fmt::Display for DynamicsError {
 impl std::error::Error for DynamicsError {}
 
 /// A time-sorted list of link events — the "what goes wrong when" of one
-/// experiment. An empty schedule (the default) reproduces the frozen-topology
-/// behaviour of every earlier run bit for bit.
+/// experiment. An empty schedule (the default) is bit-identical to a run of
+/// this build with dynamics absent entirely: the link-state checks
+/// short-circuit and nothing else changes.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultSchedule {
     events: Vec<FaultEvent>,

@@ -1,10 +1,17 @@
 //! The global event vocabulary shared by switches, hosts and the simulation
 //! driver.
 //!
-//! Every component schedules follow-up work by pushing a [`NetEvent`] into the
-//! shared [`bfc_sim::EventQueue`]. The driver (in `bfc-experiments`) owns the
-//! dispatch loop: it pops events in time order and routes them to the switch,
-//! host or metrics collector they belong to.
+//! Every component schedules follow-up work by handing a [`NetEvent`] to a
+//! [`NetSink`] — the serial engine's [`bfc_sim::EventQueue`] or the sharded
+//! engine's boundary-routing wrapper. The driver (in `bfc-experiments`) owns
+//! the dispatch loop: it pops events in time order and routes them to the
+//! switch, host or metrics collector they belong to.
+//!
+//! Every scheduled event carries its [`NetEvent::canon_rank`]: a total order
+//! on *simultaneous* events derived from the event's content rather than
+//! from scheduling order. See that method for the determinism argument.
+
+use bfc_sim::{EventQueue, SimTime};
 
 use crate::packet::Packet;
 use crate::types::{FlowId, NodeId};
@@ -93,11 +100,142 @@ impl NetEvent {
             | NetEvent::NetworkDynamics { .. } => None,
         }
     }
+
+    /// Canonical rank: a deterministic total order on **simultaneous**
+    /// events, derived from the event's content only.
+    ///
+    /// The engines order events by `(time, rank, push order)`. For sharded
+    /// execution to reproduce serial results bit for bit, the order of two
+    /// simultaneous events must not depend on which engine interleaved their
+    /// pushes — so the rank must discriminate every pair of simultaneous
+    /// events *except* pairs produced by one sequential stream, whose push
+    /// order is the same in every engine. Concretely:
+    ///
+    /// * `PacketArrive`/`TxComplete`/`PauseFrameTimer` rank by `(node, port)`
+    ///   — an `(ingress node, port)` pair identifies one cable, and all
+    ///   deliveries on one cable are emitted by the single node on its far
+    ///   end, in that node's (deterministic) processing order;
+    /// * `HostTimer` ranks by the owning host — hosts only self-schedule
+    ///   timers, again one stream per rank;
+    /// * `FlowArrival`/`NetworkDynamics` rank by their schedule index and
+    ///   `FlowCompleted` by its (unique) flow, so no two distinct events
+    ///   share a rank at all;
+    /// * event kinds are ranked against each other by the tag in the top
+    ///   three bits, so e.g. a metrics `Sample` always observes the fabric
+    ///   before any packet arriving at the same instant is processed.
+    ///
+    /// The rank packs into 32 bits (3-bit tag, 29-bit subkey) so the
+    /// calendar queue's scheduling key stays at its tuned 24 bytes. That
+    /// caps the addressable space at 2^19 nodes × 2^10 ports per node and
+    /// 2^29 flows / trace entries — far beyond the paper's topologies.
+    /// Truncation past those limits would be *consistent* between the
+    /// serial and sharded engines (both hash the same event the same way),
+    /// but could alias two distinct cables and void the same-stream-tie
+    /// argument, so [`NetEvent::rank_layout_fits`] lets the sharded driver
+    /// reject oversized topologies up front; the per-push debug asserts
+    /// catch stray violations in tests without taxing the release hot path.
+    pub fn canon_rank(&self) -> u32 {
+        #[inline]
+        fn key(tag: u32, sub: u64) -> u32 {
+            debug_assert!(sub < 1 << 29, "rank subkey overflows the 29-bit layout");
+            (tag << 29) | (sub as u32 & ((1 << 29) - 1))
+        }
+        #[inline]
+        fn cable(node: NodeId, port: u32) -> u64 {
+            debug_assert!(
+                node.0 < 1 << 19 && port < 1 << 10,
+                "node/port overflows the rank layout"
+            );
+            ((node.0 as u64) << 10) | port as u64
+        }
+        match self {
+            NetEvent::FlowArrival { index } => key(0, *index as u64),
+            NetEvent::Sample => key(1, 0),
+            NetEvent::NetworkDynamics { index } => key(2, *index as u64),
+            NetEvent::PacketArrive { node, port, .. } => key(3, cable(*node, *port)),
+            NetEvent::TxComplete { node, port } => key(4, cable(*node, *port)),
+            NetEvent::PauseFrameTimer { node, port } => key(5, cable(*node, *port)),
+            NetEvent::HostTimer { node, .. } => key(6, cable(*node, 0)),
+            NetEvent::FlowCompleted { flow } => key(7, flow.0 as u64),
+        }
+    }
+
+    /// Whether `(nodes, max_ports_per_node, flows)` fit the packed rank
+    /// layout without aliasing (see [`NetEvent::canon_rank`]). The sharded
+    /// driver checks this once per run instead of asserting on every push.
+    pub fn rank_layout_fits(nodes: usize, max_ports: usize, flows: usize) -> bool {
+        nodes <= 1 << 19 && max_ports <= 1 << 10 && flows <= 1 << 29
+    }
+}
+
+/// Where network components schedule their follow-up events.
+///
+/// The serial engine passes the global [`EventQueue`] directly; the sharded
+/// engine passes a wrapper that routes events targeting another shard's
+/// nodes into an epoch outbox instead. Every implementation must order
+/// events by `(time, [`NetEvent::canon_rank`], emission order)` — going
+/// through this trait (rather than `EventQueue::push`) is what guarantees
+/// the rank is attached on every scheduling path.
+pub trait NetSink {
+    /// Schedules `event` at absolute time `time`.
+    fn send(&mut self, time: SimTime, event: NetEvent);
+}
+
+impl NetSink for EventQueue<NetEvent> {
+    #[inline]
+    fn send(&mut self, time: SimTime, event: NetEvent) {
+        let rank = event.canon_rank();
+        self.push_ranked(time, rank, event);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn canon_ranks_are_distinct_across_kinds_and_cables() {
+        let arrive = |node: u32, port: u32| NetEvent::PacketArrive {
+            node: NodeId(node),
+            port,
+            packet: Packet::pfc(NodeId(0), NodeId(node), true),
+        };
+        // Different cables, different ranks; same cable, same rank.
+        assert_ne!(arrive(1, 0).canon_rank(), arrive(1, 1).canon_rank());
+        assert_ne!(arrive(1, 0).canon_rank(), arrive(2, 0).canon_rank());
+        assert_eq!(arrive(1, 2).canon_rank(), arrive(1, 2).canon_rank());
+        // Kind tags separate simultaneous events on the same cable, and the
+        // cross-kind order puts samples before packet processing.
+        let tx = NetEvent::TxComplete { node: NodeId(1), port: 0 };
+        assert_ne!(arrive(1, 0).canon_rank(), tx.canon_rank());
+        assert!(NetEvent::Sample.canon_rank() < arrive(0, 0).canon_rank());
+        assert!(
+            NetEvent::FlowArrival { index: (1 << 29) - 1 }.canon_rank()
+                < NetEvent::Sample.canon_rank()
+        );
+        assert_ne!(
+            NetEvent::FlowCompleted { flow: FlowId(7) }.canon_rank(),
+            NetEvent::FlowCompleted { flow: FlowId(8) }.canon_rank()
+        );
+    }
+
+    #[test]
+    fn sink_attaches_the_canonical_rank() {
+        let mut q: EventQueue<NetEvent> = EventQueue::new();
+        let t = SimTime::from_nanos(10);
+        // Pushed in "wrong" order; the rank restores the canonical one.
+        q.send(t, NetEvent::TxComplete { node: NodeId(1), port: 0 });
+        q.send(t, NetEvent::Sample);
+        q.send(t, NetEvent::FlowArrival { index: 0 });
+        let kinds: Vec<u8> = std::iter::from_fn(|| q.pop()).map(|(_, e)| match e {
+            NetEvent::FlowArrival { .. } => 0,
+            NetEvent::Sample => 1,
+            NetEvent::TxComplete { .. } => 2,
+            _ => 9,
+        })
+        .collect();
+        assert_eq!(kinds, vec![0, 1, 2]);
+    }
 
     #[test]
     fn target_node_extraction() {

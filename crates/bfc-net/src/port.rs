@@ -52,6 +52,15 @@ pub struct Port {
     drr_credited: bool,
     quantum: u32,
 
+    // Incrementally maintained counters over the physical queues, updated on
+    // every empty<->non-empty transition, head change and pause-frame install
+    // so the per-enqueue BFC pause-threshold path reads them in O(1) instead
+    // of scanning all Q queues (`active_queue_count`). `active_counted[i]`
+    // records whether queue `i` currently contributes to `active_count`.
+    occupied_count: usize,
+    active_count: usize,
+    active_counted: Vec<bool>,
+
     /// True while the transmitter is serializing a packet.
     pub busy: bool,
 
@@ -87,6 +96,9 @@ impl Port {
             in_active: vec![false; num_queues + 1],
             drr_credited: false,
             quantum,
+            occupied_count: 0,
+            active_count: 0,
+            active_counted: vec![false; num_queues],
             busy: false,
             up: true,
             pfc_paused: false,
@@ -111,7 +123,7 @@ impl Port {
         self.up = up;
         if !up {
             self.set_pfc_paused(false, now);
-            self.pause_frame = None;
+            self.set_pause_frame(None);
         }
     }
 
@@ -159,9 +171,42 @@ impl Port {
         self.total_queued_bytes() == 0
     }
 
-    /// Number of physical queues that currently hold packets.
+    /// Number of physical queues that currently hold packets. O(1): the
+    /// count is maintained incrementally on empty<->non-empty transitions.
     pub fn occupied_queue_count(&self) -> usize {
-        self.queues.iter().filter(|q| !q.is_empty()).count()
+        debug_assert_eq!(
+            self.occupied_count,
+            self.queues.iter().filter(|q| !q.is_empty()).count(),
+            "occupied-queue counter out of sync"
+        );
+        self.occupied_count
+    }
+
+    /// Re-derives whether physical queue `i` belongs in `active_count`
+    /// (non-empty and not paused) after its head or the pause frame changed.
+    /// The pause check short-circuits on the (common) no-frame case so
+    /// schemes that never install BFC pause frames pay one branch, not a
+    /// head lookup.
+    #[inline]
+    fn refresh_active(&mut self, i: usize) {
+        let counted = !self.queues[i].is_empty()
+            && !(self.pause_frame.is_some() && self.is_queue_paused(i));
+        if counted != self.active_counted[i] {
+            self.active_counted[i] = counted;
+            if counted {
+                self.active_count += 1;
+            } else {
+                self.active_count -= 1;
+            }
+        }
+    }
+
+    /// Re-derives the active flag of every physical queue (pause-frame
+    /// installs can flip any subset of them).
+    fn refresh_active_all(&mut self) {
+        for i in 0..self.queues.len() {
+            self.refresh_active(i);
+        }
     }
 
     /// True if physical queue `i` is paused by the most recent BFC pause
@@ -175,12 +220,21 @@ impl Port {
 
     /// Number of *active* queues: non-empty physical queues that are not
     /// paused, plus the high-priority and overflow queues if they hold data.
-    /// This is the `Nactive` of the paper's pause threshold (§3.4).
+    /// This is the `Nactive` of the paper's pause threshold (§3.4). O(1):
+    /// the BFC policy evaluates it on every enqueue and dequeue, so the
+    /// physical-queue part is a counter maintained on empty<->non-empty
+    /// transitions, head changes and pause-frame installs instead of an O(Q)
+    /// scan per packet.
     pub fn active_queue_count(&self) -> usize {
-        let phys = (0..self.queues.len())
-            .filter(|&i| !self.queues[i].is_empty() && !self.is_queue_paused(i))
-            .count();
-        phys + usize::from(!self.high_priority.is_empty())
+        debug_assert_eq!(
+            self.active_count,
+            (0..self.queues.len())
+                .filter(|&i| !self.queues[i].is_empty() && !self.is_queue_paused(i))
+                .count(),
+            "active-queue counter out of sync"
+        );
+        self.active_count
+            + usize::from(!self.high_priority.is_empty())
             + usize::from(!self.overflow.is_empty())
     }
 
@@ -188,6 +242,8 @@ impl Port {
     /// Passing `None` clears all per-queue pauses.
     pub fn set_pause_frame(&mut self, frame: Option<PauseFrame>) {
         self.pause_frame = frame;
+        // A new frame can pause or release any physical queue.
+        self.refresh_active_all();
     }
 
     /// The most recently received pause frame, if any.
@@ -249,7 +305,14 @@ impl Port {
             }
             QueueTarget::Phys(i) => {
                 assert!(i < self.queues.len(), "physical queue index out of range");
+                let was_empty = self.queues[i].is_empty();
                 self.queues[i].push(packet, ingress);
+                if was_empty {
+                    // Empty -> non-empty: the head (and thus the pause
+                    // status) changed too.
+                    self.occupied_count += 1;
+                    self.refresh_active(i);
+                }
                 self.drr_activate(i);
             }
         }
@@ -304,7 +367,15 @@ impl Port {
         if i == self.overflow_index() {
             self.overflow.pop()
         } else {
-            self.queues[i].pop()
+            let popped = self.queues[i].pop();
+            if popped.is_some() {
+                if self.queues[i].is_empty() {
+                    self.occupied_count -= 1;
+                }
+                // The head changed, so the pause status may have flipped.
+                self.refresh_active(i);
+            }
+            popped
         }
     }
 
@@ -415,6 +486,9 @@ impl Port {
         self.in_active.fill(false);
         self.deficit.fill(0);
         self.drr_credited = false;
+        self.occupied_count = 0;
+        self.active_count = 0;
+        self.active_counted.fill(false);
         flushed
     }
 

@@ -18,11 +18,11 @@
 //! link's serialization and propagation delay but never wait behind data,
 //! matching how MAC control frames behave on real hardware.
 
-use bfc_sim::{EventQueue, SimRng, SimTime};
+use bfc_sim::{SimRng, SimTime};
 
 use crate::buffer::SharedBuffer;
 use crate::config::SwitchConfig;
-use crate::event::NetEvent;
+use crate::event::{NetEvent, NetSink};
 use crate::packet::{Packet, PacketKind};
 use crate::policy::{DequeueCtx, EnqueueCtx, QueueTarget, SwitchPolicy};
 use crate::port::Port;
@@ -146,7 +146,7 @@ impl Switch {
         ingress: u32,
         packet: Packet,
         routes: &RoutingTables,
-        events: &mut EventQueue<NetEvent>,
+        events: &mut impl NetSink,
     ) {
         match &packet.kind {
             PacketKind::PfcPause { pause } => {
@@ -172,7 +172,7 @@ impl Switch {
         ingress: u32,
         mut packet: Packet,
         routes: &RoutingTables,
-        events: &mut EventQueue<NetEvent>,
+        events: &mut impl NetSink,
     ) {
         self.counters.rx_packets += 1;
         let Some(egress) = routes.try_egress_port(self.id, packet.dst, packet.flow.0 as u64) else {
@@ -211,7 +211,7 @@ impl Switch {
             };
             if decision.start_pause_timer && !self.pause_timer_active[ingress as usize] {
                 self.pause_timer_active[ingress as usize] = true;
-                events.push(
+                events.send(
                     now + self.config.pause_frame_interval,
                     NetEvent::PauseFrameTimer {
                         node: self.id,
@@ -239,14 +239,14 @@ impl Switch {
 
     /// Sends a PFC pause/resume to the upstream of `ingress` if the dynamic
     /// threshold was just crossed.
-    fn maybe_send_pfc(&mut self, now: SimTime, ingress: u32, events: &mut EventQueue<NetEvent>) {
+    fn maybe_send_pfc(&mut self, now: SimTime, ingress: u32, events: &mut impl NetSink) {
         if let Some(pause) = self.buffer.pfc_transition(ingress, &self.config.pfc) {
             let port = &self.ports[ingress as usize];
             if let Some((peer, peer_port)) = port.peer {
                 let frame = Packet::pfc(self.id, peer, pause);
                 let arrival = port.link.arrival_time(now, frame.size_bytes);
                 self.counters.pfc_pauses_sent += u64::from(pause);
-                events.push(
+                events.send(
                     arrival,
                     NetEvent::PacketArrive {
                         node: peer,
@@ -263,7 +263,7 @@ impl Switch {
         &mut self,
         now: SimTime,
         port: u32,
-        events: &mut EventQueue<NetEvent>,
+        events: &mut impl NetSink,
     ) {
         self.ports[port as usize].busy = false;
         self.try_transmit(now, port, events);
@@ -274,7 +274,7 @@ impl Switch {
         &mut self,
         now: SimTime,
         ingress: u32,
-        events: &mut EventQueue<NetEvent>,
+        events: &mut impl NetSink,
     ) {
         let tick = self.policy.pause_frame_tick(now, ingress);
         if let Some(frame) = tick.frame {
@@ -283,7 +283,7 @@ impl Switch {
                 let packet = Packet::flow_pause(self.id, peer, frame);
                 let arrival = port.link.arrival_time(now, packet.size_bytes);
                 self.counters.flow_pause_frames_sent += 1;
-                events.push(
+                events.send(
                     arrival,
                     NetEvent::PacketArrive {
                         node: peer,
@@ -294,7 +294,7 @@ impl Switch {
             }
         }
         if tick.reschedule {
-            events.push(
+            events.send(
                 now + self.config.pause_frame_interval,
                 NetEvent::PauseFrameTimer {
                     node: self.id,
@@ -315,7 +315,7 @@ impl Switch {
         &mut self,
         now: SimTime,
         port: u32,
-        events: &mut EventQueue<NetEvent>,
+        events: &mut impl NetSink,
     ) -> u64 {
         let idx = port as usize;
         self.ports[idx].set_up(false, now);
@@ -349,7 +349,7 @@ impl Switch {
     }
 
     /// Brings the egress at `port` back up and restarts transmission.
-    pub fn handle_link_up(&mut self, now: SimTime, port: u32, events: &mut EventQueue<NetEvent>) {
+    pub fn handle_link_up(&mut self, now: SimTime, port: u32, events: &mut impl NetSink) {
         self.ports[port as usize].set_up(true, now);
         self.try_transmit(now, port, events);
     }
@@ -361,7 +361,7 @@ impl Switch {
     }
 
     /// Starts transmitting the next packet on `port` if the egress is free.
-    fn try_transmit(&mut self, now: SimTime, port: u32, events: &mut EventQueue<NetEvent>) {
+    fn try_transmit(&mut self, now: SimTime, port: u32, events: &mut impl NetSink) {
         let idx = port as usize;
         if self.ports[idx].busy || !self.ports[idx].is_up() || self.ports[idx].is_pfc_paused() {
             return;
@@ -403,14 +403,14 @@ impl Switch {
         let arrival = now + serialization + p.link.propagation;
         let (peer, peer_port) = p.peer.expect("transmitting on a connected port");
         p.busy = true;
-        events.push(
+        events.send(
             now + serialization,
             NetEvent::TxComplete {
                 node: self.id,
                 port,
             },
         );
-        events.push(
+        events.send(
             arrival,
             NetEvent::PacketArrive {
                 node: peer,
@@ -425,6 +425,7 @@ impl Switch {
 mod tests {
     use super::*;
     use crate::config::EcnConfig;
+    use bfc_sim::EventQueue;
     use crate::link::Link;
     use crate::policy::FifoPolicy;
     use crate::topology::{fat_tree, FatTreeParams};

@@ -1,8 +1,13 @@
 //! Event queue and simulation driver.
 //!
-//! Events are ordered by timestamp; events with equal timestamps are
-//! delivered in insertion (FIFO) order so simulations are fully
-//! deterministic regardless of how the queue organizes equal keys.
+//! Events are ordered by `(time, rank, seq)`: timestamp first, then an
+//! optional caller-supplied **rank** (see [`EventQueue::push_ranked`]), then
+//! insertion order. Plain [`EventQueue::push`] uses rank 0, so events pushed
+//! that way keep the original FIFO-on-equal-timestamp contract. Ranks exist
+//! for the sharded engine: a rank derived from an event's *content* gives
+//! simultaneous events a total order that does not depend on which shard —
+//! or in which global interleaving — they were scheduled, which is what lets
+//! a sharded run reproduce the serial engine's results bit for bit.
 //!
 //! The queue is a **bucketed calendar queue**: events in the near future are
 //! spread over fixed-width time windows (one `Vec` per window, organized as a
@@ -12,27 +17,26 @@
 //! push is usually an O(1) append into a window bucket and pop works on a
 //! heap holding one window's worth of events instead of the entire future —
 //! in practice tens of entries instead of tens of thousands. Ordering is
-//! always decided by the `(time, seq)` pair, never by which internal
-//! structure an event passed through, so the FIFO-on-equal-timestamp
-//! contract of the original heap implementation is preserved exactly
-//! ([`ReferenceEventQueue`] keeps that implementation around for
-//! differential tests).
+//! always decided by the `(time, rank, seq)` triple, never by which internal
+//! structure an event passed through ([`ReferenceEventQueue`] keeps the
+//! original heap implementation around for differential tests).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
-/// A single scheduled entry: time, insertion sequence number, payload.
+/// A single scheduled entry: time, rank, insertion sequence number, payload.
 struct Entry<E> {
     time: SimTime,
+    rank: u32,
     seq: u64,
     event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.rank == other.rank && self.seq == other.seq
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -44,10 +48,11 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest time (then the
-        // lowest sequence number) is popped first.
+        // lowest rank, then the lowest sequence number) is popped first.
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.rank.cmp(&self.rank))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -69,17 +74,27 @@ const BUCKET_MASK: usize = NUM_BUCKETS - 1;
 const BITMAP_WORDS: usize = NUM_BUCKETS / 64;
 /// A compact scheduling key: the payload lives in the queue's slab and is
 /// referenced by `slot`, so heap sifts and bucket moves shuffle 24 bytes
-/// instead of the full event.
+/// instead of the full event. The rank is deliberately `u32` so the key
+/// stays at 24 bytes — the size the calendar's sort/sift traffic was tuned
+/// for before ranks existed.
 #[derive(Clone, Copy)]
 struct Key {
     time: SimTime,
-    seq: u64,
+    rank: u32,
     slot: u32,
+    seq: u64,
+}
+
+impl Key {
+    #[inline]
+    fn ord_key(&self) -> (SimTime, u32, u64) {
+        (self.time, self.rank, self.seq)
+    }
 }
 
 impl PartialEq for Key {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.ord_key() == other.ord_key()
     }
 }
 impl Eq for Key {}
@@ -91,11 +106,8 @@ impl PartialOrd for Key {
 impl Ord for Key {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest time (then the
-        // lowest sequence number) is popped first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        // lowest rank, then the lowest sequence number) is popped first.
+        other.ord_key().cmp(&self.ord_key())
     }
 }
 
@@ -108,18 +120,18 @@ impl Ord for Key {
 ///
 /// After every `push`/`pop`, the `current` heap is non-empty whenever the
 /// queue as a whole is non-empty and its front is the global minimum
-/// `(time, seq)` (so `peek_time` is O(1)). The calendar ring only holds
-/// keys at or beyond the current window's end, and the overflow heap only
-/// holds keys that were beyond the calendar horizon when pushed;
+/// `(time, rank, seq)` (so `peek_time` is O(1)). The calendar ring only
+/// holds keys at or beyond the current window's end, and the overflow heap
+/// only holds keys that were beyond the calendar horizon when pushed;
 /// [`EventQueue::settle`] restores the invariant by advancing the window to
 /// the earliest pending source (comparing the first non-empty bucket's
 /// window against the overflow minimum) whenever `current` drains. Ordering
-/// is always decided by `(time, seq)`, never by which internal structure an
-/// event passed through.
+/// is always decided by `(time, rank, seq)`, never by which internal
+/// structure an event passed through.
 pub struct EventQueue<E> {
-    /// Sorted (ascending `(time, seq)`) keys of the current window, consumed
-    /// from `cursor` on. Refilled in bulk by `settle`, which sorts once —
-    /// sequential, cache-friendly — instead of sifting a heap per key.
+    /// Sorted (ascending `(time, rank, seq)`) keys of the current window,
+    /// consumed from `cursor` on. Refilled in bulk by `settle`, which sorts
+    /// once — sequential, cache-friendly — instead of sifting a heap per key.
     sorted: Vec<Key>,
     /// Next unconsumed index into `sorted`.
     cursor: usize,
@@ -203,11 +215,11 @@ impl<E> EventQueue<E> {
         self.cursor == self.sorted.len() && self.late.is_empty()
     }
 
-    /// `(time, seq)` of the earliest key in the current window, if any.
+    /// `(time, rank, seq)` of the earliest key in the current window, if any.
     #[inline]
-    fn current_front(&self) -> Option<(SimTime, u64)> {
-        let backbone = self.sorted.get(self.cursor).map(|k| (k.time, k.seq));
-        let late = self.late.peek().map(|k| (k.time, k.seq));
+    fn current_front(&self) -> Option<(SimTime, u32, u64)> {
+        let backbone = self.sorted.get(self.cursor).map(Key::ord_key);
+        let late = self.late.peek().map(Key::ord_key);
         match (backbone, late) {
             (Some(b), Some(l)) => Some(b.min(l)),
             (b, l) => b.or(l),
@@ -218,7 +230,7 @@ impl<E> EventQueue<E> {
     #[inline]
     fn current_pop(&mut self) -> Option<Key> {
         let take_backbone = match (self.sorted.get(self.cursor), self.late.peek()) {
-            (Some(b), Some(l)) => (b.time, b.seq) < (l.time, l.seq),
+            (Some(b), Some(l)) => b.ord_key() < l.ord_key(),
             (Some(_), None) => true,
             (None, Some(_)) => false,
             (None, None) => return None,
@@ -232,8 +244,19 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Schedules `event` at absolute time `time`.
+    /// Schedules `event` at absolute time `time` with rank 0 (pure FIFO
+    /// among equal timestamps).
     pub fn push(&mut self, time: SimTime, event: E) {
+        self.push_ranked(time, 0, event);
+    }
+
+    /// Schedules `event` at absolute time `time` with an explicit `rank`.
+    /// Among equal timestamps, lower ranks pop first; equal `(time, rank)`
+    /// pairs keep FIFO order. A rank derived from the event's content (rather
+    /// than from scheduling order) makes the pop order independent of how
+    /// concurrent events were interleaved at push time — the property the
+    /// sharded engine's determinism rests on.
+    pub fn push_ranked(&mut self, time: SimTime, rank: u32, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
         let slot = match self.free.pop() {
@@ -246,7 +269,12 @@ impl<E> EventQueue<E> {
                 (self.slab.len() - 1) as u32
             }
         };
-        let key = Key { time, seq, slot };
+        let key = Key {
+            time,
+            rank,
+            slot,
+            seq,
+        };
         let t = time.as_picos();
         if t < self.window_end() {
             self.late.push(key);
@@ -291,7 +319,7 @@ impl<E> EventQueue<E> {
 
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.current_front().map(|(t, _)| t)
+        self.current_front().map(|(t, _, _)| t)
     }
 
     /// Number of pending events.
@@ -419,9 +447,8 @@ impl<E> EventQueue<E> {
                 }
             }
         }
-        // One contiguous sort restores (time, seq) order for the window.
-        self.sorted
-            .sort_unstable_by_key(|k| (k.time, k.seq));
+        // One contiguous sort restores (time, rank, seq) order for the window.
+        self.sorted.sort_unstable_by_key(Key::ord_key);
     }
 }
 
@@ -451,11 +478,23 @@ impl<E> ReferenceEventQueue<E> {
         }
     }
 
-    /// Schedules `event` at absolute time `time`.
+    /// Schedules `event` at absolute time `time` with rank 0 (pure FIFO
+    /// among equal timestamps).
     pub fn push(&mut self, time: SimTime, event: E) {
+        self.push_ranked(time, 0, event);
+    }
+
+    /// Schedules `event` at absolute time `time` with an explicit `rank`
+    /// (see [`EventQueue::push_ranked`]).
+    pub fn push_ranked(&mut self, time: SimTime, rank: u32, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.heap.push(Entry {
+            time,
+            rank,
+            seq,
+            event,
+        });
     }
 
     /// Removes and returns the earliest event, or `None` if the queue is empty.
@@ -550,6 +589,21 @@ mod tests {
     }
 
     #[test]
+    fn ranks_order_equal_timestamps_before_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        // Push in descending rank order; pops must come back ascending, with
+        // FIFO only breaking (time, rank) ties.
+        q.push_ranked(t, 3, 30u32);
+        q.push_ranked(t, 1, 10);
+        q.push_ranked(t, 2, 20);
+        q.push_ranked(t, 1, 11);
+        q.push_ranked(SimTime::from_nanos(1), 9, 0);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 10, 11, 20, 30]);
+    }
+
+    #[test]
     fn counters_track_scheduling() {
         let mut q = EventQueue::new();
         q.push(SimTime::ZERO, ());
@@ -630,8 +684,11 @@ mod tests {
                         2 => rng.next_below(1_000_000_000),     // far future
                         _ => 77,                                // constant tie
                     };
-                    cal.push(SimTime::from_nanos(t), payload);
-                    reference.push(SimTime::from_nanos(t), payload);
+                    // A small rank universe so (time, rank) ties are common
+                    // and the seq fallback is exercised in both queues.
+                    let rank = rng.next_below(3) as u32;
+                    cal.push_ranked(SimTime::from_nanos(t), rank, payload);
+                    reference.push_ranked(SimTime::from_nanos(t), rank, payload);
                     payload += 1;
                 } else {
                     assert_eq!(cal.pop(), reference.pop());

@@ -4,15 +4,21 @@
 //! reproduction: a small, dependency-free discrete-event engine with
 //!
 //! * a picosecond-resolution simulated clock ([`SimTime`] / [`SimDuration`]),
-//! * a time-ordered [`EventQueue`] with deterministic FIFO tie-breaking,
-//! * a generic [`Simulation`] trait plus [`run`]/[`run_until`] drivers, and
+//! * a time-ordered [`EventQueue`] with deterministic `(time, rank, seq)`
+//!   tie-breaking (plain pushes are FIFO; ranked pushes give simultaneous
+//!   events a content-derived total order),
+//! * a generic [`Simulation`] trait plus [`run`]/[`run_until`] drivers,
+//! * the [`shard`] module: epoch-based conservative synchronization for
+//!   splitting one simulation across threads with bit-identical results, and
 //! * a seedable, splittable pseudo-random number generator ([`rng::SimRng`])
 //!   with the samplers the workload generator needs (uniform, exponential,
 //!   log-normal, empirical CDF).
 //!
-//! The engine is intentionally synchronous and single-threaded: network
-//! simulation is CPU-bound and the BFC evaluation depends on bit-for-bit
-//! reproducibility, so all randomness is seeded and event ordering is total.
+//! The core engine is synchronous: network simulation is CPU-bound and the
+//! BFC evaluation depends on bit-for-bit reproducibility, so all randomness
+//! is seeded and event ordering is total. Within-run parallelism is layered
+//! on top via [`shard::run_conservative`], which preserves exactly that
+//! total order across shard boundaries.
 //!
 //! ```
 //! use bfc_sim::{EventQueue, SimTime, SimDuration};
@@ -28,6 +34,7 @@
 pub mod event;
 pub mod hash;
 pub mod rng;
+pub mod shard;
 pub mod time;
 
 pub use event::{run, run_until, EventQueue, ReferenceEventQueue, Simulation};

@@ -1,0 +1,338 @@
+//! Epoch-based conservative synchronization for sharded simulations.
+//!
+//! A sharded simulation splits its state across N **shards**, each with its
+//! own [`crate::EventQueue`]. Shards advance in lockstep **epochs**: given
+//! the earliest pending event time `t0` across all shards and a **lookahead**
+//! `L` (the minimum latency of any cross-shard interaction), every shard may
+//! safely process all of its events in the window `[t0, t0 + L)` — any event
+//! another shard could still send it lands at `t0 + L` or later. Events that
+//! target another shard are collected into per-destination **outboxes**
+//! during the window and exchanged at the epoch barrier.
+//!
+//! # Determinism
+//!
+//! The driver is deterministic by construction, whether the epochs run on
+//! one thread or on one thread per shard:
+//!
+//! * the window is derived only from queue state (`min` of per-shard
+//!   `next_time`), never from thread timing;
+//! * at each barrier, destination shards ingest boundary batches in **shard
+//!   id order**, and each batch preserves its source's emission order;
+//! * boundary events carry their scheduling `(time, rank)` key with them, so
+//!   the destination queue orders them exactly as a global queue would have.
+//!
+//! With a content-derived rank (see [`crate::EventQueue::push_ranked`]) that
+//! is unique among simultaneous events from different sources, the per-shard
+//! pop order equals the serial engine's pop order restricted to that shard —
+//! which is what makes sharded results bit-identical to serial ones.
+
+use std::sync::{Barrier, Mutex};
+
+use crate::time::{SimDuration, SimTime};
+
+/// A boundary event in flight between shards: `(time, rank, payload)`. The
+/// scheduling key travels with the payload so the destination queue can slot
+/// the event exactly where a global queue would have.
+pub type Boundary<E> = (SimTime, u32, E);
+
+/// One shard of a sharded simulation, as seen by the epoch driver.
+///
+/// Implementations own their local event queue and simulation state. The
+/// driver only ever calls these methods in the fixed epoch sequence
+/// (`next_time` → `run_window` → `take_outboxes` → `deliver`), with barriers
+/// between phases when running threaded.
+pub trait ShardHandler: Send {
+    /// The event payload exchanged across shard boundaries.
+    type Event: Send;
+
+    /// Timestamp of this shard's earliest pending event, if any.
+    fn next_time(&self) -> Option<SimTime>;
+
+    /// Processes every local event with `time < window_end && time <=
+    /// deadline`, buffering events for other shards in the outboxes.
+    fn run_window(&mut self, window_end: SimTime, deadline: SimTime);
+
+    /// Takes the boundary events buffered during the last window, indexed by
+    /// destination shard (the returned vector has one entry per shard).
+    fn take_outboxes(&mut self) -> Vec<Vec<Boundary<Self::Event>>>;
+
+    /// Ingests one source shard's boundary batch, preserving its order.
+    fn deliver(&mut self, batch: Vec<Boundary<Self::Event>>);
+
+    /// Timestamp of the last event this shard processed (`SimTime::ZERO` if
+    /// none yet).
+    fn last_processed(&self) -> SimTime;
+}
+
+/// Runs a sharded simulation to completion (all queues empty) or until the
+/// next event would fall strictly after `deadline`. Returns the timestamp of
+/// the last event any shard processed.
+///
+/// `lookahead` must lower-bound the scheduling delay of every cross-shard
+/// event: an event emitted while processing time `t` must be scheduled at
+/// `t + lookahead` or later. `parallel` selects one thread per shard
+/// (barrier-synchronized) versus a single-threaded epoch loop; both produce
+/// identical results.
+pub fn run_conservative<S: ShardHandler>(
+    shards: &mut [S],
+    lookahead: SimDuration,
+    deadline: SimTime,
+    parallel: bool,
+) -> SimTime {
+    assert!(
+        !lookahead.is_zero(),
+        "conservative synchronization needs a positive lookahead"
+    );
+    if shards.len() > 1 && parallel {
+        run_threaded(shards, lookahead, deadline);
+    } else {
+        run_sequential(shards, lookahead, deadline);
+    }
+    shards
+        .iter()
+        .map(|s| s.last_processed())
+        .max()
+        .unwrap_or(SimTime::ZERO)
+}
+
+fn run_sequential<S: ShardHandler>(shards: &mut [S], lookahead: SimDuration, deadline: SimTime) {
+    let n = shards.len();
+    loop {
+        let Some(t0) = shards.iter().filter_map(|s| s.next_time()).min() else {
+            return;
+        };
+        if t0 > deadline {
+            return;
+        }
+        let window_end = t0 + lookahead;
+        for shard in shards.iter_mut() {
+            shard.run_window(window_end, deadline);
+        }
+        // Exchange boundary events: destinations ingest batches in source
+        // shard id order, exactly like the threaded path.
+        let outboxes: Vec<Vec<Vec<Boundary<S::Event>>>> =
+            shards.iter_mut().map(|s| s.take_outboxes()).collect();
+        for (src, rows) in outboxes.into_iter().enumerate() {
+            debug_assert_eq!(rows.len(), n, "outbox row per destination shard");
+            for (dest, batch) in rows.into_iter().enumerate() {
+                debug_assert!(dest != src || batch.is_empty(), "no self-addressed batches");
+                if !batch.is_empty() {
+                    shards[dest].deliver(batch);
+                }
+            }
+        }
+    }
+}
+
+/// Leader-computed per-epoch decision shared between worker threads.
+struct EpochCtl {
+    window_end: SimTime,
+    done: bool,
+}
+
+fn run_threaded<S: ShardHandler>(shards: &mut [S], lookahead: SimDuration, deadline: SimTime) {
+    let n = shards.len();
+    let barrier = Barrier::new(n);
+    let times: Vec<Mutex<Option<SimTime>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let ctl = Mutex::new(EpochCtl {
+        window_end: SimTime::ZERO,
+        done: false,
+    });
+    // mailboxes[src][dest]: written only by worker `src`, read only by
+    // worker `dest`, in disjoint phases separated by barriers — the mutexes
+    // are never contended.
+    let mailboxes: Vec<Vec<Mutex<Vec<Boundary<S::Event>>>>> = (0..n)
+        .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
+        .collect();
+
+    std::thread::scope(|scope| {
+        for (i, shard) in shards.iter_mut().enumerate() {
+            let barrier = &barrier;
+            let times = &times;
+            let ctl = &ctl;
+            let mailboxes = &mailboxes;
+            scope.spawn(move || {
+                // `Barrier` has no poisoning: if this worker unwound, the
+                // other n-1 workers would wait forever for its n-th arrival
+                // and the scope join would hang silently. Turn any panic
+                // into a loud process abort instead.
+                let body = std::panic::AssertUnwindSafe(|| loop {
+                    // Phase 1: publish this shard's next event time.
+                    *times[i].lock().expect("times lock") = shard.next_time();
+                    if barrier.wait().is_leader() {
+                        // Exactly one thread computes the epoch window from
+                        // the published times; which thread it is does not
+                        // matter.
+                        let t0 = times
+                            .iter()
+                            .filter_map(|m| *m.lock().expect("times lock"))
+                            .min();
+                        let mut c = ctl.lock().expect("ctl lock");
+                        match t0 {
+                            Some(t0) if t0 <= deadline => {
+                                c.window_end = t0 + lookahead;
+                                c.done = false;
+                            }
+                            _ => c.done = true,
+                        }
+                    }
+                    barrier.wait();
+                    // Phase 2: run the window and publish boundary events.
+                    let window_end = {
+                        let c = ctl.lock().expect("ctl lock");
+                        if c.done {
+                            break;
+                        }
+                        c.window_end
+                    };
+                    shard.run_window(window_end, deadline);
+                    for (dest, batch) in shard.take_outboxes().into_iter().enumerate() {
+                        if !batch.is_empty() {
+                            mailboxes[i][dest].lock().expect("mailbox lock").extend(batch);
+                        }
+                    }
+                    barrier.wait();
+                    // Phase 3: ingest batches in source shard id order.
+                    for row in mailboxes.iter() {
+                        let batch = std::mem::take(&mut *row[i].lock().expect("mailbox lock"));
+                        if !batch.is_empty() {
+                            shard.deliver(batch);
+                        }
+                    }
+                    barrier.wait();
+                });
+                if std::panic::catch_unwind(body).is_err() {
+                    eprintln!(
+                        "shard worker {i} panicked inside a barrier epoch; \
+                         aborting the process (a hung barrier cannot be recovered)"
+                    );
+                    std::process::abort();
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventQueue;
+
+    /// A toy sharded simulation: `count` tokens bounce between shards. Each
+    /// token processed at time `t` in shard `s` re-schedules itself in shard
+    /// `(s + 1) % n` at `t + HOP`, until `deadline`. Every shard logs
+    /// `(time, token)` in processing order.
+    struct Ring {
+        me: usize,
+        n: usize,
+        queue: EventQueue<u32>,
+        outbox: Vec<Vec<Boundary<u32>>>,
+        log: Vec<(SimTime, u32)>,
+        last: SimTime,
+    }
+
+    const HOP: SimDuration = SimDuration::from_nanos(50);
+
+    impl ShardHandler for Ring {
+        type Event = u32;
+        fn next_time(&self) -> Option<SimTime> {
+            self.queue.peek_time()
+        }
+        fn run_window(&mut self, window_end: SimTime, deadline: SimTime) {
+            while let Some(t) = self.queue.peek_time() {
+                if t >= window_end || t > deadline {
+                    break;
+                }
+                let (now, token) = self.queue.pop().expect("peeked");
+                self.last = now;
+                self.log.push((now, token));
+                let dest = (self.me + 1) % self.n;
+                let at = now + HOP;
+                if dest == self.me {
+                    self.queue.push_ranked(at, token, token);
+                } else {
+                    self.outbox[dest].push((at, token, token));
+                }
+            }
+        }
+        fn take_outboxes(&mut self) -> Vec<Vec<Boundary<u32>>> {
+            std::mem::replace(&mut self.outbox, vec![Vec::new(); self.n])
+        }
+        fn deliver(&mut self, batch: Vec<Boundary<u32>>) {
+            for (t, rank, e) in batch {
+                self.queue.push_ranked(t, rank, e);
+            }
+        }
+        fn last_processed(&self) -> SimTime {
+            self.last
+        }
+    }
+
+    fn ring(n: usize, tokens: u32) -> Vec<Ring> {
+        let mut shards: Vec<Ring> = (0..n)
+            .map(|me| Ring {
+                me,
+                n,
+                queue: EventQueue::new(),
+                outbox: vec![Vec::new(); n],
+                log: Vec::new(),
+                last: SimTime::ZERO,
+            })
+            .collect();
+        for token in 0..tokens {
+            // All tokens start in shard 0 at t=0, distinguished by rank.
+            shards[0].queue.push_ranked(SimTime::ZERO, token, token);
+        }
+        shards
+    }
+
+    fn merged_log(shards: &[Ring]) -> Vec<(SimTime, u32)> {
+        let mut all: Vec<(SimTime, u32)> = shards.iter().flat_map(|s| s.log.iter().copied()).collect();
+        all.sort();
+        all
+    }
+
+    #[test]
+    fn ring_produces_identical_logs_at_any_shard_count_and_mode() {
+        let deadline = SimTime::from_nanos(1_000);
+        let mut reference: Option<Vec<(SimTime, u32)>> = None;
+        for n in [1usize, 2, 3, 5] {
+            for parallel in [false, true] {
+                let mut shards = ring(n, 4);
+                let end = run_conservative(&mut shards, HOP, deadline, parallel);
+                assert_eq!(end, SimTime::from_nanos(1_000));
+                let log = merged_log(&shards);
+                match &reference {
+                    None => reference = Some(log),
+                    Some(r) => assert_eq!(r, &log, "n={n} parallel={parallel}"),
+                }
+            }
+        }
+        let log = reference.expect("at least one run");
+        // 4 tokens, hops at 0,50,...,1000 inclusive: 21 events per token.
+        assert_eq!(log.len(), 4 * 21);
+    }
+
+    #[test]
+    fn deadline_cuts_exactly_like_run_until() {
+        // Events exactly at the deadline are processed; later ones are not.
+        let mut shards = ring(2, 1);
+        let end = run_conservative(&mut shards, HOP, SimTime::from_nanos(100), true);
+        assert_eq!(end, SimTime::from_nanos(100));
+        assert_eq!(merged_log(&shards).len(), 3); // t = 0, 50, 100
+    }
+
+    #[test]
+    fn empty_queues_terminate_immediately() {
+        let mut shards = ring(3, 0);
+        let end = run_conservative(&mut shards, HOP, SimTime::MAX, true);
+        assert_eq!(end, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lookahead")]
+    fn zero_lookahead_is_rejected() {
+        let mut shards = ring(2, 1);
+        run_conservative(&mut shards, SimDuration::ZERO, SimTime::MAX, false);
+    }
+}

@@ -19,11 +19,11 @@
 
 use std::collections::VecDeque;
 
-use bfc_net::event::{NetEvent, TransportTimer};
+use bfc_net::event::{NetEvent, NetSink, TransportTimer};
 use bfc_net::link::Link;
 use bfc_net::packet::{Packet, PacketKind, PauseFrame};
 use bfc_net::types::{FlowId, NodeId};
-use bfc_sim::{EventQueue, FastHashMap, SimTime};
+use bfc_sim::{FastHashMap, SimTime};
 
 use crate::config::{CcKind, HostConfig};
 use crate::dcqcn::DcqcnState;
@@ -114,7 +114,7 @@ impl Host {
     /// down clears MAC-level pause state (it does not survive a link reset);
     /// coming back up restarts transmission. Packets already in flight are
     /// the driver's concern (they are blackholed at delivery time).
-    pub fn set_uplink_up(&mut self, now: SimTime, up: bool, events: &mut EventQueue<NetEvent>) {
+    pub fn set_uplink_up(&mut self, now: SimTime, up: bool, events: &mut impl NetSink) {
         self.uplink_up = up;
         if up {
             self.try_send(now, events);
@@ -141,7 +141,7 @@ impl Host {
 
     /// Starts sending a flow. Schedules the congestion-control timers and the
     /// first transmission opportunity.
-    pub fn start_flow(&mut self, now: SimTime, spec: FlowSpec, events: &mut EventQueue<NetEvent>) {
+    pub fn start_flow(&mut self, now: SimTime, spec: FlowSpec, events: &mut impl NetSink) {
         let cc = match self.config.cc {
             CcKind::LineRate | CcKind::WindowLimited => CcState::None,
             CcKind::Dcqcn => CcState::Dcqcn(DcqcnState::new(self.line_rate_gbps)),
@@ -156,7 +156,7 @@ impl Host {
         self.sending.insert(flow_id, flow);
         self.send_order.push_back(flow_id);
 
-        events.push(
+        events.send(
             now + self.config.retransmit_timeout,
             NetEvent::HostTimer {
                 node: self.id,
@@ -164,14 +164,14 @@ impl Host {
             },
         );
         if self.config.cc == CcKind::Dcqcn {
-            events.push(
+            events.send(
                 now + self.config.dcqcn.rate_increase_interval,
                 NetEvent::HostTimer {
                     node: self.id,
                     timer: TransportTimer::RateIncrease(flow_id),
                 },
             );
-            events.push(
+            events.send(
                 now + self.config.dcqcn.alpha_update_interval,
                 NetEvent::HostTimer {
                     node: self.id,
@@ -187,7 +187,7 @@ impl Host {
         &mut self,
         now: SimTime,
         packet: Packet,
-        events: &mut EventQueue<NetEvent>,
+        events: &mut impl NetSink,
     ) {
         // Match on a borrow of the kind (copying out only the small fields)
         // so no per-packet clone of the kind — which would allocate nothing
@@ -228,7 +228,7 @@ impl Host {
     }
 
     /// The uplink finished serializing a packet.
-    pub fn handle_tx_complete(&mut self, now: SimTime, events: &mut EventQueue<NetEvent>) {
+    pub fn handle_tx_complete(&mut self, now: SimTime, events: &mut impl NetSink) {
         self.busy = false;
         self.try_send(now, events);
     }
@@ -238,7 +238,7 @@ impl Host {
         &mut self,
         now: SimTime,
         timer: TransportTimer,
-        events: &mut EventQueue<NetEvent>,
+        events: &mut impl NetSink,
     ) {
         match timer {
             TransportTimer::NicWakeup => {
@@ -251,7 +251,7 @@ impl Host {
                     if let CcState::Dcqcn(state) = &mut flow.cc {
                         state.on_rate_increase_timer(&self.config.dcqcn);
                     }
-                    events.push(
+                    events.send(
                         now + self.config.dcqcn.rate_increase_interval,
                         NetEvent::HostTimer {
                             node: self.id,
@@ -266,7 +266,7 @@ impl Host {
                     if let CcState::Dcqcn(state) = &mut flow.cc {
                         state.on_alpha_timer(&self.config.dcqcn);
                     }
-                    events.push(
+                    events.send(
                         now + self.config.dcqcn.alpha_update_interval,
                         NetEvent::HostTimer {
                             node: self.id,
@@ -282,7 +282,7 @@ impl Host {
         &mut self,
         now: SimTime,
         flow_id: FlowId,
-        events: &mut EventQueue<NetEvent>,
+        events: &mut impl NetSink,
     ) {
         let Some(flow) = self.sending.get_mut(&flow_id) else {
             return;
@@ -297,7 +297,7 @@ impl Host {
             }
         }
         flow.acked_at_last_timeout = flow.acked_seq;
-        events.push(
+        events.send(
             now + self.config.retransmit_timeout,
             NetEvent::HostTimer {
                 node: self.id,
@@ -307,7 +307,7 @@ impl Host {
         self.try_send(now, events);
     }
 
-    fn receive_data(&mut self, now: SimTime, packet: Packet, events: &mut EventQueue<NetEvent>) {
+    fn receive_data(&mut self, now: SimTime, packet: Packet, events: &mut impl NetSink) {
         let Some(rf) = self.receiving.get_mut(&packet.flow) else {
             return;
         };
@@ -342,7 +342,7 @@ impl Host {
             if rf.expected_seq >= rf.num_packets && !rf.completed {
                 rf.completed = true;
                 self.counters.completed_flows += 1;
-                events.push(now, NetEvent::FlowCompleted { flow: packet.flow });
+                events.send(now, NetEvent::FlowCompleted { flow: packet.flow });
             }
         } else if packet.seq > rf.expected_seq {
             // Out of order: ask the sender to go back, once per gap.
@@ -418,7 +418,7 @@ impl Host {
     }
 
     /// Attempts to transmit one packet (control first, then data round-robin).
-    fn try_send(&mut self, now: SimTime, events: &mut EventQueue<NetEvent>) {
+    fn try_send(&mut self, now: SimTime, events: &mut impl NetSink) {
         if self.busy || !self.uplink_up || self.pfc_paused {
             return;
         }
@@ -496,7 +496,7 @@ impl Host {
             let need_schedule = self.pending_wakeup.is_none_or(|w| t < w);
             if need_schedule {
                 self.pending_wakeup = Some(t);
-                events.push(
+                events.send(
                     t,
                     NetEvent::HostTimer {
                         node: self.id,
@@ -507,18 +507,18 @@ impl Host {
         }
     }
 
-    fn transmit(&mut self, now: SimTime, packet: Packet, events: &mut EventQueue<NetEvent>) {
+    fn transmit(&mut self, now: SimTime, packet: Packet, events: &mut impl NetSink) {
         let serialization = self.uplink.serialization(packet.size_bytes);
         let arrival = now + serialization + self.uplink.propagation;
         self.busy = true;
-        events.push(
+        events.send(
             now + serialization,
             NetEvent::TxComplete {
                 node: self.id,
                 port: 0,
             },
         );
-        events.push(
+        events.send(
             arrival,
             NetEvent::PacketArrive {
                 node: self.peer.0,
@@ -532,7 +532,7 @@ impl Host {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bfc_sim::SimDuration;
+    use bfc_sim::{EventQueue, SimDuration};
 
     const MTU: u32 = 1000;
     const BASE_RTT: SimDuration = SimDuration::from_micros(8);

@@ -42,6 +42,23 @@ cargo run --release -q -p bfc-experiments --bin trace-tool -- \
 cargo run --release -q -p bfc-experiments --bin trace-tool -- stats "$trace_csv"
 cargo run --release -q -p bfc-experiments --bin trace-tool -- replay "$trace_csv" --scheme bfc
 
+echo "== sharded engine: quickstart at BFC_SHARDS=2 diffed against serial"
+# The sharded engine must be bit-identical to the serial one; the quickstart
+# example prints FCT tables and scalar metrics, so a byte-level diff of its
+# output is a cheap end-to-end witness.
+serial_out="$tmpdir/quickstart-serial.txt"
+sharded_out="$tmpdir/quickstart-sharded.txt"
+cargo run --release -q --example quickstart > "$serial_out"
+BFC_SHARDS=2 cargo run --release -q --example quickstart > "$sharded_out"
+if ! diff -u "$serial_out" "$sharded_out"; then
+    echo "verify: FAILED — sharded (BFC_SHARDS=2) output differs from serial" >&2
+    exit 1
+fi
+
+echo "== trace-tool: sharded replay smoke (--shards 2)"
+cargo run --release -q -p bfc-experiments --bin trace-tool -- \
+    replay "$trace_csv" --scheme bfc --shards 2
+
 echo "== trace-tool: scenario (fault injection) smoke"
 scenario_txt="$tmpdir/scenario.txt"
 cat > "$scenario_txt" <<'EOF'

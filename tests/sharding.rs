@@ -1,0 +1,237 @@
+//! Sharded-engine acceptance tests.
+//!
+//! 1. Partitioner properties: every node lands in exactly one shard, the
+//!    partition is a pure function of `(topology, shard count)`, hosts stay
+//!    in their ToR's shard, and every cross-shard cable's propagation delay
+//!    is at least the epoch lookahead.
+//! 2. The differential determinism suite: every paper-lineup scheme ×
+//!    (synthetic workload, CSV trace replay, link-fault scenario) produces a
+//!    bit-identical `ExperimentResult` at 1, 2 and 4 shards versus the
+//!    serial engine.
+
+use backpressure_flow_control::experiments::{
+    run_experiment, run_experiment_sharded, ExperimentConfig, ExperimentResult, ReplayTrace,
+    ScenarioSpec, Scheme, ShardPlan,
+};
+use backpressure_flow_control::net::topology::{
+    cross_dc, fat_tree, CrossDcParams, FatTreeParams, Topology,
+};
+use backpressure_flow_control::net::types::NodeId;
+use backpressure_flow_control::sim::{SimDuration, SimTime};
+use backpressure_flow_control::workloads::{
+    export_csv, synthesize, TraceFlow, TraceParams, Workload,
+};
+use bfc_testkit::{int_range, pair, property};
+
+const WINDOW: SimDuration = SimDuration::from_micros(120);
+
+fn us(n: u64) -> SimDuration {
+    SimDuration::from_micros(n)
+}
+
+fn topologies() -> Vec<Topology> {
+    vec![
+        fat_tree(FatTreeParams::tiny()),
+        fat_tree(FatTreeParams::t2()),
+        cross_dc(CrossDcParams::paper_default()).topology,
+    ]
+}
+
+property! {
+    /// Partitioner invariants over every built-in topology shape and any
+    /// requested shard count, including over-subscribed ones.
+    fn shard_partition_is_total_deterministic_and_latency_safe(
+        case in pair(int_range(0u64..3), int_range(1u64..12)),
+    ) {
+        let (which, requested) = case;
+        let topo = &topologies()[which as usize];
+        let plan = ShardPlan::partition(topo, requested as usize)
+            .expect("built-in topologies partition at any count");
+
+        // Exactly one shard per node, every shard id in range, and the
+        // effective count is clamped to the switch count.
+        assert!(plan.num_shards() >= 1);
+        assert!(plan.num_shards() <= topo.switches().len());
+        for idx in 0..topo.num_nodes() {
+            assert!((plan.shard_of(NodeId(idx as u32)) as usize) < plan.num_shards());
+        }
+
+        // Pure function of (topology, count): a second partition is equal.
+        let again = ShardPlan::partition(topo, requested as usize).expect("same inputs");
+        assert_eq!(plan, again, "partitioning must be deterministic");
+
+        // Hosts are co-located with their ToR, so the only cross-shard
+        // cables are switch-switch; each carries at least the lookahead.
+        for h in topo.hosts() {
+            assert_eq!(plan.shard_of(h), plan.shard_of(topo.host_uplink(h).peer));
+        }
+        let mut cross = 0usize;
+        for idx in 0..topo.num_nodes() {
+            let node = NodeId(idx as u32);
+            for spec in topo.ports(node) {
+                if plan.shard_of(node) != plan.shard_of(spec.peer) {
+                    cross += 1;
+                    let lookahead = plan.lookahead().expect("cross-shard cable implies lookahead");
+                    assert!(
+                        spec.link.propagation >= lookahead,
+                        "cross-shard cable faster than the epoch lookahead"
+                    );
+                    assert!(!lookahead.is_zero());
+                }
+            }
+        }
+        if plan.num_shards() == 1 {
+            assert_eq!(cross, 0);
+            assert_eq!(plan.lookahead(), None);
+        }
+    }
+}
+
+/// Field-by-field bit-identity, including every float compared by its bits.
+fn assert_identical(label: &str, a: &ExperimentResult, b: &ExperimentResult) {
+    assert_eq!(a.scheme, b.scheme, "{label}: scheme");
+    assert_eq!(a.fct, b.fct, "{label}: FCT summary");
+    assert_eq!(a.records, b.records, "{label}: per-flow records");
+    assert_eq!(
+        a.occupancy.samples(),
+        b.occupancy.samples(),
+        "{label}: occupancy series"
+    );
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(
+        bits(&a.peak_queue_samples),
+        bits(&b.peak_queue_samples),
+        "{label}: peak queue series"
+    );
+    assert_eq!(
+        bits(&a.occupied_queue_samples),
+        bits(&b.occupied_queue_samples),
+        "{label}: occupied queue series"
+    );
+    assert_eq!(
+        a.utilization.to_bits(),
+        b.utilization.to_bits(),
+        "{label}: utilization"
+    );
+    assert_eq!(
+        a.pfc_pause_fraction.to_bits(),
+        b.pfc_pause_fraction.to_bits(),
+        "{label}: PFC pause fraction"
+    );
+    assert_eq!(a.policy_stats, b.policy_stats, "{label}: policy stats");
+    assert_eq!(a.drops, b.drops, "{label}: drops");
+    assert_eq!(a.completed_flows, b.completed_flows, "{label}: completions");
+    assert_eq!(a.total_flows, b.total_flows, "{label}: flow count");
+    assert_eq!(a.end_time, b.end_time, "{label}: end time");
+    assert_eq!(a.recovery, b.recovery, "{label}: recovery metrics");
+}
+
+fn compare_all_shard_counts(
+    label: &str,
+    topo: &Topology,
+    trace: &[TraceFlow],
+    config: &ExperimentConfig,
+) {
+    let serial = run_experiment(topo, trace, config);
+    for shards in [1usize, 2, 4] {
+        let sharded = run_experiment_sharded(topo, trace, config, shards);
+        assert_identical(&format!("{label} @ {shards} shards"), &serial, &sharded);
+    }
+}
+
+fn synthetic_trace(topo: &Topology, seed: u64) -> Vec<TraceFlow> {
+    synthesize(
+        &topo.hosts(),
+        &TraceParams::background_only(Workload::Google, 0.5, WINDOW, seed),
+    )
+}
+
+/// Acceptance (synthetic): every paper-lineup scheme, bit-identical at
+/// 1/2/4 shards versus the serial engine.
+#[test]
+fn paper_lineup_is_bit_identical_across_shard_counts_synthetic() {
+    let topo = fat_tree(FatTreeParams::tiny());
+    let trace = synthetic_trace(&topo, 23);
+    for scheme in Scheme::paper_lineup() {
+        let name = scheme.name();
+        let config = ExperimentConfig::new(scheme, WINDOW);
+        compare_all_shard_counts(&format!("synthetic/{name}"), &topo, &trace, &config);
+    }
+}
+
+/// Acceptance (trace replay): the CSV round-trip path through the sharded
+/// engine matches the serial engine for every lineup scheme.
+#[test]
+fn paper_lineup_is_bit_identical_across_shard_counts_trace_replay() {
+    let topo = fat_tree(FatTreeParams::tiny());
+    let params = TraceParams {
+        incast_fan_in: 6,
+        incast_total_bytes: 300_000,
+        ..TraceParams::google_with_incast(WINDOW, 31)
+    };
+    let trace = synthesize(&topo.hosts(), &params);
+    let replay = ReplayTrace::from_csv_str(&export_csv(&trace)).expect("round trip");
+    assert_eq!(replay.flows(), &trace[..]);
+    for scheme in Scheme::paper_lineup() {
+        let name = scheme.name();
+        let config = ExperimentConfig::new(scheme, WINDOW);
+        compare_all_shard_counts(
+            &format!("replay/{name}"),
+            &topo,
+            replay.flows(),
+            &config,
+        );
+    }
+}
+
+/// Acceptance (fault scenario): a link failure with repair — routing
+/// re-convergence, dead-egress flushes, recovery metrics — stays
+/// bit-identical at every shard count for every lineup scheme.
+#[test]
+fn paper_lineup_is_bit_identical_across_shard_counts_under_faults() {
+    let topo = fat_tree(FatTreeParams::tiny());
+    let trace = synthetic_trace(&topo, 37);
+    let schedule = ScenarioSpec::single_link_down_up("tor0", "spine0", us(50), us(100))
+        .resolve(&topo)
+        .expect("tiny topology has tor0/spine0");
+    for scheme in Scheme::paper_lineup() {
+        let name = scheme.name();
+        let config = ExperimentConfig::new(scheme, WINDOW).with_dynamics(schedule.clone());
+        compare_all_shard_counts(&format!("faults/{name}"), &topo, &trace, &config);
+    }
+}
+
+/// The cross-DC topology (gateways, a 200 µs long-haul cable) shards too,
+/// and the asymmetric link latencies leave the lookahead at the fabric's
+/// 1 µs minimum.
+#[test]
+fn cross_dc_topology_is_bit_identical_across_shard_counts() {
+    let dc = cross_dc(CrossDcParams::paper_default());
+    let plan = ShardPlan::partition(&dc.topology, 4).expect("partitionable");
+    assert_eq!(plan.lookahead(), Some(us(1)));
+    let hosts: Vec<NodeId> = dc
+        .dc0_hosts
+        .iter()
+        .chain(dc.dc1_hosts.iter())
+        .copied()
+        .collect();
+    let trace = synthesize(
+        &hosts,
+        &TraceParams::background_only(Workload::Google, 0.2, WINDOW, 41),
+    );
+    let config = ExperimentConfig::new(Scheme::bfc(), WINDOW);
+    compare_all_shard_counts("cross-dc/BFC", &dc.topology, &trace, &config);
+}
+
+/// Sharded runs end when the fabric drains, exactly like serial ones.
+#[test]
+fn sharded_end_time_matches_serial_drain() {
+    let topo = fat_tree(FatTreeParams::tiny());
+    let trace = synthetic_trace(&topo, 3);
+    let config = ExperimentConfig::new(Scheme::bfc(), WINDOW);
+    let serial = run_experiment(&topo, &trace, &config);
+    let sharded = run_experiment_sharded(&topo, &trace, &config, 3);
+    assert!(serial.end_time > SimTime::ZERO);
+    assert_eq!(serial.end_time, sharded.end_time);
+    assert_eq!(serial.completed_flows, serial.total_flows);
+}
