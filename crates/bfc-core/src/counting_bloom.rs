@@ -7,6 +7,7 @@
 //! positions whose count is non-zero.
 
 use bfc_net::packet::PauseFrame;
+use bfc_sim::snapshot::{SnapError, SnapReader, SnapWriter};
 
 /// A counting bloom filter over the VFID space.
 #[derive(Debug, Clone)]
@@ -83,6 +84,31 @@ impl CountingBloom {
             }
         }
         frame
+    }
+
+    /// Serializes counts and membership for snapshot/restore. The geometry
+    /// (bit and hash counts) is derived from configuration at construction
+    /// time and is validated, not duplicated.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_usize(self.counts.len());
+        for &c in &self.counts {
+            w.put_u32(c);
+        }
+        w.put_u64(self.members);
+    }
+
+    /// Restores state captured by [`CountingBloom::save_state`] into this
+    /// filter, which must have been built with the same geometry.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.get_usize()?;
+        if n != self.counts.len() {
+            return Err(SnapError::Corrupt("counting-bloom geometry mismatch"));
+        }
+        for c in &mut self.counts {
+            *c = r.get_u32()?;
+        }
+        self.members = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -14,6 +14,8 @@
 //! queue; the caller counts these events (they are the "overflows" series of
 //! Fig. 13).
 
+use bfc_sim::snapshot::{SnapError, SnapReader, SnapWriter};
+
 /// Identity of a tracked flow at one switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FlowKey {
@@ -208,6 +210,94 @@ impl FlowTable {
     pub fn hardware_size_bytes(&self) -> usize {
         self.buckets.len() * self.bucket_size * 16 + self.cache_capacity * 16
     }
+
+    /// Serializes the tracked entries for snapshot/restore. In-bucket order
+    /// is preserved verbatim: `remove` uses `swap_remove`, so slot positions
+    /// are part of the observable state.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_usize(self.buckets.len());
+        for bucket in &self.buckets {
+            w.put_usize(bucket.len());
+            for e in bucket {
+                save_entry(w, e);
+            }
+        }
+        w.put_usize(self.cache.len());
+        for e in &self.cache {
+            save_entry(w, e);
+        }
+        w.put_usize(self.tracked);
+        w.put_usize(self.peak_tracked);
+    }
+
+    /// Restores state captured by [`FlowTable::save_state`] into this table,
+    /// which must have been built with the same geometry.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let num_buckets = r.get_usize()?;
+        if num_buckets != self.buckets.len() {
+            return Err(SnapError::Corrupt("flow-table bucket count mismatch"));
+        }
+        for bucket in &mut self.buckets {
+            let n = r.get_count(15)?;
+            if n > self.bucket_size {
+                return Err(SnapError::Corrupt("flow-table bucket overflow"));
+            }
+            bucket.clear();
+            for _ in 0..n {
+                bucket.push(restore_entry(r)?);
+            }
+        }
+        let n = r.get_count(15)?;
+        if n > self.cache_capacity {
+            return Err(SnapError::Corrupt("flow-table cache overflow"));
+        }
+        self.cache.clear();
+        for _ in 0..n {
+            self.cache.push(restore_entry(r)?);
+        }
+        self.tracked = r.get_usize()?;
+        self.peak_tracked = r.get_usize()?;
+        if self.tracked != self.buckets.iter().map(Vec::len).sum::<usize>() + self.cache.len() {
+            return Err(SnapError::Corrupt("flow-table tracked count mismatch"));
+        }
+        Ok(())
+    }
+}
+
+fn save_entry(w: &mut SnapWriter, e: &FlowEntry) {
+    w.put_u32(e.key.vfid);
+    w.put_u32(e.key.ingress);
+    w.put_u32(e.key.egress);
+    match e.queue {
+        Some(q) => {
+            w.put_bool(true);
+            w.put_usize(q);
+        }
+        None => w.put_bool(false),
+    }
+    w.put_u32(e.packets_queued);
+    w.put_bool(e.paused);
+    w.put_bool(e.resume_pending);
+}
+
+fn restore_entry(r: &mut SnapReader<'_>) -> Result<FlowEntry, SnapError> {
+    let key = FlowKey {
+        vfid: r.get_u32()?,
+        ingress: r.get_u32()?,
+        egress: r.get_u32()?,
+    };
+    let queue = if r.get_bool()? {
+        Some(r.get_usize()?)
+    } else {
+        None
+    };
+    Ok(FlowEntry {
+        key,
+        queue,
+        packets_queued: r.get_u32()?,
+        paused: r.get_bool()?,
+        resume_pending: r.get_bool()?,
+    })
 }
 
 #[cfg(test)]

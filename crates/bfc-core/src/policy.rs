@@ -13,6 +13,7 @@ use bfc_net::policy::{
     DequeueCtx, EnqueueCtx, EnqueueDecision, PauseTick, PolicyStats, QueueTarget, SwitchPolicy,
 };
 use bfc_sim::rng::mix64;
+use bfc_sim::snapshot::{SnapError, SnapReader, SnapWriter};
 use bfc_sim::{FastHashMap, SimRng, SimTime};
 
 use crate::config::BfcConfig;
@@ -350,6 +351,80 @@ impl SwitchPolicy for BfcPolicy {
         } else {
             "bfc-vfid"
         }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        self.stats.save_state(w);
+        w.put_u64(self.counters.high_priority_packets);
+        w.put_usize(self.counters.peak_tracked_flows);
+        w.put_u64(self.counters.nonempty_frames);
+        self.table.save_state(w);
+        w.put_usize(self.ingress.len());
+        for st in &self.ingress {
+            st.counting.save_state(w);
+            w.put_usize(st.to_be_resumed.len());
+            for item in &st.to_be_resumed {
+                w.put_u32(item.vfid);
+                w.put_u32(item.egress);
+                w.put_usize(item.queue);
+            }
+            w.put_bool(st.dirty);
+        }
+        // Iteration order of the map is not deterministic; key order is.
+        let mut egresses: Vec<u32> = self.assigned.keys().copied().collect();
+        egresses.sort_unstable();
+        w.put_usize(egresses.len());
+        for egress in egresses {
+            let counts = &self.assigned[&egress];
+            w.put_u32(egress);
+            w.put_usize(counts.len());
+            for &c in counts {
+                w.put_u32(c);
+            }
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let state = [r.get_u64()?, r.get_u64()?, r.get_u64()?, r.get_u64()?];
+        self.rng = SimRng::from_state(state);
+        self.stats = PolicyStats::restore_state(r)?;
+        self.counters.high_priority_packets = r.get_u64()?;
+        self.counters.peak_tracked_flows = r.get_usize()?;
+        self.counters.nonempty_frames = r.get_u64()?;
+        self.table.restore_state(r)?;
+        let num_ingress = r.get_count(10)?;
+        self.ingress.clear();
+        for _ in 0..num_ingress {
+            let mut st = IngressState::new(&self.config);
+            st.counting.restore_state(r)?;
+            let n = r.get_count(17)?;
+            for _ in 0..n {
+                st.to_be_resumed.push_back(ResumeItem {
+                    vfid: r.get_u32()?,
+                    egress: r.get_u32()?,
+                    queue: r.get_usize()?,
+                });
+            }
+            st.dirty = r.get_bool()?;
+            self.ingress.push(st);
+        }
+        let num_egress = r.get_count(16)?;
+        self.assigned.clear();
+        for _ in 0..num_egress {
+            let egress = r.get_u32()?;
+            let n = r.get_count(4)?;
+            let mut counts = Vec::with_capacity(n);
+            for _ in 0..n {
+                counts.push(r.get_u32()?);
+            }
+            if self.assigned.insert(egress, counts).is_some() {
+                return Err(SnapError::Corrupt("duplicate egress in assignment map"));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -12,14 +12,23 @@
 //! size percentiles); `replay` validates the trace against the same topology
 //! and runs it through the experiment driver (all schemes fan out across the
 //! `ParallelRunner`; results are bit-identical at any `BFC_THREADS`).
+//!
+//! Service mode: `snapshot` checkpoints a run's complete simulation state at
+//! a chosen instant, `resume` continues it to completion (bit-identical to
+//! the uninterrupted replay), and `serve` feeds a live simulation from a
+//! tailed CSV file or a TCP socket under an inflight cap.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use bfc_experiments::figures::failure_sweep;
-use bfc_experiments::{ExperimentConfig, ParallelRunner, ReplayTrace, ScenarioSpec, Scheme};
+use bfc_experiments::{
+    resume_experiment, serve_experiment, snapshot_experiment, ExperimentConfig, ExperimentResult,
+    ParallelRunner, ReplayTrace, ScenarioSpec, Scheme,
+};
 use bfc_net::topology::{fat_tree, FatTreeParams, Topology};
-use bfc_sim::SimDuration;
+use bfc_sim::{SimDuration, SimTime};
+use bfc_workloads::ingest::{CsvTail, IngestSource, SocketIngest};
 use bfc_workloads::io::{read_csv_file, write_csv_file, TraceStats};
 use bfc_workloads::{synthesize, ArrivalShape, IncastSchedule, TraceParams, Workload};
 
@@ -51,6 +60,36 @@ commands:
     --drain-x <n>           drain window as a multiple of the horizon [4]
     --shards <n>            split each run across n engine shards
                             (bit-identical results; same as BFC_SHARDS=n)
+
+  snapshot <path>         run a trace partway and write a checkpoint of the
+                          complete simulation state (versioned, checksummed;
+                          resuming is bit-identical to the uninterrupted run)
+    --at-us <n>             simulated instant to snapshot at (required)
+    --out <snap>            snapshot file to write (required)
+    --topo tiny|t1|t2       topology to replay over [tiny]
+    --scheme ...            a single scheme (as replay, but not lineup) [bfc]
+    --seed <n>              experiment seed [1]
+    --drain-x <n>           drain window as a multiple of the horizon [4]
+    --shards <n>            take the snapshot under the sharded engine [1]
+
+  resume <path>           resume a snapshot against the same trace/options
+                          and run to completion
+    --snapshot <snap>       snapshot file to resume from (required)
+    --topo / --scheme / --seed / --drain-x   must match the snapshot run
+
+  serve                   run a live simulation fed by a streaming source,
+                          admitting flows under an inflight cap (the cap is
+                          the backpressure signal to the feeder)
+    --tail <csv>            stream flows from this file; with --follow, keep
+                            polling at EOF until a line reading `#end`
+    --listen <addr>         accept one TCP feeder (e.g. 127.0.0.1:9000;
+                            port 0 picks a free port) speaking the CSV format
+    --cap <n>               max flows admitted but not yet completed [64]
+    --topo tiny|t1|t2       topology to serve over [tiny]
+    --scheme ...            a single scheme (as replay, but not lineup) [bfc]
+    --seed <n>              experiment seed [1]
+    --horizon-us <n>        measurement horizon in microseconds [300]
+    --drain-x <n>           drain window as a multiple of the horizon [4]
 
   scenario <path>         run a link-dynamics scenario (fault-injection)
                           file through the experiment driver and report the
@@ -318,11 +357,18 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         runner.threads(),
         if runner.threads() == 1 { "" } else { "s" },
     );
+    print_results_table(&results);
+    Ok(())
+}
+
+/// The replay results table, shared by `replay`, `resume` and `serve` so a
+/// resumed run's table is byte-identical to the uninterrupted replay's.
+fn print_results_table(results: &[ExperimentResult]) {
     println!(
         "{:<16} {:>11} {:>9} {:>9} {:>8} {:>7}",
         "scheme", "completed", "p50", "p99", "util %", "drops"
     );
-    for r in &results {
+    for r in results {
         let (p50, p99) = r
             .fct
             .overall
@@ -341,6 +387,221 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         );
     }
     println!("\n(FCT slowdown percentiles over non-incast flows)");
+}
+
+/// Shared option state for the `snapshot` / `resume` / `serve` commands:
+/// one scheme, one seed, one drain multiple, one topology.
+struct RunOptions {
+    topo: Topology,
+    topo_name: String,
+    scheme: Scheme,
+    seed: u64,
+    drain_x: u64,
+}
+
+impl RunOptions {
+    fn defaults() -> RunOptions {
+        RunOptions {
+            topo: parse_topology("tiny").expect("tiny always builds"),
+            topo_name: "tiny".to_string(),
+            scheme: Scheme::bfc(),
+            seed: 1,
+            drain_x: 4,
+        }
+    }
+
+    /// Handles the options common to the service-mode commands; returns
+    /// false if the flag is not one of them.
+    fn set(&mut self, cmd: &str, flag: &str, value: &str) -> Result<bool, String> {
+        match flag {
+            "topo" => {
+                self.topo = parse_topology(value)
+                    .ok_or_else(|| format!("--topo: unknown topology {value}"))?;
+                self.topo_name = value.to_string();
+            }
+            "scheme" => {
+                let schemes = parse_schemes(value)
+                    .ok_or_else(|| format!("--scheme: unknown scheme {value}"))?;
+                let [scheme] = schemes.as_slice() else {
+                    return Err(format!("{cmd}: --scheme requires a single scheme, not a lineup"));
+                };
+                self.scheme = scheme.clone();
+            }
+            "seed" => self.seed = parse_num(flag, value)?,
+            "drain-x" => self.drain_x = parse_num(flag, value)?,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn config(&self, horizon: SimDuration) -> ExperimentConfig {
+        let mut config = ExperimentConfig::new(self.scheme.clone(), horizon).with_seed(self.seed);
+        config.drain = horizon * self.drain_x;
+        config
+    }
+}
+
+/// Loads and validates the trace the snapshot/resume commands run over,
+/// exactly like `replay` does.
+fn load_trace(cmd: &str, opts: &RunOptions, path: &str) -> Result<ReplayTrace, String> {
+    let replay = ReplayTrace::from_csv_path(path).map_err(|e| format!("{path}: {e}"))?;
+    replay
+        .validate(&opts.topo)
+        .map_err(|e| format!("{cmd}: {path}: {e}"))?;
+    Ok(replay)
+}
+
+fn cmd_snapshot(args: &[String]) -> Result<(), String> {
+    let mut opts = RunOptions::defaults();
+    let mut at_us: Option<u64> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut shards = 1usize;
+    let positional = walk_options(args, |flag, value| {
+        if opts.set("snapshot", flag, value)? {
+            return Ok(());
+        }
+        match flag {
+            "at-us" => at_us = Some(parse_num(flag, value)?),
+            "out" => out = Some(PathBuf::from(value)),
+            "shards" => {
+                shards = parse_num(flag, value)?;
+                if shards == 0 {
+                    return Err("--shards requires a positive shard count, got 0".into());
+                }
+            }
+            _ => return Err(format!("snapshot: unknown option --{flag}")),
+        }
+        Ok(())
+    })?;
+    let [path] = positional.as_slice() else {
+        return Err("snapshot: exactly one trace path is required".into());
+    };
+    let at_us = at_us.ok_or("snapshot: --at-us <n> is required")?;
+    let out = out.ok_or("snapshot: --out <snap> is required")?;
+
+    let replay = load_trace("snapshot", &opts, path)?;
+    let config = opts.config(replay.horizon());
+    let at = SimTime::ZERO + SimDuration::from_micros(at_us);
+    let blob = snapshot_experiment(&opts.topo, replay.flows(), &config, at, shards);
+    std::fs::write(&out, &blob).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "snapshotted `{}` ({} flows, scheme {}) at {at} into {} ({} bytes, {} shard{})",
+        path,
+        replay.flows().len(),
+        config.scheme.name(),
+        out.display(),
+        blob.len(),
+        shards,
+        if shards == 1 { "" } else { "s" },
+    );
+    Ok(())
+}
+
+fn cmd_resume(args: &[String]) -> Result<(), String> {
+    let mut opts = RunOptions::defaults();
+    let mut snap_path: Option<PathBuf> = None;
+    let positional = walk_options(args, |flag, value| {
+        if opts.set("resume", flag, value)? {
+            return Ok(());
+        }
+        match flag {
+            "snapshot" => snap_path = Some(PathBuf::from(value)),
+            _ => return Err(format!("resume: unknown option --{flag}")),
+        }
+        Ok(())
+    })?;
+    let [path] = positional.as_slice() else {
+        return Err("resume: exactly one trace path is required".into());
+    };
+    let snap_path = snap_path.ok_or("resume: --snapshot <snap> is required")?;
+
+    let replay = load_trace("resume", &opts, path)?;
+    let horizon = replay.horizon();
+    let config = opts.config(horizon);
+    let blob = std::fs::read(&snap_path)
+        .map_err(|e| format!("reading {}: {e}", snap_path.display()))?;
+    let result = resume_experiment(&opts.topo, replay.flows(), &config, &blob)
+        .map_err(|e| format!("{}: {e}", snap_path.display()))?;
+    println!(
+        "resumed {} flows (horizon {horizon}) over `{}` from `{}`\n",
+        replay.flows().len(),
+        opts.topo_name,
+        snap_path.display(),
+    );
+    print_results_table(std::slice::from_ref(&result));
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    // `--follow` is the one valueless flag in the tool; pull it out before
+    // the `--flag value` walker sees it.
+    let mut follow = false;
+    let args: Vec<String> = args
+        .iter()
+        .filter(|a| {
+            let is_follow = a.as_str() == "--follow";
+            follow |= is_follow;
+            !is_follow
+        })
+        .cloned()
+        .collect();
+
+    let mut opts = RunOptions::defaults();
+    let mut tail_path: Option<PathBuf> = None;
+    let mut listen_addr: Option<String> = None;
+    let mut cap = 64usize;
+    let mut horizon_us = 300u64;
+    let positional = walk_options(&args, |flag, value| {
+        if opts.set("serve", flag, value)? {
+            return Ok(());
+        }
+        match flag {
+            "tail" => tail_path = Some(PathBuf::from(value)),
+            "listen" => listen_addr = Some(value.to_string()),
+            "cap" => {
+                cap = parse_num(flag, value)?;
+                if cap == 0 {
+                    return Err("--cap must be at least 1".into());
+                }
+            }
+            "horizon-us" => {
+                horizon_us = parse_num(flag, value)?;
+                if horizon_us == 0 {
+                    return Err("--horizon-us must be positive".into());
+                }
+            }
+            _ => return Err(format!("serve: unknown option --{flag}")),
+        }
+        Ok(())
+    })?;
+    if !positional.is_empty() {
+        return Err(format!("serve: unexpected argument {}", positional[0]));
+    }
+    let config = opts.config(SimDuration::from_micros(horizon_us));
+
+    let mut source: Box<dyn IngestSource> = match (&tail_path, &listen_addr) {
+        (Some(path), None) => Box::new(
+            CsvTail::open(path, follow).map_err(|e| format!("opening {}: {e}", path.display()))?,
+        ),
+        (None, Some(addr)) => {
+            let (source, local) =
+                SocketIngest::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+            println!("listening on {local} (feed trace CSV, close to finish)");
+            Box::new(source)
+        }
+        _ => return Err("serve: exactly one of --tail <csv> or --listen <addr> is required".into()),
+    };
+    if follow && tail_path.is_none() {
+        return Err("serve: --follow only applies to --tail".into());
+    }
+
+    let report = serve_experiment(&opts.topo, &config, source.as_mut(), cap)
+        .map_err(|e| format!("serve: {e}"))?;
+    println!(
+        "served {} flows (horizon {}) over `{}` under inflight cap {cap}\n",
+        report.admitted, config.horizon, opts.topo_name,
+    );
+    print_results_table(std::slice::from_ref(&report.result));
     Ok(())
 }
 
@@ -457,6 +718,9 @@ fn main() -> ExitCode {
         "synth" => cmd_synth(rest),
         "stats" => cmd_stats(rest),
         "replay" => cmd_replay(rest),
+        "snapshot" => cmd_snapshot(rest),
+        "resume" => cmd_resume(rest),
+        "serve" => cmd_serve(rest),
         "scenario" => cmd_scenario(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");

@@ -27,6 +27,11 @@
 //!   or a small text format) and resolved into executable fault schedules
 //!   that thread through `run_experiment` / `ParallelRunner` / `ReplayTrace`
 //!   via `ExperimentConfig::dynamics`.
+//! * [`service`] — service mode: deterministic snapshot/restore of complete
+//!   runs ([`service::snapshot_experiment`] / [`service::resume_experiment`],
+//!   bit-identical resumes for both engines) and streaming ingest under an
+//!   inflight cap ([`service::serve_experiment`]); `trace-tool`'s
+//!   `snapshot` / `resume` / `serve` subcommands are its CLI front end.
 //! * [`figures`] — one module per paper table/figure. Each `run` function
 //!   regenerates the corresponding rows/series; the `src/bin/figNN_*`
 //!   binaries are thin wrappers that print them, and the Criterion benches in
@@ -43,6 +48,7 @@ pub mod replay;
 pub mod runner;
 pub mod scenario;
 pub mod scheme;
+pub mod service;
 pub mod sharded;
 
 pub use parallel::ParallelRunner;
@@ -50,4 +56,8 @@ pub use replay::{ReplayError, ReplayTrace};
 pub use runner::{run_experiment, ExperimentConfig, ExperimentResult};
 pub use scenario::{ScenarioError, ScenarioSpec};
 pub use scheme::Scheme;
+pub use service::{
+    resume_experiment, serve_experiment, snapshot_experiment, ServeReport, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
 pub use sharded::{run_experiment_auto, run_experiment_sharded, ShardError, ShardPlan};

@@ -447,42 +447,52 @@ pub(crate) fn build_flow_metas(
     config: &ExperimentConfig,
     frame: &Frame,
 ) -> Vec<FlowMeta> {
-    let num_vfids = config.scheme.num_vfids();
     trace
         .iter()
         .enumerate()
-        .map(|(i, t)| {
-            let flow_id = FlowId(i as u32);
-            // Fail loudly on malformed hand-built traces (the CSV replay
-            // path validates earlier); a switch endpoint would otherwise be
-            // silently skipped by the locality-tolerant FlowArrival handler.
-            assert!(
-                topo.is_host(t.src) && topo.is_host(t.dst),
-                "trace flow {i} endpoints must be hosts ({:?} -> {:?})",
-                t.src,
-                t.dst
-            );
-            FlowMeta {
-                spec: FlowSpec {
-                    flow: flow_id,
-                    src: t.src,
-                    dst: t.dst,
-                    size_bytes: t.size_bytes,
-                    vfid: vfid_for_flow(flow_id, config.seed, num_vfids),
-                },
-                start: t.start,
-                ideal_fct: frame.routes.ideal_fct(
-                    topo,
-                    t.src,
-                    t.dst,
-                    t.size_bytes,
-                    config.mtu,
-                    flow_id.0 as u64,
-                ),
-                is_incast: t.is_incast,
-            }
-        })
+        .map(|(i, t)| build_flow_meta(topo, i, t, config, frame))
         .collect()
+}
+
+/// Builds the metadata for one trace flow at position `index`. Also used by
+/// the streaming ingest path ([`crate::service::serve_experiment`]), which
+/// admits flows one at a time.
+pub(crate) fn build_flow_meta(
+    topo: &Topology,
+    index: usize,
+    t: &TraceFlow,
+    config: &ExperimentConfig,
+    frame: &Frame,
+) -> FlowMeta {
+    let flow_id = FlowId(index as u32);
+    // Fail loudly on malformed hand-built traces (the CSV replay path
+    // validates earlier); a switch endpoint would otherwise be silently
+    // skipped by the locality-tolerant FlowArrival handler.
+    assert!(
+        topo.is_host(t.src) && topo.is_host(t.dst),
+        "trace flow {index} endpoints must be hosts ({:?} -> {:?})",
+        t.src,
+        t.dst
+    );
+    FlowMeta {
+        spec: FlowSpec {
+            flow: flow_id,
+            src: t.src,
+            dst: t.dst,
+            size_bytes: t.size_bytes,
+            vfid: vfid_for_flow(flow_id, config.seed, config.scheme.num_vfids()),
+        },
+        start: t.start,
+        ideal_fct: frame.routes.ideal_fct(
+            topo,
+            t.src,
+            t.dst,
+            t.size_bytes,
+            config.mtu,
+            flow_id.0 as u64,
+        ),
+        is_incast: t.is_incast,
+    }
 }
 
 /// Builds one `FabricSim` covering the nodes that satisfy `keep`.

@@ -42,7 +42,7 @@ use std::sync::Arc;
 
 use crate::runner::{
     assemble_result, build_flow_metas, build_sim, run_experiment, ExperimentConfig,
-    ExperimentResult, FabricSim, Frame,
+    ExperimentResult, FabricSim, FlowMeta, Frame,
 };
 
 /// Why a topology could not be partitioned.
@@ -170,13 +170,15 @@ impl NetSink for ShardSink<'_> {
 }
 
 /// One shard: its slice of the fabric, its event queue, and its outboxes.
-struct ShardWorker<'a> {
-    sim: FabricSim<'a>,
-    queue: EventQueue<NetEvent>,
-    outbox: Vec<Vec<Boundary<NetEvent>>>,
-    plan: &'a ShardPlan,
-    me: u32,
-    last: SimTime,
+/// Crate-visible so the snapshot/service layer ([`crate::service`]) can
+/// save and overlay per-shard state at epoch barriers.
+pub(crate) struct ShardWorker<'a> {
+    pub(crate) sim: FabricSim<'a>,
+    pub(crate) queue: EventQueue<NetEvent>,
+    pub(crate) outbox: Vec<Vec<Boundary<NetEvent>>>,
+    pub(crate) plan: &'a ShardPlan,
+    pub(crate) me: u32,
+    pub(crate) last: SimTime,
 }
 
 impl ShardHandler for ShardWorker<'_> {
@@ -221,15 +223,15 @@ impl ShardHandler for ShardWorker<'_> {
     }
 }
 
-/// Runs one experiment across `num_shards` shards (clamped to the number of
-/// switches), with one thread per shard. The result is **bit-identical** to
-/// [`run_experiment`] on the same inputs, at any shard count.
-pub fn run_experiment_sharded(
+/// Validates inputs and produces the shard plan for a run: checks the fault
+/// schedule, asserts the packed event-rank layout fits, and partitions the
+/// topology. Panics on invalid inputs, exactly like the run entry points.
+pub(crate) fn plan_for(
     topo: &Topology,
     trace: &[TraceFlow],
     config: &ExperimentConfig,
     num_shards: usize,
-) -> ExperimentResult {
+) -> ShardPlan {
     if let Err(e) = config.dynamics.validate(topo) {
         panic!("invalid fault schedule for this topology: {e}");
     }
@@ -242,29 +244,38 @@ pub fn run_experiment_sharded(
         "topology/trace exceed the packed event-rank layout; \
          run serially or widen NetEvent::canon_rank"
     );
-    let plan = match ShardPlan::partition(topo, num_shards) {
+    match ShardPlan::partition(topo, num_shards) {
         Ok(plan) => plan,
         Err(e) => panic!("cannot shard this topology: {e}"),
-    };
-    let frame = Frame::new(topo, config);
-    // Immutable flow metadata is computed once and shared: shards only need
-    // private completion state.
-    let flows = Arc::new(build_flow_metas(topo, trace, config, &frame));
-    let deadline = SimTime::ZERO + config.horizon + config.drain;
-    // With no cross-shard cable any window is safe; one window spanning the
-    // whole run degenerates to the serial loop.
-    let lookahead = plan
-        .lookahead()
-        .unwrap_or(config.horizon + config.drain + SimDuration::from_micros(1));
+    }
+}
 
-    let mut workers: Vec<ShardWorker<'_>> = (0..plan.num_shards())
+/// The epoch window for a plan under `config`. With no cross-shard cable any
+/// window is safe; one window spanning the whole run degenerates to the
+/// serial loop.
+pub(crate) fn epoch_lookahead(plan: &ShardPlan, config: &ExperimentConfig) -> SimDuration {
+    plan.lookahead()
+        .unwrap_or(config.horizon + config.drain + SimDuration::from_micros(1))
+}
+
+/// Builds the per-shard workers for a run, each with its slice of the fabric
+/// and its fully seeded event queue (flow arrivals, sampling, dynamics).
+pub(crate) fn build_workers<'a>(
+    topo: &'a Topology,
+    trace: &[TraceFlow],
+    config: &'a ExperimentConfig,
+    frame: &Frame,
+    flows: &Arc<Vec<FlowMeta>>,
+    plan: &'a ShardPlan,
+) -> Vec<ShardWorker<'a>> {
+    (0..plan.num_shards())
         .map(|s| {
             let me = s as u32;
             let sim = build_sim(
                 topo,
-                Arc::clone(&flows),
+                Arc::clone(flows),
                 config,
-                &frame,
+                frame,
                 |node| plan.shard_of(node) == me,
                 // Exactly one shard records the schedule-derived recovery
                 // metrics; see `FabricSim::record_dynamics_metrics`.
@@ -290,13 +301,32 @@ pub fn run_experiment_sharded(
                 sim,
                 queue,
                 outbox: vec![Vec::new(); plan.num_shards()],
-                plan: &plan,
+                plan,
                 me,
                 last: SimTime::ZERO,
             }
         })
-        .collect();
+        .collect()
+}
 
+/// Runs one experiment across `num_shards` shards (clamped to the number of
+/// switches), with one thread per shard. The result is **bit-identical** to
+/// [`run_experiment`] on the same inputs, at any shard count.
+pub fn run_experiment_sharded(
+    topo: &Topology,
+    trace: &[TraceFlow],
+    config: &ExperimentConfig,
+    num_shards: usize,
+) -> ExperimentResult {
+    let plan = plan_for(topo, trace, config, num_shards);
+    let frame = Frame::new(topo, config);
+    // Immutable flow metadata is computed once and shared: shards only need
+    // private completion state.
+    let flows = Arc::new(build_flow_metas(topo, trace, config, &frame));
+    let deadline = SimTime::ZERO + config.horizon + config.drain;
+    let lookahead = epoch_lookahead(&plan, config);
+
+    let mut workers = build_workers(topo, trace, config, &frame, &flows, &plan);
     let parallel = workers.len() > 1;
     let end_time = run_conservative(&mut workers, lookahead, deadline, parallel);
     let sims: Vec<FabricSim<'_>> = workers.into_iter().map(|w| w.sim).collect();

@@ -7,6 +7,8 @@
 //! holds more than a configurable fraction of the *free* buffer pauses its
 //! upstream.
 
+use bfc_sim::snapshot::{SnapError, SnapReader, SnapWriter};
+
 use crate::config::PfcConfig;
 
 /// Shared packet buffer of one switch.
@@ -154,6 +156,43 @@ impl SharedBuffer {
     /// upstream of `ingress`.
     pub fn upstream_paused(&self, ingress: u32) -> bool {
         self.pfc_paused_upstream[ingress as usize]
+    }
+
+    /// Serializes the buffer's mutable state for snapshot/restore. The
+    /// threshold cache is pure memoization and is not captured.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.occupancy);
+        w.put_usize(self.per_ingress.len());
+        for &occ in &self.per_ingress {
+            w.put_u64(occ);
+        }
+        for &paused in &self.pfc_paused_upstream {
+            w.put_bool(paused);
+        }
+        w.put_u64(self.peak_occupancy);
+        w.put_u64(self.drops);
+        w.put_u64(self.dropped_bytes);
+    }
+
+    /// Restores state captured by [`SharedBuffer::save_state`] into this
+    /// buffer (which must have been built with the same port count).
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.occupancy = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n != self.per_ingress.len() {
+            return Err(SnapError::Corrupt("shared-buffer port count mismatch"));
+        }
+        for occ in &mut self.per_ingress {
+            *occ = r.get_u64()?;
+        }
+        for paused in &mut self.pfc_paused_upstream {
+            *paused = r.get_bool()?;
+        }
+        self.peak_occupancy = r.get_u64()?;
+        self.drops = r.get_u64()?;
+        self.dropped_bytes = r.get_u64()?;
+        self.pfc_cache = None;
+        Ok(())
     }
 }
 

@@ -26,6 +26,7 @@
 
 use std::fmt;
 
+use bfc_sim::snapshot::{SnapError, SnapReader, SnapWriter};
 use bfc_sim::SimTime;
 
 use crate::topology::Topology;
@@ -266,6 +267,38 @@ impl LinkStateMap {
             Endpoint { node: a, port: port_a },
             Endpoint { node: b, port: port_b },
         ])
+    }
+
+    /// Serializes the up/down overlay for snapshot/restore.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_usize(self.up.len());
+        for ports in &self.up {
+            w.put_usize(ports.len());
+            for &up in ports {
+                w.put_bool(up);
+            }
+        }
+        w.put_usize(self.down_links);
+    }
+
+    /// Restores state captured by [`LinkStateMap::save_state`] into this map,
+    /// which must have been built from the same topology.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let nodes = r.get_usize()?;
+        if nodes != self.up.len() {
+            return Err(SnapError::Corrupt("link-state node count mismatch"));
+        }
+        for ports in &mut self.up {
+            let n = r.get_usize()?;
+            if n != ports.len() {
+                return Err(SnapError::Corrupt("link-state port count mismatch"));
+            }
+            for up in ports.iter_mut() {
+                *up = r.get_bool()?;
+            }
+        }
+        self.down_links = r.get_usize()?;
+        Ok(())
     }
 }
 

@@ -6,6 +6,7 @@
 //! live here; the BFC policy — the paper's contribution — implements this
 //! trait in the `bfc-core` crate.
 
+use bfc_sim::snapshot::{SnapError, SnapReader, SnapWriter};
 use bfc_sim::{FastHashMap, SimTime};
 
 use crate::packet::{Packet, PauseFrame};
@@ -143,6 +144,49 @@ impl PolicyStats {
         self.pauses += other.pauses;
         self.resumes += other.resumes;
     }
+
+    /// Serializes the counters for snapshot/restore.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.flow_assignments);
+        w.put_u64(self.collisions);
+        w.put_u64(self.table_overflows);
+        w.put_u64(self.pauses);
+        w.put_u64(self.resumes);
+    }
+
+    /// Rebuilds counters from [`PolicyStats::save_state`] output.
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(PolicyStats {
+            flow_assignments: r.get_u64()?,
+            collisions: r.get_u64()?,
+            table_overflows: r.get_u64()?,
+            pauses: r.get_u64()?,
+            resumes: r.get_u64()?,
+        })
+    }
+}
+
+/// Serializes a per-flow residency map in sorted key order. The map is only
+/// ever probed by key, so sorted order is canonical and restore-equivalent.
+fn save_residency(w: &mut SnapWriter, map: &FastHashMap<FlowId, usize>) {
+    let mut entries: Vec<(u32, usize)> = map.iter().map(|(f, &c)| (f.0, c)).collect();
+    entries.sort_unstable();
+    w.put_usize(entries.len());
+    for (flow, count) in entries {
+        w.put_u32(flow);
+        w.put_usize(count);
+    }
+}
+
+fn restore_residency(r: &mut SnapReader<'_>) -> Result<FastHashMap<FlowId, usize>, SnapError> {
+    let n = r.get_count(12)?;
+    let mut map = FastHashMap::default();
+    for _ in 0..n {
+        let flow = FlowId(r.get_u32()?);
+        let count = r.get_usize()?;
+        map.insert(flow, count);
+    }
+    Ok(map)
 }
 
 /// A queue-assignment / flow-control policy for one switch.
@@ -168,6 +212,16 @@ pub trait SwitchPolicy: Send {
 
     /// Human-readable name used in experiment output.
     fn name(&self) -> &'static str;
+
+    /// Serializes the policy's *mutable* state (flow residency, counters,
+    /// pause bookkeeping) for snapshot/restore. Configuration is not
+    /// captured: restore overlays onto a freshly constructed policy of the
+    /// same scheme.
+    fn save_state(&self, w: &mut SnapWriter);
+
+    /// Restores state captured by [`SwitchPolicy::save_state`] into this
+    /// (freshly constructed, same-configuration) policy.
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError>;
 }
 
 /// Single-FIFO policy: every data packet goes to physical queue 0. This is
@@ -227,6 +281,23 @@ impl SwitchPolicy for FifoPolicy {
 
     fn name(&self) -> &'static str {
         "fifo"
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.stats.save_state(w);
+        w.put_usize(self.resident.len());
+        for map in &self.resident {
+            save_residency(w, map);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.stats = PolicyStats::restore_state(r)?;
+        let n = r.get_count(8)?;
+        self.resident = (0..n)
+            .map(|_| restore_residency(r))
+            .collect::<Result<_, _>>()?;
+        Ok(())
     }
 }
 
@@ -310,6 +381,31 @@ impl SwitchPolicy for SfqPolicy {
 
     fn name(&self) -> &'static str {
         "sfq"
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.stats.save_state(w);
+        w.put_usize(self.resident.len());
+        for port in &self.resident {
+            w.put_usize(port.len());
+            for map in port {
+                save_residency(w, map);
+            }
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.stats = PolicyStats::restore_state(r)?;
+        let ports = r.get_count(8)?;
+        self.resident = Vec::with_capacity(ports);
+        for _ in 0..ports {
+            let queues = r.get_count(8)?;
+            let port = (0..queues)
+                .map(|_| restore_residency(r))
+                .collect::<Result<_, _>>()?;
+            self.resident.push(port);
+        }
+        Ok(())
     }
 }
 

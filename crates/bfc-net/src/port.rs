@@ -19,6 +19,7 @@
 
 use std::collections::VecDeque;
 
+use bfc_sim::snapshot::{SnapError, SnapReader, SnapWriter};
 use bfc_sim::{SimDuration, SimTime};
 
 use crate::link::Link;
@@ -499,6 +500,110 @@ impl Port {
         if packet.is_data() {
             self.tx_data_bytes += packet.size_bytes as u64;
         }
+    }
+
+    /// Serializes the port's mutable state: queues, DRR rotation, pause
+    /// state, link rate (mutable under dynamics) and transmit counters. The
+    /// static configuration (peer, propagation, queue count, quantum) is not
+    /// captured — restore overlays onto a freshly built port.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_f64(self.link.rate_gbps);
+        w.put_bool(self.busy);
+        w.put_bool(self.up);
+        w.put_bool(self.pfc_paused);
+        match self.pfc_pause_started {
+            Some(t) => {
+                w.put_bool(true);
+                w.put_u64(t.as_picos());
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u64(self.pfc_paused_total.as_picos());
+        match &self.pause_frame {
+            Some(frame) => {
+                w.put_bool(true);
+                frame.save_state(w);
+            }
+            None => w.put_bool(false),
+        }
+        self.control.save_state(w);
+        self.high_priority.save_state(w);
+        self.overflow.save_state(w);
+        w.put_usize(self.queues.len());
+        for q in &self.queues {
+            q.save_state(w);
+        }
+        for &d in &self.deficit {
+            w.put_u64(d);
+        }
+        // The DRR rotation order is scheduling state: serialize verbatim.
+        w.put_usize(self.active.len());
+        for &i in &self.active {
+            w.put_usize(i);
+        }
+        w.put_bool(self.drr_credited);
+        w.put_u64(self.tx_bytes);
+        w.put_u64(self.tx_data_bytes);
+        w.put_u64(self.tx_packets);
+    }
+
+    /// Restores state captured by [`Port::save_state`] into this port, which
+    /// must have been built with the same queue count. The incrementally
+    /// maintained occupancy/active counters are recomputed from the restored
+    /// queues and pause frame.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.link.rate_gbps = r.get_f64()?;
+        if !(self.link.rate_gbps > 0.0) {
+            return Err(SnapError::Corrupt("non-positive link rate"));
+        }
+        self.busy = r.get_bool()?;
+        self.up = r.get_bool()?;
+        self.pfc_paused = r.get_bool()?;
+        self.pfc_pause_started = if r.get_bool()? {
+            Some(SimTime::from_picos(r.get_u64()?))
+        } else {
+            None
+        };
+        self.pfc_paused_total = SimDuration::from_picos(r.get_u64()?);
+        self.pause_frame = if r.get_bool()? {
+            Some(PauseFrame::restore_state(r)?)
+        } else {
+            None
+        };
+        self.control = PhysQueue::restore_state(r)?;
+        self.high_priority = PhysQueue::restore_state(r)?;
+        self.overflow = PhysQueue::restore_state(r)?;
+        let nq = r.get_usize()?;
+        if nq != self.queues.len() {
+            return Err(SnapError::Corrupt("physical queue count mismatch"));
+        }
+        for q in &mut self.queues {
+            *q = PhysQueue::restore_state(r)?;
+        }
+        for d in &mut self.deficit {
+            *d = r.get_u64()?;
+        }
+        let active_len = r.get_count(8)?;
+        self.active.clear();
+        self.in_active.fill(false);
+        for _ in 0..active_len {
+            let i = r.get_usize()?;
+            if i > self.queues.len() || self.in_active[i] {
+                return Err(SnapError::Corrupt("invalid DRR rotation entry"));
+            }
+            self.in_active[i] = true;
+            self.active.push_back(i);
+        }
+        self.drr_credited = r.get_bool()?;
+        self.tx_bytes = r.get_u64()?;
+        self.tx_data_bytes = r.get_u64()?;
+        self.tx_packets = r.get_u64()?;
+        // Rebuild the derived occupancy/active counters.
+        self.occupied_count = self.queues.iter().filter(|q| !q.is_empty()).count();
+        self.active_count = 0;
+        self.active_counted.fill(false);
+        self.refresh_active_all();
+        Ok(())
     }
 }
 

@@ -13,6 +13,8 @@
 
 use std::collections::VecDeque;
 
+use bfc_sim::snapshot::{SnapError, SnapReader, SnapWriter};
+
 use crate::packet::Packet;
 
 /// A packet waiting in a queue, tagged with the ingress port it arrived on.
@@ -89,6 +91,32 @@ impl PhysQueue {
     /// path allocation-free.
     pub fn storage_capacity(&self) -> usize {
         self.packets.capacity()
+    }
+
+    /// Serializes the queue contents (head-to-tail order) and the monotone
+    /// enqueue counter for snapshot/restore. The byte occupancy is derived
+    /// from the packets on restore.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_usize(self.packets.len());
+        for qp in &self.packets {
+            qp.packet.save_state(w);
+            w.put_u32(qp.ingress);
+        }
+        w.put_u64(self.total_enqueued_bytes);
+    }
+
+    /// Rebuilds a queue from [`PhysQueue::save_state`] output.
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.get_count(1)?;
+        let mut q = PhysQueue::new();
+        for _ in 0..n {
+            let packet = Packet::restore_state(r)?;
+            let ingress = r.get_u32()?;
+            q.bytes += packet.size_bytes as u64;
+            q.packets.push_back(QueuedPacket { packet, ingress });
+        }
+        q.total_enqueued_bytes = r.get_u64()?;
+        Ok(q)
     }
 }
 

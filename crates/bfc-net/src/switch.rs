@@ -18,6 +18,7 @@
 //! link's serialization and propagation delay but never wait behind data,
 //! matching how MAC control frames behave on real hardware.
 
+use bfc_sim::snapshot::{SnapError, SnapReader, SnapWriter};
 use bfc_sim::{SimRng, SimTime};
 
 use crate::buffer::SharedBuffer;
@@ -137,6 +138,55 @@ impl Switch {
             .fold(bfc_sim::SimDuration::ZERO, |acc, p| {
                 acc + p.pfc_paused_time(now)
             })
+    }
+
+    /// Serializes all mutable switch state — ports, shared buffer, policy,
+    /// RNG, pause timers, counters — for snapshot/restore.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        w.put_u64(self.counters.rx_packets);
+        w.put_u64(self.counters.drops);
+        w.put_u64(self.counters.ecn_marked);
+        w.put_u64(self.counters.pfc_pauses_sent);
+        w.put_u64(self.counters.flow_pause_frames_sent);
+        w.put_u64(self.counters.blackholed);
+        w.put_usize(self.ports.len());
+        for &active in &self.pause_timer_active {
+            w.put_bool(active);
+        }
+        self.buffer.save_state(w);
+        for port in &self.ports {
+            port.save_state(w);
+        }
+        self.policy.save_state(w);
+    }
+
+    /// Restores state captured by [`Switch::save_state`] into this switch,
+    /// which must have been freshly built from the same topology, config and
+    /// policy scheme.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let state = [r.get_u64()?, r.get_u64()?, r.get_u64()?, r.get_u64()?];
+        self.rng = SimRng::from_state(state);
+        self.counters.rx_packets = r.get_u64()?;
+        self.counters.drops = r.get_u64()?;
+        self.counters.ecn_marked = r.get_u64()?;
+        self.counters.pfc_pauses_sent = r.get_u64()?;
+        self.counters.flow_pause_frames_sent = r.get_u64()?;
+        self.counters.blackholed = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n != self.ports.len() {
+            return Err(SnapError::Corrupt("switch port count mismatch"));
+        }
+        for active in &mut self.pause_timer_active {
+            *active = r.get_bool()?;
+        }
+        self.buffer.restore_state(r)?;
+        for port in &mut self.ports {
+            port.restore_state(r)?;
+        }
+        self.policy.restore_state(r)
     }
 
     /// Handles a packet whose last bit arrived on `ingress` at `now`.

@@ -35,9 +35,11 @@ pub mod event;
 pub mod hash;
 pub mod rng;
 pub mod shard;
+pub mod snapshot;
 pub mod time;
 
 pub use event::{run, run_until, EventQueue, ReferenceEventQueue, Simulation};
 pub use hash::{FastHashMap, FastHashSet};
 pub use rng::SimRng;
+pub use snapshot::{SnapError, SnapReader, SnapWriter};
 pub use time::{SimDuration, SimTime};

@@ -50,6 +50,17 @@ impl SimRng {
         SimRng { s }
     }
 
+    /// Captures the raw xoshiro256++ state for snapshot/restore.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a previously captured state; the restored
+    /// generator continues the exact output stream.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SimRng { s }
+    }
+
     /// Derives an independent child generator; useful for giving each
     /// traffic source its own stream while preserving determinism.
     pub fn split(&mut self, stream: u64) -> SimRng {

@@ -1,0 +1,357 @@
+//! Binary snapshot encoding: a tiny std-only codec plus a versioned,
+//! length-prefixed, checksummed container.
+//!
+//! Every piece of simulator state that participates in checkpoint/restore
+//! serializes itself through [`SnapWriter`] / [`SnapReader`]. The encoding is
+//! deliberately boring: little-endian fixed-width integers, floats by their
+//! IEEE-754 bits (restore must be *bit*-identical, so floats never go through
+//! text), `u64` length prefixes for variable-size data. What makes a stream a
+//! *snapshot file* is the outer container written by [`finalize`] and checked
+//! by [`open`]:
+//!
+//! ```text
+//! magic (8 bytes) | version (u32) | payload length (u64) | payload | FNV-1a-64 checksum (u64)
+//! ```
+//!
+//! The checksum covers everything before it, so truncation, bit rot and
+//! foreign files are all rejected before any payload byte is interpreted.
+//! The version is checked against the reader's expected version so future
+//! PRs can evolve the payload layout without silently misparsing old files.
+
+use std::fmt;
+
+/// Errors produced while opening or decoding a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The input ended before the decoder got the bytes it needed.
+    UnexpectedEof,
+    /// The file does not start with the expected magic bytes.
+    BadMagic,
+    /// The container's format version is not the one this reader supports.
+    BadVersion(u32),
+    /// The FNV-1a checksum over the container does not match.
+    BadChecksum,
+    /// The payload decoded to something structurally impossible.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::UnexpectedEof => write!(f, "snapshot truncated (unexpected end of input)"),
+            SnapError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapError::BadChecksum => write!(f, "snapshot checksum mismatch (file corrupted)"),
+            SnapError::Corrupt(what) => write!(f, "snapshot payload corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// FNV-1a 64-bit hash; the container checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// An append-only byte buffer with fixed-width little-endian encoders.
+#[derive(Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the raw payload bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` widened to `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` by its IEEE-754 bits — exact, no text round-trip.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends raw bytes with a `u64` length prefix.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a UTF-8 string with a `u64` length prefix.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// A cursor over a snapshot payload with decoders mirroring [`SnapWriter`].
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Wraps a payload slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Errors unless the payload was consumed exactly to the end.
+    pub fn expect_end(&self) -> Result<(), SnapError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SnapError::Corrupt("trailing bytes after payload"))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::UnexpectedEof);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a single byte.
+    pub fn get_u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool; any byte other than 0/1 is corruption.
+    pub fn get_bool(&mut self) -> Result<bool, SnapError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapError::Corrupt("bool byte out of range")),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, SnapError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, SnapError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// Reads a `u64` and narrows it to `usize`, guarding against payloads
+    /// that claim more elements than the input could possibly hold.
+    pub fn get_usize(&mut self) -> Result<usize, SnapError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| SnapError::Corrupt("length exceeds usize"))
+    }
+
+    /// Reads a length prefix that counts items of at least `min_item_bytes`
+    /// each, rejecting counts the remaining input cannot contain.
+    pub fn get_count(&mut self, min_item_bytes: usize) -> Result<usize, SnapError> {
+        let n = self.get_usize()?;
+        if min_item_bytes > 0 && n > self.remaining() / min_item_bytes {
+            return Err(SnapError::UnexpectedEof);
+        }
+        Ok(n)
+    }
+
+    /// Reads an `f64` from its IEEE-754 bits.
+    pub fn get_f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a `u64`-length-prefixed byte slice.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], SnapError> {
+        let n = self.get_count(1)?;
+        self.take(n)
+    }
+
+    /// Reads a `u64`-length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str, SnapError> {
+        std::str::from_utf8(self.get_bytes()?).map_err(|_| SnapError::Corrupt("invalid UTF-8"))
+    }
+}
+
+/// Container header size: magic + version + payload length.
+const HEADER_LEN: usize = 8 + 4 + 8;
+/// Trailing checksum size.
+const CHECKSUM_LEN: usize = 8;
+
+/// Wraps a payload in the snapshot container: magic, version, length prefix
+/// and trailing FNV-1a-64 checksum over everything before it.
+pub fn finalize(magic: &[u8; 8], version: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    out.extend_from_slice(magic);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = fnv1a64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Validates a snapshot container and returns its payload. The magic and
+/// version must match exactly; the length prefix must be consistent with the
+/// input size; the checksum must verify. Errors are ordered so the most
+/// specific diagnosis wins: wrong magic before wrong version before
+/// truncation before corruption.
+pub fn open<'a>(
+    magic: &[u8; 8],
+    expected_version: u32,
+    bytes: &'a [u8],
+) -> Result<&'a [u8], SnapError> {
+    if bytes.len() < 8 {
+        return Err(SnapError::UnexpectedEof);
+    }
+    if &bytes[..8] != magic {
+        return Err(SnapError::BadMagic);
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(SnapError::UnexpectedEof);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+    if version != expected_version {
+        return Err(SnapError::BadVersion(version));
+    }
+    let payload_len =
+        u64::from_le_bytes(bytes[12..HEADER_LEN].try_into().expect("8-byte slice")) as usize;
+    let total = HEADER_LEN
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(CHECKSUM_LEN))
+        .ok_or(SnapError::Corrupt("payload length overflows"))?;
+    if bytes.len() < total {
+        return Err(SnapError::UnexpectedEof);
+    }
+    if bytes.len() > total {
+        return Err(SnapError::Corrupt("trailing bytes after checksum"));
+    }
+    let body = &bytes[..total - CHECKSUM_LEN];
+    let stored = u64::from_le_bytes(bytes[total - CHECKSUM_LEN..].try_into().expect("8 bytes"));
+    if fnv1a64(body) != stored {
+        return Err(SnapError::BadChecksum);
+    }
+    Ok(&bytes[HEADER_LEN..total - CHECKSUM_LEN])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAGIC: &[u8; 8] = b"TESTSNAP";
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut w = SnapWriter::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_usize(12345);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_bytes(b"abc");
+        w.put_str("snapshot");
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert!(!r.get_bool().unwrap());
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_usize().unwrap(), 12345);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.get_f64().unwrap().to_bits(), f64::NAN.to_bits());
+        assert_eq!(r.get_bytes().unwrap(), b"abc");
+        assert_eq!(r.get_str().unwrap(), "snapshot");
+        assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn reader_rejects_short_input() {
+        let mut r = SnapReader::new(&[1, 2, 3]);
+        assert_eq!(r.get_u64().unwrap_err(), SnapError::UnexpectedEof);
+        // An enormous claimed length cannot silently allocate or wrap.
+        let mut w = SnapWriter::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(r.get_bytes().is_err());
+    }
+
+    #[test]
+    fn container_round_trips_and_validates() {
+        let payload = b"hello payload".to_vec();
+        let file = finalize(MAGIC, 3, &payload);
+        assert_eq!(open(MAGIC, 3, &file).unwrap(), &payload[..]);
+
+        // Wrong magic.
+        assert_eq!(
+            open(b"WRONG!!!", 3, &file).unwrap_err(),
+            SnapError::BadMagic
+        );
+        // Wrong version.
+        assert_eq!(open(MAGIC, 4, &file).unwrap_err(), SnapError::BadVersion(3));
+        // Truncation at every prefix length.
+        for n in 0..file.len() {
+            assert!(open(MAGIC, 3, &file[..n]).is_err(), "prefix {n} accepted");
+        }
+        // Any single-byte flip is caught (by magic, version or checksum).
+        for i in 0..file.len() {
+            let mut bad = file.clone();
+            bad[i] ^= 0x40;
+            assert!(open(MAGIC, 3, &bad).is_err(), "flip at {i} accepted");
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Streaming flow ingest: feed a live simulation from a growing CSV file or
+//! a TCP socket instead of a fully materialized trace.
+//!
+//! An [`IngestSource`] is a *pull* interface: the consumer (the service-mode
+//! driver in `bfc-experiments`) asks for one flow at a time and simply stops
+//! asking while its inflight window is full. Backpressure to the feeder is
+//! therefore inherent rather than protocol-level:
+//!
+//! * [`CsvTail`] — a file is never read past the consumer's demand, so a
+//!   paused consumer costs nothing;
+//! * [`SocketIngest`] — an unread TCP stream fills the kernel receive
+//!   buffer, the peer's send window closes, and the feeder's writes block
+//!   until the consumer drains flows again.
+//!
+//! Both sources speak the exact trace-CSV format of [`crate::io`] (header
+//! line first, rows sorted by `start_ns`), driven through the incremental
+//! [`CsvParser`] so every malformed line is rejected with its 1-based line
+//! number, exactly like the batch import path.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::time::Duration;
+
+use crate::io::{CsvError, CsvParser};
+use crate::trace::TraceFlow;
+
+/// The comment line a feeder writes to terminate a followed ingest stream
+/// (`CsvTail` in follow mode has no other end-of-input signal, since a plain
+/// file cannot report "writer closed").
+pub const INGEST_END_MARKER: &str = "#end";
+
+/// How a streaming source can fail.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The underlying file or socket failed.
+    Io(std::io::Error),
+    /// A line failed to parse as trace CSV (line-numbered).
+    Csv(CsvError),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "ingest i/o: {e}"),
+            IngestError::Csv(e) => write!(f, "ingest csv: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<std::io::Error> for IngestError {
+    fn from(e: std::io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+impl From<CsvError> for IngestError {
+    fn from(e: CsvError) -> Self {
+        IngestError::Csv(e)
+    }
+}
+
+/// A pull-based stream of flows for service mode.
+pub trait IngestSource {
+    /// Returns the next flow, blocking until one is available. `Ok(None)`
+    /// means the stream ended cleanly and no more flows will ever arrive.
+    fn next_flow(&mut self) -> Result<Option<TraceFlow>, IngestError>;
+}
+
+/// Incremental line assembly + CSV parsing shared by both sources: bytes go
+/// in (possibly mid-line), complete rows come out as flows. Partial lines are
+/// held back until their terminator arrives, so a feeder that writes a row in
+/// two chunks never produces a spurious parse error.
+#[derive(Debug, Default)]
+struct LineAssembler {
+    parser: CsvParser,
+    ready: VecDeque<TraceFlow>,
+    pending: String,
+    saw_end_marker: bool,
+}
+
+impl LineAssembler {
+    /// Feeds one `read_line` result (which keeps the `\n` except at EOF).
+    /// Lines are only parsed once complete; the end marker short-circuits.
+    fn feed(&mut self, chunk: &str) -> Result<(), CsvError> {
+        self.pending.push_str(chunk);
+        if !self.pending.ends_with('\n') {
+            return Ok(());
+        }
+        let line = std::mem::take(&mut self.pending);
+        self.consume_line(line.trim_end_matches(['\n', '\r']))
+    }
+
+    /// Force-parses whatever is buffered (final unterminated line at a true
+    /// end of input).
+    fn flush(&mut self) -> Result<(), CsvError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let line = std::mem::take(&mut self.pending);
+        self.consume_line(line.trim_end_matches(['\n', '\r']))
+    }
+
+    fn consume_line(&mut self, line: &str) -> Result<(), CsvError> {
+        if line.trim() == INGEST_END_MARKER {
+            self.saw_end_marker = true;
+            return Ok(());
+        }
+        self.parser.push_line(line)?;
+        self.ready.extend(self.parser.take_flows());
+        Ok(())
+    }
+}
+
+/// Streams flows out of a (possibly still growing) trace CSV file.
+///
+/// Without `follow`, the source ends at the file's current end — plain
+/// streaming of a finished trace. With `follow`, end-of-file means "the
+/// writer has not caught up yet": the tail sleeps briefly and retries until
+/// it sees the [`INGEST_END_MARKER`] comment line.
+#[derive(Debug)]
+pub struct CsvTail {
+    reader: BufReader<std::fs::File>,
+    lines: LineAssembler,
+    follow: bool,
+    poll_interval: Duration,
+    ended: bool,
+}
+
+impl CsvTail {
+    /// Opens `path` for streaming. `follow` selects tail -f semantics.
+    pub fn open<P: AsRef<Path>>(path: P, follow: bool) -> std::io::Result<CsvTail> {
+        Ok(CsvTail {
+            reader: BufReader::new(std::fs::File::open(path)?),
+            lines: LineAssembler::default(),
+            follow,
+            poll_interval: Duration::from_millis(10),
+            ended: false,
+        })
+    }
+
+    /// Overrides the follow-mode polling interval (tests use a short one).
+    pub fn with_poll_interval(mut self, interval: Duration) -> CsvTail {
+        self.poll_interval = interval;
+        self
+    }
+}
+
+impl IngestSource for CsvTail {
+    fn next_flow(&mut self) -> Result<Option<TraceFlow>, IngestError> {
+        let mut chunk = String::new();
+        loop {
+            if let Some(flow) = self.lines.ready.pop_front() {
+                return Ok(Some(flow));
+            }
+            if self.ended {
+                return Ok(None);
+            }
+            chunk.clear();
+            if self.reader.read_line(&mut chunk)? == 0 {
+                if self.follow && !self.lines.saw_end_marker {
+                    std::thread::sleep(self.poll_interval);
+                    continue;
+                }
+                self.lines.flush()?;
+                self.ended = true;
+                continue;
+            }
+            self.lines.feed(&chunk)?;
+            if self.lines.saw_end_marker {
+                self.ended = true;
+            }
+        }
+    }
+}
+
+/// Streams flows from a single TCP connection speaking the trace-CSV format.
+///
+/// The listener accepts exactly one feeder; the stream ends when the feeder
+/// closes its side. Reads happen only on consumer demand, so a full inflight
+/// window translates into TCP backpressure on the feeder.
+#[derive(Debug)]
+pub struct SocketIngest {
+    listener: TcpListener,
+    conn: Option<BufReader<TcpStream>>,
+    lines: LineAssembler,
+    ended: bool,
+}
+
+impl SocketIngest {
+    /// Binds `addr` (e.g. `127.0.0.1:9000`; port 0 picks a free port) and
+    /// returns the source plus the actual bound address.
+    pub fn bind(addr: &str) -> std::io::Result<(SocketIngest, SocketAddr)> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        Ok((
+            SocketIngest {
+                listener,
+                conn: None,
+                lines: LineAssembler::default(),
+                ended: false,
+            },
+            local,
+        ))
+    }
+}
+
+impl IngestSource for SocketIngest {
+    fn next_flow(&mut self) -> Result<Option<TraceFlow>, IngestError> {
+        let mut chunk = String::new();
+        loop {
+            if let Some(flow) = self.lines.ready.pop_front() {
+                return Ok(Some(flow));
+            }
+            if self.ended {
+                return Ok(None);
+            }
+            if self.conn.is_none() {
+                let (stream, _peer) = self.listener.accept()?;
+                self.conn = Some(BufReader::new(stream));
+            }
+            let conn = self.conn.as_mut().expect("connection accepted above");
+            chunk.clear();
+            if conn.read_line(&mut chunk)? == 0 {
+                self.lines.flush()?;
+                self.ended = true;
+                continue;
+            }
+            self.lines.feed(&chunk)?;
+            if self.lines.saw_end_marker {
+                self.ended = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{export_csv, CsvErrorKind, TRACE_CSV_HEADER};
+    use crate::trace::{synthesize, TraceParams};
+    use crate::Workload;
+    use bfc_net::types::NodeId;
+    use bfc_sim::SimDuration;
+    use std::io::Write as _;
+
+    fn tmp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bfc-ingest-{tag}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn csv_tail_streams_a_finished_file_exactly() {
+        let hosts: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let params = TraceParams::background_only(
+            Workload::Google,
+            0.4,
+            SimDuration::from_micros(80),
+            13,
+        );
+        let flows = synthesize(&hosts, &params);
+        let path = tmp_path("finished");
+        std::fs::write(&path, export_csv(&flows)).expect("write trace");
+        let mut tail = CsvTail::open(&path, false).expect("open");
+        let mut streamed = Vec::new();
+        while let Some(f) = tail.next_flow().expect("valid csv") {
+            streamed.push(f);
+        }
+        assert_eq!(streamed, flows);
+        assert!(tail.next_flow().expect("idempotent end").is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn csv_tail_reports_line_numbered_errors() {
+        let path = tmp_path("bad");
+        std::fs::write(&path, format!("{TRACE_CSV_HEADER}\n0,1,100,5,0\n0,0,9,6,0\n"))
+            .expect("write trace");
+        let mut tail = CsvTail::open(&path, false).expect("open");
+        assert!(tail.next_flow().expect("first row fine").is_some());
+        match tail.next_flow() {
+            Err(IngestError::Csv(e)) => {
+                assert_eq!(e.line, 3);
+                assert_eq!(e.kind, CsvErrorKind::SelfFlow);
+            }
+            other => panic!("expected a line-3 CSV error, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn csv_tail_follow_waits_for_growth_and_end_marker() {
+        let path = tmp_path("follow");
+        std::fs::write(&path, format!("{TRACE_CSV_HEADER}\n")).expect("write header");
+        let mut tail = CsvTail::open(&path, true)
+            .expect("open")
+            .with_poll_interval(Duration::from_millis(1));
+        let path2 = path.clone();
+        let writer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path2)
+                .expect("reopen");
+            // Split one row across two writes to exercise partial-line
+            // buffering, then terminate the stream.
+            write!(f, "0,1,100").expect("partial row");
+            f.flush().expect("flush");
+            std::thread::sleep(Duration::from_millis(20));
+            writeln!(f, ",5,0").expect("rest of row");
+            writeln!(f, "2,3,200,9,1").expect("second row");
+            writeln!(f, "{INGEST_END_MARKER}").expect("end marker");
+        });
+        let first = tail.next_flow().expect("valid").expect("first flow");
+        assert_eq!((first.src, first.dst, first.size_bytes), (NodeId(0), NodeId(1), 100));
+        let second = tail.next_flow().expect("valid").expect("second flow");
+        assert_eq!(second.size_bytes, 200);
+        assert!(second.is_incast);
+        assert!(tail.next_flow().expect("clean end").is_none());
+        writer.join().expect("writer thread");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn socket_ingest_streams_one_connection() {
+        let (mut source, addr) = SocketIngest::bind("127.0.0.1:0").expect("bind");
+        let feeder = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            write!(
+                stream,
+                "{TRACE_CSV_HEADER}\n0,1,1000,5,0\n1,2,2000,7.25,1\n"
+            )
+            .expect("send rows");
+            // Closing the stream ends the ingest.
+        });
+        let a = source.next_flow().expect("valid").expect("first");
+        assert_eq!(a.size_bytes, 1000);
+        let b = source.next_flow().expect("valid").expect("second");
+        assert_eq!(b.start.as_picos(), 7_250);
+        assert!(source.next_flow().expect("clean end").is_none());
+        feeder.join().expect("feeder thread");
+    }
+}

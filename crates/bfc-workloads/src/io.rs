@@ -361,6 +361,20 @@ impl CsvParser {
         Ok(())
     }
 
+    /// Drains the flows parsed so far without consuming the parser, so a
+    /// caller tailing a growing input (see [`crate::ingest`]) can hand off
+    /// complete rows incrementally while the parser keeps its header /
+    /// sortedness / line-number state for the lines still to come.
+    pub fn take_flows(&mut self) -> Vec<TraceFlow> {
+        std::mem::take(&mut self.flows)
+    }
+
+    /// Number of input lines consumed so far (for error reporting by
+    /// streaming callers).
+    pub fn lines_consumed(&self) -> usize {
+        self.line
+    }
+
     /// Finishes parsing, returning the flows. Fails if no header (and hence
     /// no content) was ever seen.
     pub fn finish(self) -> Result<Vec<TraceFlow>, CsvError> {

@@ -20,12 +20,16 @@
 //!   (one line resident at a time, for multi-gigabyte traces), file helpers,
 //!   and `TraceStats` summaries, so real cluster traces can be persisted and
 //!   replayed.
+//! * [`ingest`] — streaming flow sources for service mode: tail a growing
+//!   trace CSV (`CsvTail`) or accept rows over a TCP socket
+//!   (`SocketIngest`), with pull-based backpressure to the feeder.
 //!
 //! All generation is deterministic given a seed, and any trace round-trips
 //! bit-exactly through the CSV form.
 
 pub mod arrivals;
 pub mod distributions;
+pub mod ingest;
 pub mod io;
 pub mod trace;
 
@@ -33,6 +37,7 @@ pub use arrivals::{
     mean_interarrival_secs, ArrivalProcess, ArrivalShape, IncastSchedule,
 };
 pub use distributions::{EmpiricalCdf, Workload};
+pub use ingest::{CsvTail, IngestError, IngestSource, SocketIngest, INGEST_END_MARKER};
 pub use io::{export_csv, import_csv, import_csv_reader, CsvError, CsvErrorKind, TraceStats};
 pub use trace::{
     concurrent_long_flows, cross_dc_trace, incast_trace, long_lived_per_receiver, synthesize,

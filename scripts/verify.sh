@@ -5,7 +5,11 @@
 #   2. the bfc-testkit harness's own unit tests
 #   3. a trace-tool smoke: synth -> stats -> replay on a tiny CSV trace,
 #      plus a `scenario` run (link down/up + flap fault injection)
-#   4. a quick benchmark run diffed against the committed BENCH.json —
+#   4. malformed-CSV rejection: every trace-consuming subcommand must exit
+#      nonzero and name the offending line
+#   5. service mode: run -> snapshot -> resume must reproduce the
+#      uninterrupted replay byte-for-byte, and `serve --tail` must complete
+#   6. a quick benchmark run diffed against the committed BENCH.json —
 #      any benchmark whose median regresses more than 25% fails the check
 #      (benchmarks without a committed baseline entry are skipped)
 #
@@ -71,6 +75,54 @@ cargo run --release -q -p bfc-experiments --bin trace-tool -- \
     scenario "$scenario_txt" --scheme bfc --duration-us 120 --seed 7
 cargo run --release -q -p bfc-experiments --bin trace-tool -- \
     scenario "$scenario_txt" --trace "$trace_csv" --scheme dcqcn-win --seed 7
+
+echo "== trace-tool: malformed CSV exits nonzero with a line number"
+# Line 3 holds a bare-trailing-dot start_ns — every subcommand that consumes
+# a trace must refuse it with a nonzero exit and name the line.
+bad_csv="$tmpdir/bad.csv"
+printf 'src,dst,size_bytes,start_ns,is_incast\n0,1,100,2,0\n1,2,300,5.,0\n' > "$bad_csv"
+for sub in "stats $bad_csv" \
+           "replay $bad_csv --scheme bfc" \
+           "snapshot $bad_csv --at-us 10 --out $tmpdir/bad.snap" \
+           "resume $bad_csv --snapshot $tmpdir/nonexistent.snap" \
+           "scenario $scenario_txt --trace $bad_csv --scheme bfc"; do
+    err="$tmpdir/bad.err"
+    if cargo run --release -q -p bfc-experiments --bin trace-tool -- $sub 2> "$err"; then
+        echo "verify: FAILED — trace-tool $sub accepted a malformed trace" >&2
+        exit 1
+    fi
+    if ! grep -q "line 3" "$err"; then
+        echo "verify: FAILED — trace-tool $sub did not name the bad line:" >&2
+        cat "$err" >&2
+        exit 1
+    fi
+done
+
+echo "== service mode: snapshot -> resume diffed against uninterrupted replay"
+# A resumed run must be bit-identical to the uninterrupted one; the results
+# table (FCT percentiles, utilization, drops) is the end-to-end witness.
+# Exercise both engines: a serial snapshot and a 2-shard snapshot.
+replay_out="$tmpdir/replay.txt"
+cargo run --release -q -p bfc-experiments --bin trace-tool -- \
+    replay "$trace_csv" --scheme bfc > "$replay_out"
+for snap_shards in 1 2; do
+    snap="$tmpdir/run-$snap_shards.snap"
+    resume_out="$tmpdir/resume-$snap_shards.txt"
+    cargo run --release -q -p bfc-experiments --bin trace-tool -- \
+        snapshot "$trace_csv" --at-us 60 --out "$snap" --shards "$snap_shards"
+    cargo run --release -q -p bfc-experiments --bin trace-tool -- \
+        resume "$trace_csv" --snapshot "$snap" > "$resume_out"
+    # First line is the banner (replayed... vs resumed...); the table below
+    # it must match byte-for-byte.
+    if ! diff -u <(tail -n +2 "$replay_out") <(tail -n +2 "$resume_out"); then
+        echo "verify: FAILED — resume ($snap_shards-shard snapshot) differs from uninterrupted replay" >&2
+        exit 1
+    fi
+done
+
+echo "== service mode: serve --tail streaming smoke"
+cargo run --release -q -p bfc-experiments --bin trace-tool -- \
+    serve --tail "$trace_csv" --cap 16 --horizon-us 120 --seed 7
 
 echo "== bench: cargo run --release -p bfc-bench -- --quick"
 # The committed baseline records absolute ns on the machine that wrote it at

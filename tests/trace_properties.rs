@@ -101,6 +101,8 @@ property! {
             "1,2,0,5,0",                  // zero size
             "1,2,300,nope,0",             // non-numeric start
             "1,2,300,5.2345,0",           // over-precise fraction
+            "1,2,300,5.,0",               // bare trailing dot
+            "1,2,300,.5,0",               // bare leading dot
             "1,2,300,5,maybe",            // bad is_incast
             "4294967296,2,300,5,0",       // src beyond u32
             "1,4294967296,300,5,0",       // dst beyond u32
