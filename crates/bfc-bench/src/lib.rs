@@ -257,27 +257,47 @@ pub struct BaselineEntry {
 /// produced by [`Harness::to_json`]. This is a purpose-built scanner, not a
 /// general JSON parser (the workspace has zero dependencies): it walks the
 /// `"name"` / `"median_ns_per_iter"` key-value lines in order, which is
-/// exactly the shape this crate writes.
-pub fn parse_baseline(json: &str) -> Vec<BaselineEntry> {
+/// exactly the shape this crate writes. A document that breaks that shape —
+/// an unquoted name, a non-numeric median, or a name/median pairing that
+/// doesn't alternate — is rejected rather than silently skipped, so a
+/// truncated or hand-mangled baseline fails the comparison instead of
+/// vacuously passing it.
+pub fn parse_baseline(json: &str) -> Result<Vec<BaselineEntry>, String> {
     let mut entries = Vec::new();
     let mut pending_name: Option<String> = None;
-    for line in json.lines() {
+    for (lineno, line) in json.lines().enumerate() {
         let line = line.trim();
         if let Some(rest) = line.strip_prefix("\"name\":") {
+            if pending_name.is_some() {
+                return Err(format!(
+                    "line {}: \"name\" without a preceding median",
+                    lineno + 1
+                ));
+            }
             let raw = rest.trim().trim_end_matches(',').trim();
-            if raw.len() >= 2 && raw.starts_with('"') && raw.ends_with('"') {
-                pending_name = Some(unescape_json(&raw[1..raw.len() - 1]));
+            if raw.len() < 2 || !raw.starts_with('"') || !raw.ends_with('"') {
+                return Err(format!("line {}: \"name\" value is not a string", lineno + 1));
             }
+            pending_name = Some(unescape_json(&raw[1..raw.len() - 1]));
         } else if let Some(rest) = line.strip_prefix("\"median_ns_per_iter\":") {
-            if let (Some(name), Ok(median_ns)) = (
-                pending_name.take(),
-                rest.trim().trim_end_matches(',').parse::<f64>(),
-            ) {
-                entries.push(BaselineEntry { name, median_ns });
-            }
+            let Some(name) = pending_name.take() else {
+                return Err(format!(
+                    "line {}: median without a preceding \"name\"",
+                    lineno + 1
+                ));
+            };
+            let median_ns = rest
+                .trim()
+                .trim_end_matches(',')
+                .parse::<f64>()
+                .map_err(|_| format!("line {}: median is not a number", lineno + 1))?;
+            entries.push(BaselineEntry { name, median_ns });
         }
     }
-    entries
+    if pending_name.is_some() {
+        return Err("trailing \"name\" without a median".to_string());
+    }
+    Ok(entries)
 }
 
 /// Outcome of comparing one fresh result against the committed baseline.
@@ -302,18 +322,22 @@ impl Comparison {
 }
 
 /// Compares fresh results against a parsed baseline. Returns every matched
-/// pair plus the subset whose median regressed by more than
-/// `max_regression` (e.g. `0.25` = 25% slower). Benchmarks without a
-/// baseline entry (newly added ones) are skipped.
+/// pair, the subset whose median regressed by more than `max_regression`
+/// (e.g. `0.25` = 25% slower), and the names of benchmarks with no baseline
+/// entry (newly added ones). The missing names are excluded from the
+/// comparison but reported, so a new benchmark is visible until the
+/// baseline is refreshed rather than silently ignored.
 pub fn compare_against_baseline(
     results: &[BenchResult],
     baseline: &[BaselineEntry],
     max_regression: f64,
-) -> (Vec<Comparison>, Vec<Comparison>) {
+) -> (Vec<Comparison>, Vec<Comparison>, Vec<String>) {
     let mut matched = Vec::new();
     let mut regressions = Vec::new();
+    let mut missing = Vec::new();
     for r in results {
         let Some(b) = baseline.iter().find(|b| b.name == r.name) else {
+            missing.push(r.name.clone());
             continue;
         };
         let cmp = Comparison {
@@ -326,7 +350,7 @@ pub fn compare_against_baseline(
         }
         matched.push(cmp);
     }
-    (matched, regressions)
+    (matched, regressions, missing)
 }
 
 /// Renders a comparison table (change vs baseline, regressions flagged).
@@ -482,7 +506,7 @@ mod tests {
         let mut h = Harness::quick();
         h.bench("alpha", || 1u32);
         h.bench("beta \"quoted\"", || 2u32);
-        let baseline = parse_baseline(&h.to_json());
+        let baseline = parse_baseline(&h.to_json()).expect("own output parses");
         assert_eq!(baseline.len(), 2);
         assert_eq!(baseline[0].name, "alpha");
         assert_eq!(baseline[1].name, "beta \"quoted\"");
@@ -507,13 +531,36 @@ mod tests {
             BaselineEntry { name: "regressed".into(), median_ns: 100.0 },
             BaselineEntry { name: "improved".into(), median_ns: 100.0 },
         ];
-        let (matched, regressions) = compare_against_baseline(&results, &baseline, 0.25);
+        let (matched, regressions, missing) = compare_against_baseline(&results, &baseline, 0.25);
         assert_eq!(matched.len(), 3, "new benchmarks are not compared");
         assert_eq!(regressions.len(), 1);
         assert_eq!(regressions[0].name, "regressed");
+        assert_eq!(missing, vec!["brand_new".to_string()]);
         let report = comparison_report(&matched, 0.25);
         assert!(report.contains("<< REGRESSION"));
         assert!(report.contains("regressed"));
         assert!(!report.contains("brand_new"));
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        // A median with no preceding name (e.g. a truncated copy-paste).
+        let orphan_median = "{\n\"median_ns_per_iter\": 12.0\n}\n";
+        assert!(parse_baseline(orphan_median).is_err());
+        // Two names in a row: the first lost its median line.
+        let double_name = "\"name\": \"a\",\n\"name\": \"b\",\n\"median_ns_per_iter\": 1.0\n";
+        assert!(parse_baseline(double_name).is_err());
+        // A median that is not a number.
+        let bad_median = "\"name\": \"a\",\n\"median_ns_per_iter\": fast\n";
+        assert!(parse_baseline(bad_median).is_err());
+        // A name cut off by truncation.
+        let dangling = "\"name\": \"a\",\n";
+        assert!(parse_baseline(dangling).is_err());
+        // An unquoted name value.
+        let unquoted = "\"name\": 17,\n\"median_ns_per_iter\": 1.0\n";
+        assert!(parse_baseline(unquoted).is_err());
+        // The error names the offending line.
+        let err = parse_baseline(orphan_median).unwrap_err();
+        assert!(err.contains("line 2"), "unhelpful error: {err}");
     }
 }

@@ -138,6 +138,28 @@ fn bench_flow_table(h: &mut Harness) {
         }
         t.len()
     });
+    // The data-path common case: the flow is already tracked and every
+    // packet does one lookup. 64k hits against a resident population of
+    // 4k flows (the paper's T1-scale concurrent-flow count), table built
+    // outside the timed region.
+    let mut t = FlowTable::new(16_384, 4, 100);
+    let keys: Vec<FlowKey> = (0..4_096u32)
+        .map(|v| FlowKey {
+            vfid: v * 13 % 16_384,
+            ingress: v % 24,
+            egress: (v * 7) % 24,
+        })
+        .collect();
+    for &key in &keys {
+        t.lookup_or_insert(key);
+    }
+    h.bench("flow_table_hot_lookup_64k", || {
+        let mut found = 0usize;
+        for i in 0..65_536usize {
+            found += usize::from(t.find(keys[(i * 31) % keys.len()]).is_some());
+        }
+        found
+    });
 }
 
 fn bench_switch_forwarding(h: &mut Harness) {
@@ -339,6 +361,26 @@ fn bench_parallel_runner(h: &mut Harness) {
             .map(|config| run_experiment_sharded(&topo, &trace, config, 4).completed_flows)
             .sum::<usize>()
     });
+    // A cross-shard-quiescent run: sparse load over a long horizon, where
+    // the adaptive epoch driver fast-forwards over empty grid windows and
+    // collapses barrier crossings. Re-run with
+    // `config.with_epoch_batching(false)` to see the barrier count (in
+    // `result.epochs`) roughly triple.
+    let quiet = synthesize(
+        &topo.hosts(),
+        &TraceParams::background_only(
+            Workload::Google,
+            0.005,
+            SimDuration::from_micros(2_000),
+            53,
+        ),
+    );
+    let quiet_config = ExperimentConfig::new(Scheme::bfc(), SimDuration::from_micros(2_000));
+    h.bench("sharded_epoch_quiescent", || {
+        run_experiment_sharded(&topo, &quiet, &quiet_config, 2)
+            .epochs
+            .barriers
+    });
 }
 
 fn bench_end_to_end(h: &mut Harness) {
@@ -425,7 +467,13 @@ fn main() -> ExitCode {
         eprintln!("wrote {}", path.display());
     }
     if let (Some(baseline_path), Some(json)) = (args.compare, baseline_json) {
-        let baseline = parse_baseline(&json);
+        let baseline = match parse_baseline(&json) {
+            Ok(baseline) => baseline,
+            Err(e) => {
+                eprintln!("malformed baseline {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
         if baseline.is_empty() {
             eprintln!(
                 "baseline {} contains no benchmarks",
@@ -434,9 +482,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         let tolerance = args.max_regress_pct / 100.0;
-        let (matched, regressions) =
+        let (matched, regressions, missing) =
             compare_against_baseline(h.results(), &baseline, tolerance);
         println!("{}", comparison_report(&matched, tolerance));
+        if !missing.is_empty() {
+            eprintln!(
+                "{} benchmark(s) not in baseline {} (refresh it to track them): {}",
+                missing.len(),
+                baseline_path.display(),
+                missing.join(", ")
+            );
+        }
         if !regressions.is_empty() {
             eprintln!(
                 "{} benchmark(s) regressed more than {:.0}% vs {}",

@@ -1,18 +1,25 @@
 //! The virtual-flow hash table (§3.8 "Bookkeeping").
 //!
 //! BFC keeps state only for flows that currently have packets queued at the
-//! switch. The state is stored in a hash table indexed by VFID with 4-entry
-//! buckets; the VFID key itself need not be stored because the number of
-//! buckets equals the number of VFIDs. Entries are disambiguated within a
-//! bucket by their (ingress, egress) pair — two 5-tuples that hash to the
-//! same VFID and share ingress and egress are deliberately treated as one
-//! flow, exactly as the paper specifies.
+//! switch. The *hardware* model is a hash table indexed by VFID with 4-entry
+//! buckets plus a small associative overflow cache (100 entries by default):
+//! a flow is admitted while its VFID's bucket has a free entry, spills to the
+//! cache when the bucket is full, and cannot be tracked at all once both are
+//! exhausted — its packets are then directed to the per-egress overflow queue
+//! and the caller counts the event (the "overflows" series of Fig. 13).
+//! Entries are disambiguated within a bucket by their (ingress, egress) pair;
+//! two 5-tuples that hash to the same VFID and share ingress and egress are
+//! deliberately treated as one flow, exactly as the paper specifies.
 //!
-//! When a bucket fills up, entries spill into a small associative overflow
-//! cache (100 entries by default). When that is also full, the flow cannot be
-//! tracked at all and its packets are directed to the per-egress overflow
-//! queue; the caller counts these events (they are the "overflows" series of
-//! Fig. 13).
+//! The *software* representation is decoupled from that model. Admission is
+//! tracked with per-VFID and cache residency counters (which is all the
+//! hardware quotas observe), while the entries themselves live in one
+//! open-addressed, power-of-two, linearly probed store: a hot lookup is a
+//! short probe run over a flat array instead of a `Vec<Vec<_>>` double
+//! indirection. Deletion uses backward shifting, so the store never
+//! accumulates tombstones, and whole-table clears (on snapshot restore) are
+//! O(1): every slot carries a generation stamp and is considered empty unless
+//! it matches the table's current generation.
 
 use bfc_sim::snapshot::{SnapError, SnapReader, SnapWriter};
 
@@ -67,43 +74,115 @@ pub enum LookupOutcome {
     TableFull,
 }
 
-/// Opaque handle to a table slot, valid until the entry is removed.
+/// Opaque handle to a table slot, valid until the next removal.
+///
+/// The variant records which hardware quota the entry was admitted under:
+/// its VFID's bucket or the shared overflow cache. `index` is a position in
+/// the unified open-addressed store (not a within-bucket offset), valid for
+/// [`FlowTable::entry`] / [`FlowTable::entry_mut`] until a removal shifts
+/// entries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EntrySlot {
-    /// Entry lives in `bucket[vfid][index]`.
+    /// Entry counted against `bucket[vfid]`'s quota.
     Bucket {
         /// Bucket index (the VFID).
         vfid: u32,
-        /// Slot within the bucket.
+        /// Slot within the open-addressed store.
         index: usize,
     },
-    /// Entry lives in the associative overflow cache at `index`.
+    /// Entry counted against the associative overflow cache's quota.
     Cache {
-        /// Slot within the overflow cache.
+        /// Slot within the open-addressed store.
         index: usize,
     },
 }
 
-/// The flow hash table plus overflow cache.
+impl EntrySlot {
+    fn index(self) -> usize {
+        match self {
+            EntrySlot::Bucket { index, .. } | EntrySlot::Cache { index } => index,
+        }
+    }
+}
+
+/// One slot of the open-addressed store. Occupied iff `gen` equals the
+/// table's current generation; any other value (including the 0 that fresh
+/// allocations carry) means empty, which is what makes clears O(1).
+#[derive(Debug, Clone)]
+struct Slot {
+    gen: u64,
+    /// True if the entry was admitted under the shared cache quota rather
+    /// than its VFID's bucket quota. The class is fixed at insertion — the
+    /// hardware does not migrate cache entries back into buckets.
+    cached: bool,
+    entry: FlowEntry,
+}
+
+const EMPTY_KEY: FlowKey = FlowKey {
+    vfid: 0,
+    ingress: 0,
+    egress: 0,
+};
+
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            gen: 0,
+            cached: false,
+            entry: FlowEntry::new(EMPTY_KEY),
+        }
+    }
+}
+
+/// Deterministic 64-bit mix of the key fields (splitmix64 finalizer). The
+/// three fields are packed disjointly first so nearby VFIDs / port pairs do
+/// not collide before mixing.
+fn hash_key(key: FlowKey) -> u64 {
+    let mut x =
+        (u64::from(key.vfid) << 40) ^ (u64::from(key.ingress) << 20) ^ u64::from(key.egress);
+    x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Smallest store allocated; growth doubles from here. Kept well below any
+/// hardware geometry so idle switches stay cheap.
+const MIN_SLOTS: usize = 16;
+
+/// Minimum serialized bytes per saved entry (class byte + key + flags),
+/// used to validate snapshot length prefixes.
+const ENTRY_MIN_BYTES: usize = 19;
+
+/// The flow table: hardware-model quotas over an open-addressed store.
 #[derive(Debug)]
 pub struct FlowTable {
-    buckets: Vec<Vec<FlowEntry>>,
+    slots: Vec<Slot>,
+    /// Current generation; slots stamped with older generations are empty.
+    gen: u64,
+    /// Entries currently admitted under each VFID's bucket quota.
+    bucket_residents: Vec<u32>,
     bucket_size: usize,
-    cache: Vec<FlowEntry>,
+    /// Entries currently admitted under the shared cache quota.
+    cache_residents: usize,
     cache_capacity: usize,
     tracked: usize,
     peak_tracked: usize,
 }
 
 impl FlowTable {
-    /// Creates a table with `num_vfids` buckets of `bucket_size` entries and
-    /// an overflow cache of `cache_capacity` entries.
+    /// Creates a table modelling `num_vfids` buckets of `bucket_size` entries
+    /// and an overflow cache of `cache_capacity` entries.
     pub fn new(num_vfids: u32, bucket_size: usize, cache_capacity: usize) -> Self {
         assert!(num_vfids > 0 && bucket_size > 0);
         FlowTable {
-            buckets: vec![Vec::new(); num_vfids as usize],
+            slots: vec![Slot::empty(); MIN_SLOTS],
+            gen: 1,
+            bucket_residents: vec![0; num_vfids as usize],
             bucket_size,
-            cache: Vec::new(),
+            cache_residents: 0,
             cache_capacity,
             tracked: 0,
             peak_tracked: 0,
@@ -125,140 +204,261 @@ impl FlowTable {
         self.peak_tracked
     }
 
+    fn mask(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    fn home(&self, key: FlowKey) -> usize {
+        (hash_key(key) as usize) & self.mask()
+    }
+
+    fn occupied(&self, i: usize) -> bool {
+        self.slots[i].gen == self.gen
+    }
+
+    fn slot_handle(&self, i: usize) -> EntrySlot {
+        if self.slots[i].cached {
+            EntrySlot::Cache { index: i }
+        } else {
+            EntrySlot::Bucket {
+                vfid: self.slots[i].entry.key.vfid,
+                index: i,
+            }
+        }
+    }
+
+    /// Probes for `key`. Returns the slot holding it, or the first empty
+    /// slot of its probe run. Terminates because the load factor is capped
+    /// below 1 (there is always an empty slot).
+    fn probe(&self, key: FlowKey) -> Result<usize, usize> {
+        let mask = self.mask();
+        let mut i = self.home(key);
+        loop {
+            if !self.occupied(i) {
+                return Err(i);
+            }
+            if self.slots[i].entry.key == key {
+                return Ok(i);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
     /// Finds the slot of `key` if it is tracked.
     pub fn find(&self, key: FlowKey) -> Option<EntrySlot> {
-        let bucket = &self.buckets[key.vfid as usize];
-        if let Some(index) = bucket.iter().position(|e| e.key == key) {
-            return Some(EntrySlot::Bucket {
-                vfid: key.vfid,
-                index,
-            });
+        match self.probe(key) {
+            Ok(i) => Some(self.slot_handle(i)),
+            Err(_) => None,
         }
-        self.cache
-            .iter()
-            .position(|e| e.key == key)
-            .map(|index| EntrySlot::Cache { index })
     }
 
-    /// Looks the flow up, inserting a fresh entry if there is room.
+    /// Looks the flow up, inserting a fresh entry if the hardware quotas
+    /// admit it. The store itself never fills — it grows before probe runs
+    /// get long — so `TableFull` is purely a quota decision.
     pub fn lookup_or_insert(&mut self, key: FlowKey) -> LookupOutcome {
-        if let Some(slot) = self.find(key) {
-            return LookupOutcome::Found(slot);
+        if let Ok(i) = self.probe(key) {
+            return LookupOutcome::Found(self.slot_handle(i));
         }
-        if self.buckets[key.vfid as usize].len() < self.bucket_size {
-            self.buckets[key.vfid as usize].push(FlowEntry::new(key));
-            self.note_insert();
-            return LookupOutcome::Inserted(EntrySlot::Bucket {
-                vfid: key.vfid,
-                index: self.buckets[key.vfid as usize].len() - 1,
-            });
+        let cached = if (self.bucket_residents[key.vfid as usize] as usize) < self.bucket_size {
+            false
+        } else if self.cache_residents < self.cache_capacity {
+            true
+        } else {
+            return LookupOutcome::TableFull;
+        };
+        let i = self.place(cached, FlowEntry::new(key));
+        if cached {
+            self.cache_residents += 1;
+        } else {
+            self.bucket_residents[key.vfid as usize] += 1;
         }
-        if self.cache.len() < self.cache_capacity {
-            self.cache.push(FlowEntry::new(key));
-            self.note_insert();
-            return LookupOutcome::Inserted(EntrySlot::Cache {
-                index: self.cache.len() - 1,
-            });
-        }
-        LookupOutcome::TableFull
-    }
-
-    fn note_insert(&mut self) {
         self.tracked += 1;
         self.peak_tracked = self.peak_tracked.max(self.tracked);
+        LookupOutcome::Inserted(self.slot_handle(i))
+    }
+
+    /// Writes a new entry into the store, growing first if the load factor
+    /// would exceed 3/4. Returns the slot used. The key must be absent. The
+    /// generation is stamped here, after any growth — `grow` rebuilds the
+    /// store at generation 1.
+    fn place(&mut self, cached: bool, entry: FlowEntry) -> usize {
+        if (self.tracked + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let i = match self.probe(entry.key) {
+            Err(i) => i,
+            Ok(_) => unreachable!("place() requires an absent key"),
+        };
+        self.slots[i] = Slot {
+            gen: self.gen,
+            cached,
+            entry,
+        };
+        i
+    }
+
+    /// Doubles the store and re-places every live entry. Rebuilding resets
+    /// the generation to 1: stale slots from older generations are dropped
+    /// rather than copied.
+    fn grow(&mut self) {
+        let gen = self.gen;
+        let mut live = std::mem::take(&mut self.slots);
+        live.retain(|s| s.gen == gen);
+        self.slots = vec![Slot::empty(); (live.len().max(MIN_SLOTS / 2) * 2).next_power_of_two()];
+        self.gen = 1;
+        for mut slot in live {
+            slot.gen = 1;
+            let i = match self.probe(slot.entry.key) {
+                Err(i) => i,
+                Ok(_) => unreachable!("duplicate key during rehash"),
+            };
+            self.slots[i] = slot;
+        }
     }
 
     /// Immutable access to a slot.
     pub fn entry(&self, slot: EntrySlot) -> &FlowEntry {
-        match slot {
-            EntrySlot::Bucket { vfid, index } => &self.buckets[vfid as usize][index],
-            EntrySlot::Cache { index } => &self.cache[index],
-        }
+        let i = slot.index();
+        debug_assert!(self.occupied(i), "stale EntrySlot");
+        &self.slots[i].entry
     }
 
     /// Mutable access to a slot.
     pub fn entry_mut(&mut self, slot: EntrySlot) -> &mut FlowEntry {
-        match slot {
-            EntrySlot::Bucket { vfid, index } => &mut self.buckets[vfid as usize][index],
-            EntrySlot::Cache { index } => &mut self.cache[index],
-        }
+        let i = slot.index();
+        debug_assert!(self.occupied(i), "stale EntrySlot");
+        &mut self.slots[i].entry
     }
 
-    /// Removes a tracked flow (its last packet left the switch). Note that
-    /// removal may shift other entries' slots, so callers must not hold
-    /// `EntrySlot`s across a removal.
+    /// Removes a tracked flow (its last packet left the switch). Removal
+    /// backward-shifts later entries of the probe run into the gap, so
+    /// callers must not hold `EntrySlot`s across a removal.
     pub fn remove(&mut self, key: FlowKey) {
-        let bucket = &mut self.buckets[key.vfid as usize];
-        if let Some(index) = bucket.iter().position(|e| e.key == key) {
-            bucket.swap_remove(index);
-            self.tracked -= 1;
+        let Ok(mut i) = self.probe(key) else {
             return;
+        };
+        if self.slots[i].cached {
+            self.cache_residents -= 1;
+        } else {
+            self.bucket_residents[key.vfid as usize] -= 1;
         }
-        if let Some(index) = self.cache.iter().position(|e| e.key == key) {
-            self.cache.swap_remove(index);
-            self.tracked -= 1;
-        }
-    }
-
-    /// Iterates over all tracked entries.
-    pub fn iter(&self) -> impl Iterator<Item = &FlowEntry> {
-        self.buckets.iter().flatten().chain(self.cache.iter())
-    }
-
-    /// Memory footprint estimate in bytes, assuming the paper's 16-byte
-    /// per-entry encoding (used to check the "2% of buffer" claim of §3.8).
-    pub fn hardware_size_bytes(&self) -> usize {
-        self.buckets.len() * self.bucket_size * 16 + self.cache_capacity * 16
-    }
-
-    /// Serializes the tracked entries for snapshot/restore. In-bucket order
-    /// is preserved verbatim: `remove` uses `swap_remove`, so slot positions
-    /// are part of the observable state.
-    pub fn save_state(&self, w: &mut SnapWriter) {
-        w.put_usize(self.buckets.len());
-        for bucket in &self.buckets {
-            w.put_usize(bucket.len());
-            for e in bucket {
-                save_entry(w, e);
+        self.tracked -= 1;
+        // Backward-shift deletion: walk the probe run past `i`; any entry
+        // whose home slot does not lie cyclically in (i, j] may fill the
+        // gap, which then moves to that entry's old slot.
+        let mask = self.mask();
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            if !self.occupied(j) {
+                break;
+            }
+            let h = self.home(self.slots[j].entry.key);
+            let blocked = if i <= j {
+                h > i && h <= j
+            } else {
+                h > i || h <= j
+            };
+            if !blocked {
+                self.slots[i] = self.slots[j].clone();
+                i = j;
             }
         }
-        w.put_usize(self.cache.len());
-        for e in &self.cache {
-            save_entry(w, e);
-        }
+        self.slots[i].gen = 0;
+    }
+
+    /// Iterates over all tracked entries in store-scan order.
+    pub fn iter(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.slots
+            .iter()
+            .filter(move |s| s.gen == self.gen)
+            .map(|s| &s.entry)
+    }
+
+    /// Memory footprint estimate in bytes of the *hardware* table being
+    /// modelled, assuming the paper's 16-byte per-entry encoding (used to
+    /// check the "2% of buffer" claim of §3.8). A property of the modelled
+    /// geometry, not of the open-addressed store's allocation.
+    pub fn hardware_size_bytes(&self) -> usize {
+        self.bucket_residents.len() * self.bucket_size * 16 + self.cache_capacity * 16
+    }
+
+    /// Serializes the tracked entries with their admission classes. Entries
+    /// are emitted in store-scan order *starting at an empty slot*, so no
+    /// probe run straddles the scan origin and each run appears home-side
+    /// first. Re-inserting in that order therefore reproduces the probe
+    /// layout slot-for-slot, which keeps save → restore → save byte-stable.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u32(u32::try_from(self.bucket_residents.len()).expect("vfid count fits u32"));
         w.put_usize(self.tracked);
+        // The store size is part of the layout (it fixes the hash mask), so
+        // it is serialized too: a restore target's own store may have grown
+        // differently before the restore.
+        w.put_usize(self.slots.len());
+        let start = self
+            .slots
+            .iter()
+            .position(|s| s.gen != self.gen)
+            .expect("load factor below 1 guarantees an empty slot");
+        for k in 0..self.slots.len() {
+            let slot = &self.slots[(start + k) & self.mask()];
+            if slot.gen == self.gen {
+                w.put_bool(slot.cached);
+                save_entry(w, &slot.entry);
+            }
+        }
         w.put_usize(self.peak_tracked);
     }
 
     /// Restores state captured by [`FlowTable::save_state`] into this table,
-    /// which must have been built with the same geometry.
+    /// which must have been built with the same geometry. The previous
+    /// contents are discarded by bumping the generation — no slot is
+    /// touched until re-insertion overwrites it.
     pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
-        let num_buckets = r.get_usize()?;
-        if num_buckets != self.buckets.len() {
-            return Err(SnapError::Corrupt("flow-table bucket count mismatch"));
+        if r.get_u32()? as usize != self.bucket_residents.len() {
+            return Err(SnapError::Corrupt("flow-table vfid count mismatch"));
         }
-        for bucket in &mut self.buckets {
-            let n = r.get_count(15)?;
-            if n > self.bucket_size {
-                return Err(SnapError::Corrupt("flow-table bucket overflow"));
-            }
-            bucket.clear();
-            for _ in 0..n {
-                bucket.push(restore_entry(r)?);
-            }
+        let n = r.get_count(ENTRY_MIN_BYTES)?;
+        let store = r.get_usize()?;
+        if !store.is_power_of_two() || store < MIN_SLOTS || n * 4 > store * 3 {
+            return Err(SnapError::Corrupt("flow-table store size invalid"));
         }
-        let n = r.get_count(15)?;
-        if n > self.cache_capacity {
-            return Err(SnapError::Corrupt("flow-table cache overflow"));
+        if store == self.slots.len() {
+            // O(1) clear: outdate every slot instead of touching them.
+            self.gen += 1;
+        } else {
+            self.slots = vec![Slot::empty(); store];
+            self.gen = 1;
         }
-        self.cache.clear();
+        self.bucket_residents.iter_mut().for_each(|c| *c = 0);
+        self.cache_residents = 0;
+        self.tracked = 0;
         for _ in 0..n {
-            self.cache.push(restore_entry(r)?);
+            let cached = r.get_bool()?;
+            let entry = restore_entry(r)?;
+            if (entry.key.vfid as usize) >= self.bucket_residents.len() {
+                return Err(SnapError::Corrupt("flow-table vfid out of range"));
+            }
+            if cached {
+                if self.cache_residents == self.cache_capacity {
+                    return Err(SnapError::Corrupt("flow-table cache overflow"));
+                }
+                self.cache_residents += 1;
+            } else {
+                if self.bucket_residents[entry.key.vfid as usize] as usize == self.bucket_size {
+                    return Err(SnapError::Corrupt("flow-table bucket overflow"));
+                }
+                self.bucket_residents[entry.key.vfid as usize] += 1;
+            }
+            if self.probe(entry.key).is_ok() {
+                return Err(SnapError::Corrupt("flow-table duplicate key"));
+            }
+            self.place(cached, entry);
+            self.tracked += 1;
         }
-        self.tracked = r.get_usize()?;
         self.peak_tracked = r.get_usize()?;
-        if self.tracked != self.buckets.iter().map(Vec::len).sum::<usize>() + self.cache.len() {
-            return Err(SnapError::Corrupt("flow-table tracked count mismatch"));
+        if self.peak_tracked < self.tracked {
+            return Err(SnapError::Corrupt("flow-table peak below current"));
         }
         Ok(())
     }
@@ -374,7 +574,7 @@ mod tests {
         let first = key(2, 0, 0);
         let second = key(2, 1, 0);
         t.lookup_or_insert(first);
-        t.lookup_or_insert(second); // goes to cache
+        t.lookup_or_insert(second); // bucket quota exhausted: cache class
         match t.find(second) {
             Some(EntrySlot::Cache { .. }) => {}
             other => panic!("expected cache slot, got {other:?}"),
@@ -408,5 +608,155 @@ mod tests {
         }
         assert_eq!(t.len(), 0);
         assert_eq!(t.peak_len(), 20);
+    }
+
+    #[test]
+    fn growth_keeps_every_entry_findable() {
+        // Push well past the initial 16-slot store so it rehashes several
+        // times, then thin it out to exercise backward shifts on the grown
+        // store.
+        let mut t = FlowTable::new(4_096, 4, 100);
+        for v in 0..600 {
+            assert!(matches!(
+                t.lookup_or_insert(key(v, v % 7, v % 5)),
+                LookupOutcome::Inserted(_)
+            ));
+        }
+        for v in (0..600).step_by(3) {
+            t.remove(key(v, v % 7, v % 5));
+        }
+        assert_eq!(t.len(), 400);
+        for v in 0..600u32 {
+            let k = key(v, v % 7, v % 5);
+            match t.find(k) {
+                Some(slot) => {
+                    assert!(v % 3 != 0, "removed vfid {v} still present");
+                    assert_eq!(t.entry(slot).key, k);
+                }
+                None => assert!(v % 3 == 0, "live vfid {v} lost"),
+            }
+        }
+    }
+
+    #[test]
+    fn removal_shifts_keep_probe_runs_intact() {
+        // Many keys sharing one VFID force long probe runs through both
+        // quota classes; deleting from the middle of runs must never orphan
+        // a later entry of the same run.
+        let mut t = FlowTable::new(2, 64, 64);
+        for ingress in 0..100 {
+            assert!(matches!(
+                t.lookup_or_insert(key(1, ingress, 0)),
+                LookupOutcome::Inserted(_)
+            ));
+        }
+        for ingress in (0..100).step_by(2) {
+            t.remove(key(1, ingress, 0));
+        }
+        for ingress in 0..100 {
+            assert_eq!(t.find(key(1, ingress, 0)).is_some(), ingress % 2 == 1);
+        }
+        assert_eq!(t.len(), 50);
+    }
+
+    #[test]
+    fn quotas_survive_growth_and_churn() {
+        let mut t = FlowTable::new(2, 2, 3);
+        // VFID 0 admits 2 bucket entries; the next 3 spill to the cache;
+        // the 6th is untrackable.
+        for ingress in 0..5 {
+            assert!(matches!(
+                t.lookup_or_insert(key(0, ingress, 0)),
+                LookupOutcome::Inserted(_)
+            ));
+        }
+        assert_eq!(t.lookup_or_insert(key(0, 9, 0)), LookupOutcome::TableFull);
+        // VFID 1's bucket quota is independent of VFID 0's, but the cache
+        // is shared and still full.
+        assert!(matches!(
+            t.lookup_or_insert(key(1, 0, 0)),
+            LookupOutcome::Inserted(_)
+        ));
+        assert!(matches!(
+            t.lookup_or_insert(key(1, 1, 0)),
+            LookupOutcome::Inserted(_)
+        ));
+        assert_eq!(t.lookup_or_insert(key(1, 2, 0)), LookupOutcome::TableFull);
+        // Removing a cache-class entry frees cache room for either VFID.
+        let cache_key = (0..5)
+            .map(|i| key(0, i, 0))
+            .find(|&k| matches!(t.find(k), Some(EntrySlot::Cache { .. })))
+            .unwrap();
+        t.remove(cache_key);
+        assert!(matches!(
+            t.lookup_or_insert(key(1, 2, 0)),
+            LookupOutcome::Inserted(_)
+        ));
+    }
+
+    #[test]
+    fn save_restore_round_trips_contents_and_layout() {
+        let mut t = FlowTable::new(64, 4, 10);
+        for v in 0..30 {
+            let slot = match t.lookup_or_insert(key(v, v % 3, v % 2)) {
+                LookupOutcome::Inserted(s) => s,
+                other => panic!("expected insert, got {other:?}"),
+            };
+            t.entry_mut(slot).packets_queued = v;
+            t.entry_mut(slot).paused = v % 2 == 0;
+        }
+        for v in (0..30).step_by(4) {
+            t.remove(key(v, v % 3, v % 2));
+        }
+        let mut w = SnapWriter::new();
+        t.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut u = FlowTable::new(64, 4, 10);
+        // Pre-populate the target with unrelated state to prove the
+        // generation bump discards it without an explicit clear.
+        for v in 40..60 {
+            u.lookup_or_insert(key(v, 9, 9));
+        }
+        let mut r = SnapReader::new(&bytes);
+        u.restore_state(&mut r).unwrap();
+        assert_eq!(u.len(), t.len());
+        assert_eq!(u.peak_len(), t.peak_len());
+        for v in 40..60 {
+            assert!(u.find(key(v, 9, 9)).is_none(), "stale entry survived");
+        }
+        for v in 0..30 {
+            let k = key(v, v % 3, v % 2);
+            assert_eq!(t.find(k), u.find(k), "layout diverged for vfid {v}");
+            if let Some(slot) = t.find(k) {
+                assert_eq!(t.entry(slot), u.entry(slot));
+            }
+        }
+        // Re-saving the restored table reproduces the snapshot bytes:
+        // restore is layout-exact, not merely content-exact.
+        let mut w2 = SnapWriter::new();
+        u.save_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+    }
+
+    #[test]
+    fn restore_rejects_quota_violations() {
+        let mut t = FlowTable::new(8, 2, 1);
+        t.lookup_or_insert(key(3, 0, 0));
+        t.lookup_or_insert(key(3, 1, 0));
+        t.lookup_or_insert(key(3, 2, 0)); // cache class
+        let mut w = SnapWriter::new();
+        t.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        // The same snapshot into a smaller-bucket geometry must fail
+        // cleanly rather than over-admit.
+        let mut small = FlowTable::new(8, 1, 1);
+        let mut r = SnapReader::new(&bytes);
+        assert!(small.restore_state(&mut r).is_err());
+        // And into a different VFID count as well.
+        let mut narrow = FlowTable::new(4, 2, 1);
+        let mut r = SnapReader::new(&bytes);
+        assert!(narrow.restore_state(&mut r).is_err());
     }
 }

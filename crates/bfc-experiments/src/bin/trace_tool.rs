@@ -358,7 +358,24 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         if runner.threads() == 1 { "" } else { "s" },
     );
     print_results_table(&results);
+    print_epoch_counters(&results);
     Ok(())
+}
+
+/// Per-run epoch-driver counters for sharded replays. Written to stderr so
+/// stdout stays byte-identical to a serial replay (scripts diff it); serial
+/// runs have no epochs and print nothing.
+fn print_epoch_counters(results: &[ExperimentResult]) {
+    if bfc_experiments::sharded::shards_from_env() <= 1 {
+        return;
+    }
+    for r in results {
+        let e = &r.epochs;
+        eprintln!(
+            "epochs[{}]: batches {} windows {} barriers {} widened {} cross-shard msgs {}",
+            r.scheme, e.batches, e.windows, e.barriers, e.widened, e.boundary_events
+        );
+    }
 }
 
 /// The replay results table, shared by `replay`, `resume` and `serve` so a

@@ -53,7 +53,8 @@ pub mod sharded;
 
 pub use parallel::ParallelRunner;
 pub use replay::{ReplayError, ReplayTrace};
-pub use runner::{run_experiment, ExperimentConfig, ExperimentResult};
+pub use bfc_sim::shard::{BatchPolicy, EpochStats};
+pub use runner::{run_experiment, ExperimentConfig, ExperimentResult, RankMode};
 pub use scenario::{ScenarioError, ScenarioSpec};
 pub use scheme::Scheme;
 pub use service::{

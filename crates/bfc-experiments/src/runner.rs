@@ -10,13 +10,14 @@ use bfc_metrics::recovery::{RecoveryMetrics, RecoveryTracker};
 use bfc_metrics::series::{OccupancySeries, UtilizationTracker};
 use bfc_net::config::SwitchConfig;
 use bfc_net::dynamics::{FaultEvent, FaultSchedule, LinkAction, LinkStateMap};
-use bfc_net::event::{NetEvent, NetSink};
+use bfc_net::event::{FifoSink, NetEvent, NetSink};
 use bfc_net::packet::vfid_for_flow;
 use bfc_net::policy::PolicyStats;
 use bfc_net::routing::RoutingTables;
 use bfc_net::switch::Switch;
 use bfc_net::topology::Topology;
 use bfc_net::types::{FlowId, NodeId};
+use bfc_sim::shard::{BatchPolicy, EpochStats};
 use bfc_sim::{run_until, EventQueue, SimDuration, SimTime, Simulation};
 use bfc_transport::{FlowSpec, Host, HostConfig};
 use bfc_workloads::TraceFlow;
@@ -24,6 +25,44 @@ use bfc_workloads::TraceFlow;
 use std::sync::Arc;
 
 use crate::scheme::Scheme;
+
+/// How the **serial** engine keys simultaneous events.
+///
+/// [`RankMode::Ranked`] attaches [`NetEvent::canon_rank`] to every push, the
+/// order the sharded engine reproduces; [`RankMode::Fifo`] pushes rank 0 and
+/// lets `(time, push order)` decide — skipping the rank computation and
+/// keeping the calendar queue on its scalar-sort fast path. The two modes
+/// produce bit-identical `ExperimentResult`s (pinned by
+/// `tests/determinism.rs`); the sharded engine always uses ranked keys
+/// regardless of this setting.
+///
+/// The build-time default is `Ranked`; compiling `bfc-experiments` with the
+/// `fifo-rank` feature flips the default to `Fifo` for rank-free single-core
+/// builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankMode {
+    /// Content-derived canonical rank on every event (the sharded order).
+    Ranked,
+    /// Rank elision: `(time, push order)` FIFO keys, serial engine only.
+    Fifo,
+}
+
+impl RankMode {
+    /// True for [`RankMode::Fifo`].
+    pub fn is_fifo(self) -> bool {
+        matches!(self, RankMode::Fifo)
+    }
+}
+
+impl Default for RankMode {
+    fn default() -> Self {
+        if cfg!(feature = "fifo-rank") {
+            RankMode::Fifo
+        } else {
+            RankMode::Ranked
+        }
+    }
+}
 
 /// Experiment parameters independent of the workload trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +88,15 @@ pub struct ExperimentConfig {
     /// is bit-identical to a run of this build with no dynamics at all — the
     /// link-state checks short-circuit and nothing else changes.
     pub dynamics: FaultSchedule,
+    /// Event key mode for the serial engine (see [`RankMode`]). Ignored by
+    /// the sharded engine, which always uses ranked keys.
+    pub rank_mode: RankMode,
+    /// Whether the sharded engine's conservative driver may batch multiple
+    /// epoch windows between leader decisions (see
+    /// [`bfc_sim::shard::BatchPolicy`]). On or off, results are
+    /// bit-identical; batching only collapses barrier crossings in
+    /// cross-shard-quiescent stretches of the run.
+    pub epoch_batching: bool,
 }
 
 impl ExperimentConfig {
@@ -64,6 +112,8 @@ impl ExperimentConfig {
             drain: horizon * 4,
             sample_interval: SimDuration::from_micros(10),
             dynamics: FaultSchedule::default(),
+            rank_mode: RankMode::default(),
+            epoch_batching: true,
         }
     }
 
@@ -89,6 +139,27 @@ impl ExperimentConfig {
     pub fn with_dynamics(mut self, dynamics: FaultSchedule) -> Self {
         self.dynamics = dynamics;
         self
+    }
+
+    /// Overrides the serial engine's event key mode.
+    pub fn with_rank_mode(mut self, mode: RankMode) -> Self {
+        self.rank_mode = mode;
+        self
+    }
+
+    /// Enables or disables adaptive epoch batching in the sharded engine.
+    pub fn with_epoch_batching(mut self, on: bool) -> Self {
+        self.epoch_batching = on;
+        self
+    }
+
+    /// The epoch driver policy this config selects.
+    pub fn batch_policy(&self) -> BatchPolicy {
+        if self.epoch_batching {
+            BatchPolicy::default()
+        } else {
+            BatchPolicy::Off
+        }
     }
 }
 
@@ -125,6 +196,11 @@ pub struct ExperimentResult {
     pub end_time: SimTime,
     /// Fault-recovery metrics (all zero / `None` for a run without dynamics).
     pub recovery: RecoveryMetrics,
+    /// Epoch-driver counters (all zero for a serial run): batches, windows,
+    /// barriers, widened batches and boundary events. Observability only —
+    /// never part of any bit-identity comparison, since a resumed run only
+    /// counts its post-snapshot epochs.
+    pub epochs: EpochStats,
 }
 
 impl ExperimentResult {
@@ -172,12 +248,7 @@ pub(crate) struct FabricSim<'a> {
     pub(crate) occupancy: OccupancySeries,
     pub(crate) peak_queue_samples: Vec<f64>,
     pub(crate) occupied_queue_samples: Vec<f64>,
-    pub(crate) sample_interval: SimDuration,
     pub(crate) sample_until: SimTime,
-    /// Goodput sampling for the recovery metrics keeps running through the
-    /// drain window (faults late in the horizon recover during drain); the
-    /// occupancy/queue series stop at `sample_until` as before.
-    pub(crate) goodput_until: SimTime,
     pub(crate) completed: usize,
     pub(crate) recovery: RecoveryTracker,
     /// Whether this sim records the schedule-derived recovery metrics
@@ -186,6 +257,11 @@ pub(crate) struct FabricSim<'a> {
     /// merged metrics would multiply by the shard count. True for the serial
     /// engine and shard 0.
     pub(crate) record_dynamics_metrics: bool,
+    /// Serial-engine rank elision (see [`RankMode`]): when true, the
+    /// [`Simulation`] impl wraps the global queue in a [`FifoSink`] so
+    /// events carry rank 0. The sharded engine never consults this flag —
+    /// it dispatches through its own ranked boundary-routing sink.
+    pub(crate) fifo_rank: bool,
 }
 
 impl FabricSim<'_> {
@@ -330,10 +406,11 @@ impl FabricSim<'_> {
                 }
             }
             NetEvent::Sample => {
+                // The whole tick schedule is seeded up front (see
+                // `seed_samples`), so the handler only records; rescheduling
+                // here would give later ticks run-time sequence numbers and
+                // break the FIFO-keying tie order against pre-seeded faults.
                 self.take_samples(now);
-                if now + self.sample_interval <= self.goodput_until {
-                    queue.send(now + self.sample_interval, NetEvent::Sample);
-                }
             }
             NetEvent::NetworkDynamics { index } => {
                 let action = self.dynamics[index].action;
@@ -347,7 +424,55 @@ impl Simulation for FabricSim<'_> {
     type Event = NetEvent;
 
     fn handle(&mut self, now: SimTime, event: NetEvent, queue: &mut EventQueue<NetEvent>) {
-        self.dispatch(now, event, queue);
+        if self.fifo_rank {
+            self.dispatch(now, event, &mut FifoSink(queue));
+        } else {
+            self.dispatch(now, event, queue);
+        }
+    }
+}
+
+/// Pushes a driver seed event (flow arrival, sample tick, fault) through the
+/// sink matching the serial engine's rank mode, so seeds and in-run events
+/// share one keying scheme.
+#[inline]
+pub(crate) fn seed_send(
+    queue: &mut EventQueue<NetEvent>,
+    fifo: bool,
+    time: SimTime,
+    event: NetEvent,
+) {
+    if fifo {
+        FifoSink(queue).send(time, event);
+    } else {
+        queue.send(time, event);
+    }
+}
+
+/// The last instant the goodput/occupancy sampler runs to: the horizon for
+/// plain runs, through the drain for fault runs so recovery stays visible in
+/// the sampled series.
+pub(crate) fn goodput_until(config: &ExperimentConfig) -> SimTime {
+    let sample_until = SimTime::ZERO + config.horizon;
+    if config.dynamics.is_empty() {
+        sample_until
+    } else {
+        sample_until + config.drain
+    }
+}
+
+/// Seeds the complete sample-tick schedule up front. Seeding order is part
+/// of the determinism contract for `RankMode::Fifo`: every control event
+/// (flow arrivals, then sample ticks, then faults) is pushed before the run
+/// starts, in canonical-rank-tag order, so FIFO sequence numbers break
+/// same-timestamp ties exactly like the canonical rank does.
+pub(crate) fn seed_samples(queue: &mut EventQueue<NetEvent>, fifo: bool, config: &ExperimentConfig) {
+    let until = goodput_until(config);
+    let mut t = SimTime::ZERO + config.sample_interval;
+    seed_send(queue, fifo, t, NetEvent::Sample);
+    while t + config.sample_interval <= until {
+        t = t + config.sample_interval;
+        seed_send(queue, fifo, t, NetEvent::Sample);
     }
 }
 
@@ -505,7 +630,6 @@ pub(crate) fn build_sim<'a>(
     record_dynamics_metrics: bool,
 ) -> FabricSim<'a> {
     let sample_until = SimTime::ZERO + config.horizon;
-    let deadline = SimTime::ZERO + config.horizon + config.drain;
     FabricSim {
         topo,
         routes: frame.routes.clone(),
@@ -518,16 +642,11 @@ pub(crate) fn build_sim<'a>(
         occupancy: OccupancySeries::new(),
         peak_queue_samples: Vec::new(),
         occupied_queue_samples: Vec::new(),
-        sample_interval: config.sample_interval,
         sample_until,
-        goodput_until: if config.dynamics.is_empty() {
-            sample_until
-        } else {
-            deadline
-        },
         completed: 0,
         recovery: RecoveryTracker::new(),
         record_dynamics_metrics,
+        fifo_rank: config.rank_mode.is_fifo(),
     }
 }
 
@@ -670,6 +789,7 @@ pub(crate) fn assemble_result(
         total_flows: trace.len(),
         end_time,
         recovery,
+        epochs: EpochStats::default(),
     }
 }
 
@@ -695,13 +815,14 @@ pub fn run_experiment(
     let flows = Arc::new(build_flow_metas(topo, trace, config, &frame));
     let mut sim = build_sim(topo, flows, config, &frame, |_| true, true);
 
+    let fifo = config.rank_mode.is_fifo();
     let mut queue = EventQueue::with_capacity(trace.len() * 4 + 16);
     for (i, t) in trace.iter().enumerate() {
-        queue.send(t.start, NetEvent::FlowArrival { index: i });
+        seed_send(&mut queue, fifo, t.start, NetEvent::FlowArrival { index: i });
     }
-    queue.send(SimTime::ZERO + config.sample_interval, NetEvent::Sample);
+    seed_samples(&mut queue, fifo, config);
     for (index, event) in config.dynamics.events().iter().enumerate() {
-        queue.send(event.at, NetEvent::NetworkDynamics { index });
+        seed_send(&mut queue, fifo, event.at, NetEvent::NetworkDynamics { index });
     }
 
     let deadline = SimTime::ZERO + config.horizon + config.drain;

@@ -43,7 +43,7 @@
 
 use std::sync::Arc;
 
-use bfc_net::event::{NetEvent, NetSink};
+use bfc_net::event::{FifoSink, NetEvent};
 use bfc_net::routing::RoutingTables;
 use bfc_net::topology::Topology;
 use bfc_sim::shard::{run_conservative, Boundary, ShardHandler};
@@ -53,7 +53,8 @@ use bfc_workloads::ingest::{IngestError, IngestSource};
 use bfc_workloads::TraceFlow;
 
 use crate::runner::{
-    assemble_result, build_flow_meta, build_flow_metas, build_sim, ExperimentConfig,
+    assemble_result, build_flow_meta, build_flow_metas, build_sim, seed_samples, seed_send,
+    ExperimentConfig,
     ExperimentResult, FabricSim, Frame,
 };
 use crate::sharded::{build_workers, epoch_lookahead, plan_for, ShardWorker};
@@ -64,7 +65,7 @@ pub const SNAPSHOT_MAGIC: &[u8; 8] = b"BFCSNAP\0";
 /// Current snapshot payload format version. Bump on any layout change; old
 /// versions are rejected with [`SnapError::BadVersion`] rather than
 /// misinterpreted.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Hashes every run input the snapshot does *not* serialize — topology
 /// shape, trace, configuration and shard count — so a resume against
@@ -283,13 +284,14 @@ pub fn snapshot_experiment(
         let frame = Frame::new(topo, config);
         let flows = Arc::new(build_flow_metas(topo, trace, config, &frame));
         let mut sim = build_sim(topo, flows, config, &frame, |_| true, true);
+        let fifo = config.rank_mode.is_fifo();
         let mut queue = EventQueue::with_capacity(trace.len() * 4 + 16);
         for (i, t) in trace.iter().enumerate() {
-            queue.send(t.start, NetEvent::FlowArrival { index: i });
+            seed_send(&mut queue, fifo, t.start, NetEvent::FlowArrival { index: i });
         }
-        queue.send(SimTime::ZERO + config.sample_interval, NetEvent::Sample);
+        seed_samples(&mut queue, fifo, config);
         for (index, event) in config.dynamics.events().iter().enumerate() {
-            queue.send(event.at, NetEvent::NetworkDynamics { index });
+            seed_send(&mut queue, fifo, event.at, NetEvent::NetworkDynamics { index });
         }
         let last = run_until(&mut sim, &mut queue, stop_after);
         payload.put_u64(last.as_picos());
@@ -366,9 +368,17 @@ pub fn resume_experiment(
         let parallel = workers.len() > 1;
         // `run_conservative` folds in each shard's restored `last`, so a
         // snapshot taken after the final event still reports the right end.
-        let end_time = run_conservative(&mut workers, lookahead, deadline, parallel);
+        let (end_time, epochs) = run_conservative(
+            &mut workers,
+            lookahead,
+            deadline,
+            parallel,
+            config.batch_policy(),
+        );
         let sims: Vec<FabricSim<'_>> = workers.into_iter().map(|w| w.sim).collect();
-        Ok(assemble_result(topo, trace, config, &frame, sims, end_time))
+        let mut result = assemble_result(topo, trace, config, &frame, sims, end_time);
+        result.epochs = epochs;
+        Ok(result)
     }
 }
 
@@ -406,10 +416,11 @@ pub fn serve_experiment(
     }
     let frame = Frame::new(topo, config);
     let mut sim = build_sim(topo, Arc::new(Vec::new()), config, &frame, |_| true, true);
+    let fifo = config.rank_mode.is_fifo();
     let mut queue = EventQueue::with_capacity(1024);
-    queue.send(SimTime::ZERO + config.sample_interval, NetEvent::Sample);
+    seed_samples(&mut queue, fifo, config);
     for (index, event) in config.dynamics.events().iter().enumerate() {
-        queue.send(event.at, NetEvent::NetworkDynamics { index });
+        seed_send(&mut queue, fifo, event.at, NetEvent::NetworkDynamics { index });
     }
     let deadline = SimTime::ZERO + config.horizon + config.drain;
     let mut admitted: Vec<TraceFlow> = Vec::new();
@@ -425,7 +436,11 @@ pub fn serve_experiment(
                 Some(t) if t <= deadline => {
                     let (now, event) = queue.pop().expect("peeked event exists");
                     last = now;
-                    sim.dispatch(now, event, &mut queue);
+                    if fifo {
+                        sim.dispatch(now, event, &mut FifoSink(&mut queue));
+                    } else {
+                        sim.dispatch(now, event, &mut queue);
+                    }
                 }
                 _ => break,
             }
@@ -442,7 +457,7 @@ pub fn serve_experiment(
             .expect("serve sim uniquely owns its flow table")
             .push(meta);
         sim.flow_completed.push(None);
-        queue.send(flow.start, NetEvent::FlowArrival { index });
+        seed_send(&mut queue, fifo, flow.start, NetEvent::FlowArrival { index });
         admitted.push(flow);
     }
 

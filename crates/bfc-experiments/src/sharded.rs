@@ -291,7 +291,10 @@ pub(crate) fn build_workers<'a>(
                     queue.send(t.start, NetEvent::FlowArrival { index });
                 }
             }
-            queue.send(SimTime::ZERO + config.sample_interval, NetEvent::Sample);
+            // Full tick schedule up front (the handler no longer
+            // reschedules); the sharded engine always keys by canonical
+            // rank, so `fifo` is false here.
+            crate::runner::seed_samples(&mut queue, false, config);
             for (index, event) in config.dynamics.events().iter().enumerate() {
                 // Every shard replays the whole fault schedule against its
                 // own link-state / routing replica.
@@ -328,9 +331,17 @@ pub fn run_experiment_sharded(
 
     let mut workers = build_workers(topo, trace, config, &frame, &flows, &plan);
     let parallel = workers.len() > 1;
-    let end_time = run_conservative(&mut workers, lookahead, deadline, parallel);
+    let (end_time, epochs) = run_conservative(
+        &mut workers,
+        lookahead,
+        deadline,
+        parallel,
+        config.batch_policy(),
+    );
     let sims: Vec<FabricSim<'_>> = workers.into_iter().map(|w| w.sim).collect();
-    assemble_result(topo, trace, config, &frame, sims, end_time)
+    let mut result = assemble_result(topo, trace, config, &frame, sims, end_time);
+    result.epochs = epochs;
+    result
 }
 
 /// Shard count from the `BFC_SHARDS` environment variable (default 1; the

@@ -9,13 +9,47 @@
 //! target another shard are collected into per-destination **outboxes**
 //! during the window and exchanged at the epoch barrier.
 //!
+//! # Adaptive epoch batching
+//!
+//! Electing `t0` costs two barrier crossings (publish per-shard next-event
+//! times, then distribute the leader's decision). Rather than pay that per
+//! window, the driver elects once per **batch** and then runs windows on the
+//! fixed grid `[t0 + i·L, t0 + (i+1)·L)` for `i < k`, exchanging boundary
+//! events after each. The fixed grid is exactly as safe as re-electing: a
+//! cross-shard event with time `T < t0 + (i+1)·L` was emitted while
+//! processing some `t < t0 + i·L` — i.e. during an earlier window — and was
+//! therefore exchanged before window `i` starts.
+//!
+//! Two mechanisms make the batch cheaper than `k` elections:
+//!
+//! * **One barrier per executed window.** Mailboxes and per-window stats are
+//!   double-buffered by executed-window parity, so the slot a reader drains
+//!   after barrier `i` is not rewritten until after barrier `i + 1`, which
+//!   the reader necessarily crossed first.
+//! * **Quiescent fast-forward.** After a window that exchanged nothing, no
+//!   delivery can have changed any queue, so the shared pre-delivery
+//!   `min_next` is exact — and every shard deterministically jumps to the
+//!   grid window containing it, skipping the empty windows in between
+//!   without a barrier each. If `min_next` lies at or beyond the batch (or
+//!   past the deadline), the batch ends early and the driver re-elects.
+//!
+//! [`BatchPolicy::Adaptive`] doubles the batch width after a fully
+//! quiescent batch (up to the cap) and halves it as soon as a batch carries
+//! any cross-shard traffic, so dense regions degrade gracefully toward
+//! per-window elections while quiescent stretches (think 10 µs sample gaps
+//! over a sub-µs lookahead) collapse many elections into one: a width-`k`
+//! batch covering `E` sparse events costs `2 + E` barriers instead of `3·E`.
+//! [`BatchPolicy::Off`] pins the width to one window per election, which
+//! reproduces the classic three-barriers-per-window schedule.
+//!
 //! # Determinism
 //!
 //! The driver is deterministic by construction, whether the epochs run on
-//! one thread or on one thread per shard:
+//! one thread or on one thread per shard, batched or not:
 //!
-//! * the window is derived only from queue state (`min` of per-shard
-//!   `next_time`), never from thread timing;
+//! * the window grid is derived only from queue state (`min` of per-shard
+//!   `next_time`) and the deterministic width schedule, never from thread
+//!   timing;
 //! * at each barrier, destination shards ingest boundary batches in **shard
 //!   id order**, and each batch preserves its source's emission order;
 //! * boundary events carry their scheduling `(time, rank)` key with them, so
@@ -24,7 +58,8 @@
 //! With a content-derived rank (see [`crate::EventQueue::push_ranked`]) that
 //! is unique among simultaneous events from different sources, the per-shard
 //! pop order equals the serial engine's pop order restricted to that shard —
-//! which is what makes sharded results bit-identical to serial ones.
+//! which is what makes sharded results bit-identical to serial ones, at any
+//! shard count and under any batching policy.
 
 use std::sync::{Barrier, Mutex};
 
@@ -64,86 +99,286 @@ pub trait ShardHandler: Send {
     fn last_processed(&self) -> SimTime;
 }
 
+/// How the epoch driver amortizes window elections. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// One election per window: the classic conservative-lockstep schedule
+    /// (three barrier crossings per executed window).
+    Off,
+    /// Elect once, then run up to `max_windows` grid windows at one barrier
+    /// each with quiescent fast-forward; the width doubles after fully
+    /// quiescent batches and halves after batches that carried cross-shard
+    /// traffic.
+    Adaptive {
+        /// Upper bound on grid windows per election (≥ 1). Amortization
+        /// needs the cap to span several inter-event gaps: a batch covering
+        /// `E` sparse events costs `2 + E` barriers versus `3·E` unbatched.
+        max_windows: u32,
+    },
+}
+
+impl Default for BatchPolicy {
+    /// `Adaptive { max_windows: 128 }`: wide enough that typical quiescent
+    /// stretches (e.g. 10 µs sample gaps over a sub-µs lookahead, ten to
+    /// twenty windows per gap) fit several events per election.
+    fn default() -> Self {
+        BatchPolicy::Adaptive { max_windows: 128 }
+    }
+}
+
+impl BatchPolicy {
+    fn cap(self) -> u32 {
+        match self {
+            BatchPolicy::Off => 1,
+            BatchPolicy::Adaptive { max_windows } => max_windows.max(1),
+        }
+    }
+}
+
+/// Per-run counters from the epoch driver. The sequential driver counts the
+/// synchronization points the threaded driver would have crossed, so the
+/// numbers are identical for the same inputs whether or not threads ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Window elections that found work (one per batch of windows).
+    pub batches: u64,
+    /// Grid windows actually executed (quiescent-skipped windows are not
+    /// counted — they cost nothing).
+    pub windows: u64,
+    /// Barrier crossings: two per election round — including the final
+    /// round that detects termination — plus one per executed window.
+    pub barriers: u64,
+    /// Batches that ran widened (elected width > 1 window).
+    pub widened: u64,
+    /// Cross-shard boundary events exchanged.
+    pub boundary_events: u64,
+}
+
 /// Runs a sharded simulation to completion (all queues empty) or until the
 /// next event would fall strictly after `deadline`. Returns the timestamp of
-/// the last event any shard processed.
+/// the last event any shard processed, plus the epoch counters.
 ///
 /// `lookahead` must lower-bound the scheduling delay of every cross-shard
 /// event: an event emitted while processing time `t` must be scheduled at
 /// `t + lookahead` or later. `parallel` selects one thread per shard
-/// (barrier-synchronized) versus a single-threaded epoch loop; both produce
-/// identical results.
+/// (barrier-synchronized) versus a single-threaded epoch loop; all
+/// combinations of `parallel` and `batch` produce identical results and
+/// identical stats.
 pub fn run_conservative<S: ShardHandler>(
     shards: &mut [S],
     lookahead: SimDuration,
     deadline: SimTime,
     parallel: bool,
-) -> SimTime {
+    batch: BatchPolicy,
+) -> (SimTime, EpochStats) {
     assert!(
         !lookahead.is_zero(),
         "conservative synchronization needs a positive lookahead"
     );
-    if shards.len() > 1 && parallel {
-        run_threaded(shards, lookahead, deadline);
+    let stats = if shards.len() > 1 && parallel {
+        run_threaded(shards, lookahead, deadline, batch)
     } else {
-        run_sequential(shards, lookahead, deadline);
-    }
-    shards
+        run_sequential(shards, lookahead, deadline, batch)
+    };
+    let end = shards
         .iter()
         .map(|s| s.last_processed())
         .max()
-        .unwrap_or(SimTime::ZERO)
+        .unwrap_or(SimTime::ZERO);
+    (end, stats)
 }
 
-fn run_sequential<S: ShardHandler>(shards: &mut [S], lookahead: SimDuration, deadline: SimTime) {
-    let n = shards.len();
-    loop {
-        let Some(t0) = shards.iter().filter_map(|s| s.next_time()).min() else {
-            return;
+/// The deterministic width schedule plus the post-window decision, factored
+/// out so the sequential and threaded drivers cannot drift apart. Every
+/// thread runs its own copy from identical shared observations, so the
+/// schedules stay in lockstep without extra communication.
+struct BatchSchedule {
+    width: u32,
+    cap: u32,
+}
+
+/// What to do after one executed grid window.
+#[derive(PartialEq, Eq, Debug)]
+enum WindowOutcome {
+    /// The window exchanged traffic: the very next grid window may receive
+    /// deliveries, so run it.
+    Next,
+    /// No traffic, and the next event lies in a later window of this batch:
+    /// jump straight to that window index.
+    SkipTo(u32),
+    /// No traffic and no event before the batch end (or the deadline): end
+    /// the batch and re-elect.
+    EndBatch,
+}
+
+impl BatchSchedule {
+    fn new(policy: BatchPolicy) -> Self {
+        BatchSchedule {
+            width: 1,
+            cap: policy.cap(),
+        }
+    }
+
+    /// Decides the next step after grid window `w`. `min_next` must be the
+    /// pre-delivery minimum next-event time across shards: when
+    /// `total_sent == 0` no delivery happened, so it is exact — which is the
+    /// only case where it steers anything.
+    fn after_window(
+        &self,
+        w: u32,
+        total_sent: u64,
+        min_next: Option<SimTime>,
+        t0: SimTime,
+        lookahead: SimDuration,
+        deadline: SimTime,
+    ) -> WindowOutcome {
+        if total_sent > 0 {
+            return WindowOutcome::Next;
+        }
+        let Some(next) = min_next else {
+            return WindowOutcome::EndBatch;
         };
-        if t0 > deadline {
-            return;
+        if next > deadline {
+            return WindowOutcome::EndBatch;
         }
-        let window_end = t0 + lookahead;
-        for shard in shards.iter_mut() {
-            shard.run_window(window_end, deadline);
+        // The grid window containing `next`. All events < window w's end
+        // were processed, so `next >= t0 + (w+1)·L` and the index advances.
+        let idx = (next.as_picos() - t0.as_picos()) / lookahead.as_picos();
+        let idx = u32::try_from(idx).unwrap_or(u32::MAX);
+        debug_assert!(idx > w, "fast-forward must advance the grid");
+        if idx >= self.width {
+            WindowOutcome::EndBatch
+        } else {
+            WindowOutcome::SkipTo(idx)
         }
-        // Exchange boundary events: destinations ingest batches in source
-        // shard id order, exactly like the threaded path.
-        let outboxes: Vec<Vec<Vec<Boundary<S::Event>>>> =
-            shards.iter_mut().map(|s| s.take_outboxes()).collect();
-        for (src, rows) in outboxes.into_iter().enumerate() {
-            debug_assert_eq!(rows.len(), n, "outbox row per destination shard");
-            for (dest, batch) in rows.into_iter().enumerate() {
-                debug_assert!(dest != src || batch.is_empty(), "no self-addressed batches");
-                if !batch.is_empty() {
-                    shards[dest].deliver(batch);
-                }
-            }
-        }
+    }
+
+    /// Width for the next batch, from whether this batch saw any
+    /// cross-shard traffic.
+    fn adapt(&mut self, had_traffic: bool) {
+        self.width = if had_traffic {
+            (self.width / 2).max(1)
+        } else {
+            self.width.saturating_mul(2).min(self.cap)
+        };
     }
 }
 
-/// Leader-computed per-epoch decision shared between worker threads.
-struct EpochCtl {
-    window_end: SimTime,
+fn run_sequential<S: ShardHandler>(
+    shards: &mut [S],
+    lookahead: SimDuration,
+    deadline: SimTime,
+    batch: BatchPolicy,
+) -> EpochStats {
+    let n = shards.len();
+    let mut sched = BatchSchedule::new(batch);
+    let mut stats = EpochStats::default();
+    loop {
+        // Election: two synchronization points in the threaded driver.
+        stats.barriers += 2;
+        let Some(t0) = shards.iter().filter_map(|s| s.next_time()).min() else {
+            return stats;
+        };
+        if t0 > deadline {
+            return stats;
+        }
+        stats.batches += 1;
+        if sched.width > 1 {
+            stats.widened += 1;
+        }
+        let mut had_traffic = false;
+        let mut w = 0u32;
+        while w < sched.width {
+            let window_end = t0 + lookahead * u64::from(w + 1);
+            for shard in shards.iter_mut() {
+                shard.run_window(window_end, deadline);
+            }
+            let outboxes: Vec<Vec<Vec<Boundary<S::Event>>>> =
+                shards.iter_mut().map(|s| s.take_outboxes()).collect();
+            let total_sent: u64 = outboxes
+                .iter()
+                .flat_map(|rows| rows.iter())
+                .map(|b| b.len() as u64)
+                .sum();
+            // Pre-delivery minimum, exactly what the threaded driver's
+            // published per-window stats hold.
+            let min_next = shards.iter().filter_map(|s| s.next_time()).min();
+            stats.windows += 1;
+            stats.barriers += 1;
+            stats.boundary_events += total_sent;
+            // Exchange boundary events: destinations ingest batches in
+            // source shard id order, exactly like the threaded path.
+            for (src, rows) in outboxes.into_iter().enumerate() {
+                debug_assert_eq!(rows.len(), n, "outbox row per destination shard");
+                for (dest, batch) in rows.into_iter().enumerate() {
+                    debug_assert!(dest != src || batch.is_empty(), "no self-addressed batches");
+                    if !batch.is_empty() {
+                        shards[dest].deliver(batch);
+                    }
+                }
+            }
+            had_traffic |= total_sent > 0;
+            match sched.after_window(w, total_sent, min_next, t0, lookahead, deadline) {
+                WindowOutcome::Next => w += 1,
+                WindowOutcome::SkipTo(idx) => w = idx,
+                WindowOutcome::EndBatch => break,
+            }
+        }
+        sched.adapt(had_traffic);
+    }
+}
+
+/// Leader-computed per-batch decision shared between worker threads.
+struct BatchCtl {
+    t0: SimTime,
     done: bool,
 }
 
-fn run_threaded<S: ShardHandler>(shards: &mut [S], lookahead: SimDuration, deadline: SimTime) {
+/// Per-shard, per-parity counters published just before the window barrier:
+/// how many boundary events this shard sent, and its next local event time
+/// *before* any of this window's deliveries.
+#[derive(Default, Clone, Copy)]
+struct WindowStat {
+    sent: u64,
+    next: Option<SimTime>,
+}
+
+fn run_threaded<S: ShardHandler>(
+    shards: &mut [S],
+    lookahead: SimDuration,
+    deadline: SimTime,
+    batch: BatchPolicy,
+) -> EpochStats {
     let n = shards.len();
     let barrier = Barrier::new(n);
     let times: Vec<Mutex<Option<SimTime>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let ctl = Mutex::new(EpochCtl {
-        window_end: SimTime::ZERO,
+    let ctl = Mutex::new(BatchCtl {
+        t0: SimTime::ZERO,
         done: false,
     });
-    // mailboxes[src][dest]: written only by worker `src`, read only by
-    // worker `dest`, in disjoint phases separated by barriers — the mutexes
+    // mailboxes[src][dest][parity]: written only by worker `src`, drained
+    // only by worker `dest`. The executed-window parity double-buffer is
+    // what lets one barrier per window suffice: the slot drained after
+    // barrier `i` is next written while preparing window `i + 2`, i.e.
+    // after barrier `i + 1`, which the drainer crossed first — the mutexes
     // are never contended.
-    let mailboxes: Vec<Vec<Mutex<Vec<Boundary<S::Event>>>>> = (0..n)
-        .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
+    let mailboxes: Vec<Vec<[Mutex<Vec<Boundary<S::Event>>>; 2]>> = (0..n)
+        .map(|_| {
+            (0..n)
+                .map(|_| [Mutex::new(Vec::new()), Mutex::new(Vec::new())])
+                .collect()
+        })
         .collect();
+    // window_stats[shard][parity], double-buffered for the same reason.
+    let window_stats: Vec<[Mutex<WindowStat>; 2]> = (0..n)
+        .map(|_| {
+            [
+                Mutex::new(WindowStat::default()),
+                Mutex::new(WindowStat::default()),
+            ]
+        })
+        .collect();
+    let out_stats: Mutex<EpochStats> = Mutex::new(EpochStats::default());
 
     std::thread::scope(|scope| {
         for (i, shard) in shards.iter_mut().enumerate() {
@@ -151,55 +386,115 @@ fn run_threaded<S: ShardHandler>(shards: &mut [S], lookahead: SimDuration, deadl
             let times = &times;
             let ctl = &ctl;
             let mailboxes = &mailboxes;
+            let window_stats = &window_stats;
+            let out_stats = &out_stats;
             scope.spawn(move || {
                 // `Barrier` has no poisoning: if this worker unwound, the
                 // other n-1 workers would wait forever for its n-th arrival
                 // and the scope join would hang silently. Turn any panic
                 // into a loud process abort instead.
-                let body = std::panic::AssertUnwindSafe(|| loop {
-                    // Phase 1: publish this shard's next event time.
-                    *times[i].lock().expect("times lock") = shard.next_time();
-                    if barrier.wait().is_leader() {
-                        // Exactly one thread computes the epoch window from
-                        // the published times; which thread it is does not
-                        // matter.
-                        let t0 = times
-                            .iter()
-                            .filter_map(|m| *m.lock().expect("times lock"))
-                            .min();
-                        let mut c = ctl.lock().expect("ctl lock");
-                        match t0 {
-                            Some(t0) if t0 <= deadline => {
-                                c.window_end = t0 + lookahead;
-                                c.done = false;
+                let body = std::panic::AssertUnwindSafe(|| {
+                    let mut sched = BatchSchedule::new(batch);
+                    let mut stats = EpochStats::default();
+                    // Executed-window counter across the whole run; its
+                    // parity selects the mailbox/stat buffers.
+                    let mut executed = 0u64;
+                    loop {
+                        // Election phase 1: publish this shard's next event
+                        // time.
+                        *times[i].lock().expect("times lock") = shard.next_time();
+                        if barrier.wait().is_leader() {
+                            // Exactly one thread computes the batch anchor
+                            // from the published times; which thread it is
+                            // does not matter.
+                            let t0 = times
+                                .iter()
+                                .filter_map(|m| *m.lock().expect("times lock"))
+                                .min();
+                            let mut c = ctl.lock().expect("ctl lock");
+                            match t0 {
+                                Some(t0) if t0 <= deadline => {
+                                    c.t0 = t0;
+                                    c.done = false;
+                                }
+                                _ => c.done = true,
                             }
-                            _ => c.done = true,
                         }
+                        barrier.wait();
+                        stats.barriers += 2;
+                        // Election phase 2: read the leader's decision.
+                        let t0 = {
+                            let c = ctl.lock().expect("ctl lock");
+                            if c.done {
+                                break;
+                            }
+                            c.t0
+                        };
+                        stats.batches += 1;
+                        if sched.width > 1 {
+                            stats.widened += 1;
+                        }
+                        let mut had_traffic = false;
+                        let mut w = 0u32;
+                        while w < sched.width {
+                            let p = (executed & 1) as usize;
+                            executed += 1;
+                            let window_end = t0 + lookahead * u64::from(w + 1);
+                            shard.run_window(window_end, deadline);
+                            let mut sent = 0u64;
+                            for (dest, batch) in shard.take_outboxes().into_iter().enumerate() {
+                                if !batch.is_empty() {
+                                    sent += batch.len() as u64;
+                                    mailboxes[i][dest][p]
+                                        .lock()
+                                        .expect("mailbox lock")
+                                        .extend(batch);
+                                }
+                            }
+                            *window_stats[i][p].lock().expect("stats lock") = WindowStat {
+                                sent,
+                                next: shard.next_time(),
+                            };
+                            barrier.wait();
+                            stats.barriers += 1;
+                            stats.windows += 1;
+                            // Ingest batches in source shard id order.
+                            for row in mailboxes.iter() {
+                                let batch = std::mem::take(
+                                    &mut *row[i][p].lock().expect("mailbox lock"),
+                                );
+                                if !batch.is_empty() {
+                                    shard.deliver(batch);
+                                }
+                            }
+                            // Identical shared observations on every thread
+                            // ⇒ identical fast-forward / end-batch / width
+                            // decisions, keeping the barrier counts aligned.
+                            let mut total_sent = 0u64;
+                            let mut min_next: Option<SimTime> = None;
+                            for s in window_stats.iter() {
+                                let ws = *s[p].lock().expect("stats lock");
+                                total_sent += ws.sent;
+                                min_next = match (min_next, ws.next) {
+                                    (Some(a), Some(b)) => Some(a.min(b)),
+                                    (a, b) => a.or(b),
+                                };
+                            }
+                            stats.boundary_events += total_sent;
+                            had_traffic |= total_sent > 0;
+                            match sched.after_window(
+                                w, total_sent, min_next, t0, lookahead, deadline,
+                            ) {
+                                WindowOutcome::Next => w += 1,
+                                WindowOutcome::SkipTo(idx) => w = idx,
+                                WindowOutcome::EndBatch => break,
+                            }
+                        }
+                        sched.adapt(had_traffic);
                     }
-                    barrier.wait();
-                    // Phase 2: run the window and publish boundary events.
-                    let window_end = {
-                        let c = ctl.lock().expect("ctl lock");
-                        if c.done {
-                            break;
-                        }
-                        c.window_end
-                    };
-                    shard.run_window(window_end, deadline);
-                    for (dest, batch) in shard.take_outboxes().into_iter().enumerate() {
-                        if !batch.is_empty() {
-                            mailboxes[i][dest].lock().expect("mailbox lock").extend(batch);
-                        }
+                    if i == 0 {
+                        *out_stats.lock().expect("stats lock") = stats;
                     }
-                    barrier.wait();
-                    // Phase 3: ingest batches in source shard id order.
-                    for row in mailboxes.iter() {
-                        let batch = std::mem::take(&mut *row[i].lock().expect("mailbox lock"));
-                        if !batch.is_empty() {
-                            shard.deliver(batch);
-                        }
-                    }
-                    barrier.wait();
                 });
                 if std::panic::catch_unwind(body).is_err() {
                     eprintln!(
@@ -211,6 +506,7 @@ fn run_threaded<S: ShardHandler>(shards: &mut [S], lookahead: SimDuration, deadl
             });
         }
     });
+    out_stats.into_inner().expect("stats lock")
 }
 
 #[cfg(test)]
@@ -218,13 +514,16 @@ mod tests {
     use super::*;
     use crate::event::EventQueue;
 
-    /// A toy sharded simulation: `count` tokens bounce between shards. Each
-    /// token processed at time `t` in shard `s` re-schedules itself in shard
-    /// `(s + 1) % n` at `t + HOP`, until `deadline`. Every shard logs
-    /// `(time, token)` in processing order.
+    /// A toy sharded simulation: `count` tokens hop every `hop` ns. With
+    /// `cross` set, a token processed at time `t` in shard `s` re-schedules
+    /// itself in shard `(s + 1) % n` at `t + hop` (all cross-shard traffic);
+    /// without it, tokens stay shard-local (a fully quiescent fabric). Every
+    /// shard logs `(time, token)` in processing order, until `deadline`.
     struct Ring {
         me: usize,
         n: usize,
+        hop: SimDuration,
+        cross: bool,
         queue: EventQueue<u32>,
         outbox: Vec<Vec<Boundary<u32>>>,
         log: Vec<(SimTime, u32)>,
@@ -246,8 +545,8 @@ mod tests {
                 let (now, token) = self.queue.pop().expect("peeked");
                 self.last = now;
                 self.log.push((now, token));
-                let dest = (self.me + 1) % self.n;
-                let at = now + HOP;
+                let dest = if self.cross { (self.me + 1) % self.n } else { self.me };
+                let at = now + self.hop;
                 if dest == self.me {
                     self.queue.push_ranked(at, token, token);
                 } else {
@@ -268,11 +567,13 @@ mod tests {
         }
     }
 
-    fn ring(n: usize, tokens: u32) -> Vec<Ring> {
+    fn ring_full(n: usize, tokens: u32, hop: SimDuration, cross: bool) -> Vec<Ring> {
         let mut shards: Vec<Ring> = (0..n)
             .map(|me| Ring {
                 me,
                 n,
+                hop,
+                cross,
                 queue: EventQueue::new(),
                 outbox: vec![Vec::new(); n],
                 log: Vec::new(),
@@ -286,25 +587,32 @@ mod tests {
         shards
     }
 
+    fn ring(n: usize, tokens: u32) -> Vec<Ring> {
+        ring_full(n, tokens, HOP, true)
+    }
+
     fn merged_log(shards: &[Ring]) -> Vec<(SimTime, u32)> {
-        let mut all: Vec<(SimTime, u32)> = shards.iter().flat_map(|s| s.log.iter().copied()).collect();
+        let mut all: Vec<(SimTime, u32)> =
+            shards.iter().flat_map(|s| s.log.iter().copied()).collect();
         all.sort();
         all
     }
 
     #[test]
-    fn ring_produces_identical_logs_at_any_shard_count_and_mode() {
+    fn ring_produces_identical_logs_at_any_shard_count_mode_and_policy() {
         let deadline = SimTime::from_nanos(1_000);
         let mut reference: Option<Vec<(SimTime, u32)>> = None;
         for n in [1usize, 2, 3, 5] {
             for parallel in [false, true] {
-                let mut shards = ring(n, 4);
-                let end = run_conservative(&mut shards, HOP, deadline, parallel);
-                assert_eq!(end, SimTime::from_nanos(1_000));
-                let log = merged_log(&shards);
-                match &reference {
-                    None => reference = Some(log),
-                    Some(r) => assert_eq!(r, &log, "n={n} parallel={parallel}"),
+                for policy in [BatchPolicy::Off, BatchPolicy::default()] {
+                    let mut shards = ring(n, 4);
+                    let (end, _) = run_conservative(&mut shards, HOP, deadline, parallel, policy);
+                    assert_eq!(end, SimTime::from_nanos(1_000));
+                    let log = merged_log(&shards);
+                    match &reference {
+                        None => reference = Some(log),
+                        Some(r) => assert_eq!(r, &log, "n={n} parallel={parallel} {policy:?}"),
+                    }
                 }
             }
         }
@@ -313,11 +621,77 @@ mod tests {
         assert_eq!(log.len(), 4 * 21);
     }
 
+    /// The sequential driver reports exactly the synchronization schedule
+    /// the threaded driver executes — under both policies, for a
+    /// traffic-heavy ring (width pinned at 1) and for a sparse shard-local
+    /// workload (widening plus fast-forward, exercising the parity buffers
+    /// across skips).
+    #[test]
+    fn epoch_stats_are_identical_sequential_vs_threaded() {
+        for policy in [BatchPolicy::Off, BatchPolicy::default()] {
+            for (hop, cross) in [(HOP, true), (SimDuration::from_nanos(650), false)] {
+                let deadline = SimTime::from_nanos(10_000);
+                let mut seq = ring_full(3, 2, hop, cross);
+                let mut thr = ring_full(3, 2, hop, cross);
+                let (end_a, stats_a) = run_conservative(&mut seq, HOP, deadline, false, policy);
+                let (end_b, stats_b) = run_conservative(&mut thr, HOP, deadline, true, policy);
+                assert_eq!(end_a, end_b, "{policy:?} hop={hop:?} cross={cross}");
+                assert_eq!(stats_a, stats_b, "{policy:?} hop={hop:?} cross={cross}");
+                assert_eq!(
+                    merged_log(&seq),
+                    merged_log(&thr),
+                    "{policy:?} hop={hop:?} cross={cross}"
+                );
+                assert!(stats_a.windows >= stats_a.batches);
+                assert_eq!(
+                    stats_a.barriers,
+                    2 * (stats_a.batches + 1) + stats_a.windows,
+                    "two barriers per election round (plus the terminating \
+                     round) and one per executed window"
+                );
+            }
+        }
+    }
+
+    /// On a quiescent workload — events spaced at many lookaheads, no
+    /// cross-shard traffic — adaptive batching collapses elections and cuts
+    /// the barrier count at least 2× versus `BatchPolicy::Off`, while the
+    /// processed logs stay identical.
+    #[test]
+    fn adaptive_batching_cuts_barriers_at_least_2x_when_quiescent() {
+        // Shard-local hops every 650 ns over a 50 ns lookahead: thirteen
+        // grid windows per event, so wide batches cover many events.
+        let hop = SimDuration::from_nanos(650);
+        let deadline = SimTime::from_nanos(100_000);
+        let run = |policy: BatchPolicy| {
+            let mut shards = ring_full(2, 1, hop, false);
+            let (_, stats) = run_conservative(&mut shards, HOP, deadline, true, policy);
+            (merged_log(&shards), stats)
+        };
+        let (log_off, off) = run(BatchPolicy::Off);
+        let (log_on, on) = run(BatchPolicy::default());
+        assert_eq!(log_off, log_on);
+        assert_eq!(off.widened, 0);
+        assert!(on.widened > 0, "adaptive policy never widened: {on:?}");
+        assert!(
+            off.barriers >= 2 * on.barriers,
+            "expected ≥2× barrier reduction, got off={} on={}",
+            off.barriers,
+            on.barriers
+        );
+    }
+
     #[test]
     fn deadline_cuts_exactly_like_run_until() {
         // Events exactly at the deadline are processed; later ones are not.
         let mut shards = ring(2, 1);
-        let end = run_conservative(&mut shards, HOP, SimTime::from_nanos(100), true);
+        let (end, _) = run_conservative(
+            &mut shards,
+            HOP,
+            SimTime::from_nanos(100),
+            true,
+            BatchPolicy::default(),
+        );
         assert_eq!(end, SimTime::from_nanos(100));
         assert_eq!(merged_log(&shards).len(), 3); // t = 0, 50, 100
     }
@@ -325,14 +699,23 @@ mod tests {
     #[test]
     fn empty_queues_terminate_immediately() {
         let mut shards = ring(3, 0);
-        let end = run_conservative(&mut shards, HOP, SimTime::MAX, true);
+        let (end, stats) =
+            run_conservative(&mut shards, HOP, SimTime::MAX, true, BatchPolicy::default());
         assert_eq!(end, SimTime::ZERO);
+        assert_eq!(stats.batches, 0);
+        assert_eq!(stats.barriers, 2);
     }
 
     #[test]
     #[should_panic(expected = "positive lookahead")]
     fn zero_lookahead_is_rejected() {
         let mut shards = ring(2, 1);
-        run_conservative(&mut shards, SimDuration::ZERO, SimTime::MAX, false);
+        run_conservative(
+            &mut shards,
+            SimDuration::ZERO,
+            SimTime::MAX,
+            false,
+            BatchPolicy::Off,
+        );
     }
 }

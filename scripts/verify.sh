@@ -11,7 +11,11 @@
 #      uninterrupted replay byte-for-byte, and `serve --tail` must complete
 #   6. a quick benchmark run diffed against the committed BENCH.json —
 #      any benchmark whose median regresses more than 25% fails the check
-#      (benchmarks without a committed baseline entry are skipped)
+#      (benchmarks without a committed baseline entry are reported, not
+#      compared)
+#   7. configuration cross-checks: the fifo-rank feature build's quickstart
+#      and a batched 2-shard replay must be byte-identical to their default
+#      serial counterparts
 #
 # Usage: scripts/verify.sh [--workspace]
 #   --workspace  additionally run every crate's unit tests
@@ -59,9 +63,30 @@ if ! diff -u "$serial_out" "$sharded_out"; then
     exit 1
 fi
 
-echo "== trace-tool: sharded replay smoke (--shards 2)"
+echo "== fifo-rank build: quickstart diffed against the default build"
+# The fifo-rank feature drops canonical event ranks on the serial engine;
+# results must stay byte-identical, only per-event work changes.
+fifo_out="$tmpdir/quickstart-fifo.txt"
+cargo run --release -q --features fifo-rank --example quickstart > "$fifo_out"
+if ! diff -u "$serial_out" "$fifo_out"; then
+    echo "verify: FAILED — fifo-rank quickstart output differs from default build" >&2
+    exit 1
+fi
+
+echo "== epoch batching: sharded replay (--shards 2) diffed against serial"
+# Adaptive epoch batching is on by default, so the sharded replay exercises
+# the batched driver; its stdout must match the serial replay byte-for-byte
+# (the epoch counters go to stderr for exactly this reason).
+replay_serial="$tmpdir/replay-serial.txt"
+replay_batched="$tmpdir/replay-batched.txt"
 cargo run --release -q -p bfc-experiments --bin trace-tool -- \
-    replay "$trace_csv" --scheme bfc --shards 2
+    replay "$trace_csv" --scheme bfc > "$replay_serial"
+cargo run --release -q -p bfc-experiments --bin trace-tool -- \
+    replay "$trace_csv" --scheme bfc --shards 2 > "$replay_batched"
+if ! diff -u "$replay_serial" "$replay_batched"; then
+    echo "verify: FAILED — batched sharded replay differs from serial replay" >&2
+    exit 1
+fi
 
 echo "== trace-tool: scenario (fault injection) smoke"
 scenario_txt="$tmpdir/scenario.txt"

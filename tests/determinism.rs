@@ -10,7 +10,8 @@
 //!    4 threads.
 
 use backpressure_flow_control::experiments::{
-    run_experiment, ExperimentConfig, ParallelRunner, ReplayTrace, Scheme,
+    run_experiment, run_experiment_sharded, ExperimentConfig, ParallelRunner, RankMode,
+    ReplayTrace, ScenarioSpec, Scheme,
 };
 use backpressure_flow_control::net::topology::{fat_tree, FatTreeParams};
 use backpressure_flow_control::sim::{EventQueue, ReferenceEventQueue, SimDuration, SimTime};
@@ -152,6 +153,159 @@ fn replayed_csv_traces_are_bit_identical_at_1_2_4_threads() {
             assert_eq!(ground_truth.end_time, replayed[0].end_time);
             assert_eq!(ground_truth.drops, replayed[0].drops);
         }
+    }
+}
+
+/// Field-by-field bit-identity (floats compared by bits) between two runs
+/// of the same config under different engine tunings.
+fn assert_same_result(
+    label: &str,
+    a: &backpressure_flow_control::experiments::ExperimentResult,
+    b: &backpressure_flow_control::experiments::ExperimentResult,
+) {
+    assert_eq!(a.scheme, b.scheme, "{label}: scheme");
+    assert_eq!(a.fct, b.fct, "{label}: FCT summary");
+    assert_eq!(a.records, b.records, "{label}: per-flow records");
+    assert_eq!(
+        a.occupancy.samples(),
+        b.occupancy.samples(),
+        "{label}: occupancy series"
+    );
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(
+        bits(&a.peak_queue_samples),
+        bits(&b.peak_queue_samples),
+        "{label}: peak queue series"
+    );
+    assert_eq!(
+        bits(&a.occupied_queue_samples),
+        bits(&b.occupied_queue_samples),
+        "{label}: occupied queue series"
+    );
+    assert_eq!(
+        a.utilization.to_bits(),
+        b.utilization.to_bits(),
+        "{label}: utilization"
+    );
+    assert_eq!(
+        a.pfc_pause_fraction.to_bits(),
+        b.pfc_pause_fraction.to_bits(),
+        "{label}: PFC pause fraction"
+    );
+    assert_eq!(a.policy_stats, b.policy_stats, "{label}: policy stats");
+    assert_eq!(a.drops, b.drops, "{label}: drops");
+    assert_eq!(a.completed_flows, b.completed_flows, "{label}: completions");
+    assert_eq!(a.total_flows, b.total_flows, "{label}: flow count");
+    assert_eq!(a.end_time, b.end_time, "{label}: end time");
+    assert_eq!(a.recovery, b.recovery, "{label}: recovery metrics");
+}
+
+/// Rank elision: the serial engine run with FIFO event keys (`RankMode::Fifo`,
+/// what the `fifo-rank` feature selects) is bit-identical to the default
+/// ranked run, for every paper-lineup scheme on a synthetic workload, a CSV
+/// replay, and a link-fault scenario. Serial pop order is already total under
+/// FIFO keys, so dropping the canonical rank must not change any result.
+#[test]
+fn fifo_rank_mode_matches_ranked_serial_bit_for_bit() {
+    let topo = fat_tree(FatTreeParams::tiny());
+    let window = SimDuration::from_micros(120);
+    let synthetic = synthesize(
+        &topo.hosts(),
+        &TraceParams::background_only(Workload::Google, 0.5, window, 23),
+    );
+    let params = TraceParams {
+        incast_fan_in: 6,
+        incast_total_bytes: 300_000,
+        ..TraceParams::google_with_incast(window, 31)
+    };
+    let incast = synthesize(&topo.hosts(), &params);
+    let replay = ReplayTrace::from_csv_str(&export_csv(&incast)).expect("round trip");
+    let faults = ScenarioSpec::single_link_down_up(
+        "tor0",
+        "spine0",
+        SimDuration::from_micros(50),
+        SimDuration::from_micros(100),
+    )
+    .resolve(&topo)
+    .expect("tiny topology has tor0/spine0");
+
+    for scheme in Scheme::paper_lineup() {
+        let name = scheme.name();
+        let cases: [(&str, &[TraceFlow], ExperimentConfig); 3] = [
+            (
+                "synthetic",
+                &synthetic,
+                ExperimentConfig::new(scheme.clone(), window),
+            ),
+            ("replay", replay.flows(), ExperimentConfig::new(scheme.clone(), window)),
+            (
+                "faults",
+                &synthetic,
+                ExperimentConfig::new(scheme, window).with_dynamics(faults.clone()),
+            ),
+        ];
+        for (kind, trace, config) in cases {
+            let ranked = run_experiment(&topo, trace, &config.clone());
+            let fifo = run_experiment(
+                &topo,
+                trace,
+                &config.clone().with_rank_mode(RankMode::Fifo),
+            );
+            assert_same_result(&format!("{kind}/{name}: fifo vs ranked"), &ranked, &fifo);
+            // The sharded engine always keeps ranked keys; a FIFO-mode config
+            // must still shard to the same answer.
+            let sharded = run_experiment_sharded(
+                &topo,
+                trace,
+                &config.clone().with_rank_mode(RankMode::Fifo),
+                2,
+            );
+            assert_same_result(&format!("{kind}/{name}: fifo vs sharded"), &ranked, &sharded);
+        }
+    }
+}
+
+/// Adaptive epoch batching is scheduling-only: with it on or off, the
+/// sharded engine at 2 and 4 shards reproduces the serial result bit for
+/// bit and exchanges exactly the same boundary events — while on a
+/// quiescent workload (a trickle of flows between 10 µs sample ticks) the
+/// batched driver crosses at most half the barriers.
+#[test]
+fn epoch_batching_is_bit_identical_and_cuts_barriers_when_quiescent() {
+    let topo = fat_tree(FatTreeParams::tiny());
+    let window = SimDuration::from_micros(2_000);
+    let trace = synthesize(
+        &topo.hosts(),
+        &TraceParams::background_only(Workload::Google, 0.005, window, 53),
+    );
+    let config = ExperimentConfig::new(Scheme::bfc(), window);
+    let serial = run_experiment(&topo, &trace, &config);
+    for shards in [2usize, 4] {
+        let on = run_experiment_sharded(
+            &topo,
+            &trace,
+            &config.clone().with_epoch_batching(true),
+            shards,
+        );
+        let off = run_experiment_sharded(
+            &topo,
+            &trace,
+            &config.clone().with_epoch_batching(false),
+            shards,
+        );
+        assert_same_result(&format!("{shards} shards, batching on"), &serial, &on);
+        assert_same_result(&format!("{shards} shards, batching off"), &serial, &off);
+        assert_eq!(
+            on.epochs.boundary_events, off.epochs.boundary_events,
+            "{shards} shards: same cross-shard events either way"
+        );
+        assert!(on.epochs.widened > 0, "{shards} shards: never widened");
+        assert!(
+            off.epochs.barriers >= 2 * on.epochs.barriers,
+            "{shards} shards: expected ≥2× fewer barriers, got off={} on={}",
+            off.epochs.barriers,
+            on.epochs.barriers
+        );
     }
 }
 

@@ -148,6 +148,21 @@ fn paper_lineup_resumes_bit_identically_under_faults() {
     }
 }
 
+/// Epoch batching × checkpoint/restore: with the sharded engine's adaptive
+/// batching forced on or forced off, a mid-run cut still resumes
+/// bit-identically at 1, 2 and 4 shards — and both modes land on the same
+/// uninterrupted serial result. Batching only reschedules barriers; it must
+/// never move an event or change what a snapshot captures.
+#[test]
+fn batched_epoch_runs_snapshot_resume_bit_identically_in_both_modes() {
+    let topo = fat_tree(FatTreeParams::tiny());
+    let trace = synthetic_trace(&topo, 47);
+    for batching in [true, false] {
+        let config = ExperimentConfig::new(Scheme::bfc(), WINDOW).with_epoch_batching(batching);
+        compare_resume(&format!("batching={batching}/BFC"), &topo, &trace, &config);
+    }
+}
+
 /// The cut can land anywhere: before the first event, at several points in
 /// the middle, and after the last event, serially and sharded.
 #[test]
