@@ -17,6 +17,11 @@
 //! a chosen instant, `resume` continues it to completion (bit-identical to
 //! the uninterrupted replay), and `serve` feeds a live simulation from a
 //! tailed CSV file or a TCP socket under an inflight cap.
+//!
+//! Adversarial mode: `scenario` runs a fault-injection file and reports
+//! recovery and safety metrics; `fuzz` searches for the (workload, fault
+//! schedule) a scheme handles worst and shrinks it to a minimal reproducer
+//! (see `bfc_experiments::fuzz`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -26,7 +31,7 @@ use bfc_experiments::{
     resume_experiment, serve_experiment, snapshot_experiment, ExperimentConfig, ExperimentResult,
     ParallelRunner, ReplayTrace, ScenarioSpec, Scheme,
 };
-use bfc_net::topology::{fat_tree, FatTreeParams, Topology};
+use bfc_net::topology::Topology;
 use bfc_sim::{SimDuration, SimTime};
 use bfc_workloads::ingest::{CsvTail, IngestSource, SocketIngest};
 use bfc_workloads::io::{read_csv_file, write_csv_file, TraceStats};
@@ -108,7 +113,23 @@ commands:
     --seed <n>              experiment seed [1]
     --drain-x <n>           drain window as a multiple of the horizon [4]
     --shards <n>            split each run across n engine shards
-                            (bit-identical results; same as BFC_SHARDS=n)";
+                            (bit-identical results; same as BFC_SHARDS=n)
+
+  fuzz --out <path>       search for the (workload, fault schedule) a scheme
+                          handles worst, shrink the offender to a minimal
+                          reproducer and write it as a scenario-style text
+                          file that `fuzz --replay` (or the committed
+                          regression tests) re-runs bit-identically.
+                          Deterministic: same options, same bytes out.
+    --seed <n>              search seed [1]
+    --budget <n>            random cases to evaluate [24]
+    --shrink-evals <n>      extra evaluations the shrinker may spend [24]
+    --objective p99|p999|dip|recovery|safety   what to maximize [p99]
+    --scheme ...            a single scheme (as replay, but not lineup) [bfc]
+    --topo tiny|t1|t2       restrict the search to one topology, or a
+                            comma list like tiny,t1 (smallest first) [tiny]
+    --shards <n>            evaluate on n engine shards (same results)
+    --replay                after writing, re-read the file and replay it";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("trace-tool: {msg}\n\n{USAGE}");
@@ -116,13 +137,7 @@ fn fail(msg: &str) -> ExitCode {
 }
 
 fn parse_topology(name: &str) -> Option<Topology> {
-    let params = match name {
-        "tiny" => FatTreeParams::tiny(),
-        "t1" => FatTreeParams::t1(),
-        "t2" => FatTreeParams::t2(),
-        _ => return None,
-    };
-    Some(fat_tree(params))
+    bfc_experiments::fuzz::topology_by_name(name)
 }
 
 fn parse_workload(name: &str) -> Option<Workload> {
@@ -135,17 +150,10 @@ fn parse_workload(name: &str) -> Option<Workload> {
 }
 
 fn parse_schemes(name: &str) -> Option<Vec<Scheme>> {
-    Some(match name {
-        "bfc" => vec![Scheme::bfc()],
-        "bfc-vfid" => vec![Scheme::bfc_vfid()],
-        "ideal-fq" => vec![Scheme::IdealFq],
-        "dcqcn" => vec![Scheme::Dcqcn { window: false, sfq: false }],
-        "dcqcn-win" => vec![Scheme::Dcqcn { window: true, sfq: false }],
-        "dcqcn-win-sfq" => vec![Scheme::Dcqcn { window: true, sfq: true }],
-        "hpcc" => vec![Scheme::Hpcc],
-        "lineup" | "all" => Scheme::paper_lineup(),
-        _ => return None,
-    })
+    match name {
+        "lineup" | "all" => Some(Scheme::paper_lineup()),
+        key => Scheme::from_cli_key(key).map(|s| vec![s]),
+    }
 }
 
 /// `--flag value` option walker shared by the three subcommands: returns the
@@ -722,7 +730,131 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
     for r in &results {
         print!("{}", failure_sweep::result_row(&label, r));
     }
+    println!();
+    for r in &results {
+        println!("{}", safety_line(r));
+    }
     println!("\n(FCT slowdown p99 over non-incast flows; ttr = goodput recovery after the last fault)");
+    Ok(())
+}
+
+/// One per-scheme line from the safety detectors: pause-storm counters,
+/// wait-for-graph cycles, confirmed PFC deadlocks and livelock. Violations
+/// are marked loudly so scripts can grep for them.
+fn safety_line(r: &ExperimentResult) -> String {
+    let s = &r.safety;
+    let mut line = format!(
+        "safety[{}]: pause-frames {} max-depth {} max-window {} cycles {} deadlocks {} livelock {}",
+        r.scheme,
+        s.pause_frames,
+        s.max_pause_depth,
+        s.max_link_window_frames,
+        s.cycles_formed,
+        s.deadlocks,
+        if s.livelock { "yes" } else { "no" },
+    );
+    if let Some(at) = s.first_deadlock_at {
+        line.push_str(&format!(" first-deadlock {at}"));
+    }
+    if s.violations() > 0 {
+        line.push_str(" VIOLATION");
+    }
+    line
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+    // `--replay` is valueless; pull it out before the `--flag value` walker.
+    let mut replay = false;
+    let args: Vec<String> = args
+        .iter()
+        .filter(|a| {
+            let is_replay = a.as_str() == "--replay";
+            replay |= is_replay;
+            !is_replay
+        })
+        .cloned()
+        .collect();
+
+    let mut cfg = bfc_experiments::FuzzConfig::new();
+    let mut out: Option<PathBuf> = None;
+    let positional = walk_options(&args, |flag, value| {
+        match flag {
+            "out" => out = Some(PathBuf::from(value)),
+            "seed" => cfg.seed = parse_num(flag, value)?,
+            "budget" => {
+                cfg.budget = parse_num(flag, value)?;
+                if cfg.budget == 0 {
+                    return Err("--budget must be at least 1".into());
+                }
+            }
+            "shrink-evals" => cfg.shrink_evals = parse_num(flag, value)?,
+            "objective" => {
+                cfg.objective = bfc_experiments::fuzz::Objective::from_cli_key(value)
+                    .ok_or_else(|| format!("--objective: unknown objective {value}"))?;
+            }
+            "scheme" => {
+                let schemes = parse_schemes(value)
+                    .ok_or_else(|| format!("--scheme: unknown scheme {value}"))?;
+                let [scheme] = schemes.as_slice() else {
+                    return Err("fuzz: --scheme requires a single scheme, not a lineup".into());
+                };
+                cfg.scheme = scheme.clone();
+            }
+            "topo" => {
+                cfg.topos = value.split(',').map(str::to_string).collect();
+                for name in &cfg.topos {
+                    if parse_topology(name).is_none() {
+                        return Err(format!("--topo: unknown topology {name}"));
+                    }
+                }
+            }
+            "shards" => set_shards(flag, value)?,
+            _ => return Err(format!("fuzz: unknown option --{flag}")),
+        }
+        Ok(())
+    })?;
+    if !positional.is_empty() {
+        return Err(format!("fuzz: unexpected argument {}", positional[0]));
+    }
+    let out = out.ok_or("fuzz: --out <path> is required")?;
+
+    let outcome = bfc_experiments::fuzz::fuzz(&cfg)?;
+    let text = format!(
+        "# worst case found by `trace-tool fuzz` (seed {}, budget {}, objective {}, \
+         score {:.4}, pre-shrink {:.4})\n{}",
+        cfg.seed,
+        cfg.budget,
+        cfg.objective.cli_key(),
+        outcome.score,
+        outcome.original_score,
+        outcome.reproducer,
+    );
+    std::fs::write(&out, &text).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "fuzzed scheme {} for objective `{}`: {} evaluations, {} shrink step{}, \
+         score {:.4} (pre-shrink {:.4})\nwrote reproducer to {}",
+        cfg.scheme.name(),
+        cfg.objective.cli_key(),
+        outcome.evals,
+        outcome.shrink_steps,
+        if outcome.shrink_steps == 1 { "" } else { "s" },
+        outcome.score,
+        outcome.original_score,
+        out.display(),
+    );
+
+    if replay {
+        // Prove the artifact (not the in-memory case) is what replays: read
+        // the file back, parse it, and run it.
+        let text = std::fs::read_to_string(&out)
+            .map_err(|e| format!("reading {}: {e}", out.display()))?;
+        let repro = bfc_experiments::Reproducer::parse(&text)
+            .map_err(|e| format!("{}: {e}", out.display()))?;
+        let result = repro.replay_auto()?;
+        println!("\nreplayed from {}:\n", out.display());
+        print_results_table(std::slice::from_ref(&result));
+        println!("{}", safety_line(&result));
+    }
     Ok(())
 }
 
@@ -739,6 +871,7 @@ fn main() -> ExitCode {
         "resume" => cmd_resume(rest),
         "serve" => cmd_serve(rest),
         "scenario" => cmd_scenario(rest),
+        "fuzz" => cmd_fuzz(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())

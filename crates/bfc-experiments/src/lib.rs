@@ -27,6 +27,10 @@
 //!   or a small text format) and resolved into executable fault schedules
 //!   that thread through `run_experiment` / `ParallelRunner` / `ReplayTrace`
 //!   via `ExperimentConfig::dynamics`.
+//! * [`fuzz`] — the adversarial scenario fuzzer: a seeded random search over
+//!   (topology, workload, fault schedule) scored by tail latency, goodput
+//!   dip, recovery time or safety violations, with greedy shrinking to
+//!   minimal text reproducers (`trace-tool fuzz` is its CLI front end).
 //! * [`service`] — service mode: deterministic snapshot/restore of complete
 //!   runs ([`service::snapshot_experiment`] / [`service::resume_experiment`],
 //!   bit-identical resumes for both engines) and streaming ingest under an
@@ -43,6 +47,7 @@
 //! over — are preserved. See `EXPERIMENTS.md` at the repository root.
 
 pub mod figures;
+pub mod fuzz;
 pub mod parallel;
 pub mod replay;
 pub mod runner;
@@ -51,6 +56,7 @@ pub mod scheme;
 pub mod service;
 pub mod sharded;
 
+pub use fuzz::{FuzzConfig, FuzzOutcome, Objective, Reproducer};
 pub use parallel::ParallelRunner;
 pub use replay::{ReplayError, ReplayTrace};
 pub use bfc_sim::shard::{BatchPolicy, EpochStats};

@@ -7,11 +7,12 @@
 
 use bfc_metrics::fct::{FctRecord, FctSummary};
 use bfc_metrics::recovery::{RecoveryMetrics, RecoveryTracker};
+use bfc_metrics::safety::{SafetyConfig, SafetyReport, SafetyTracker};
 use bfc_metrics::series::{OccupancySeries, UtilizationTracker};
 use bfc_net::config::SwitchConfig;
 use bfc_net::dynamics::{FaultEvent, FaultSchedule, LinkAction, LinkStateMap};
 use bfc_net::event::{FifoSink, NetEvent, NetSink};
-use bfc_net::packet::vfid_for_flow;
+use bfc_net::packet::{vfid_for_flow, PacketKind};
 use bfc_net::policy::PolicyStats;
 use bfc_net::routing::RoutingTables;
 use bfc_net::switch::Switch;
@@ -97,6 +98,10 @@ pub struct ExperimentConfig {
     /// bit-identical; batching only collapses barrier crossings in
     /// cross-shard-quiescent stretches of the run.
     pub epoch_batching: bool,
+    /// Thresholds for the safety detectors (PFC deadlock hold, livelock
+    /// horizon, pause-storm window). Analysis-only — judging the run's
+    /// observations differently never changes the run itself.
+    pub safety: SafetyConfig,
 }
 
 impl ExperimentConfig {
@@ -114,6 +119,7 @@ impl ExperimentConfig {
             dynamics: FaultSchedule::default(),
             rank_mode: RankMode::default(),
             epoch_batching: true,
+            safety: SafetyConfig::default(),
         }
     }
 
@@ -150,6 +156,12 @@ impl ExperimentConfig {
     /// Enables or disables adaptive epoch batching in the sharded engine.
     pub fn with_epoch_batching(mut self, on: bool) -> Self {
         self.epoch_batching = on;
+        self
+    }
+
+    /// Overrides the safety-detector thresholds.
+    pub fn with_safety(mut self, safety: SafetyConfig) -> Self {
+        self.safety = safety;
         self
     }
 
@@ -196,6 +208,8 @@ pub struct ExperimentResult {
     pub end_time: SimTime,
     /// Fault-recovery metrics (all zero / `None` for a run without dynamics).
     pub recovery: RecoveryMetrics,
+    /// Safety analysis: PFC deadlocks, pause-storm metrics, livelock.
+    pub safety: SafetyReport,
     /// Epoch-driver counters (all zero for a serial run): batches, windows,
     /// barriers, widened batches and boundary events. Observability only —
     /// never part of any bit-identity comparison, since a resumed run only
@@ -251,6 +265,11 @@ pub(crate) struct FabricSim<'a> {
     pub(crate) sample_until: SimTime,
     pub(crate) completed: usize,
     pub(crate) recovery: RecoveryTracker,
+    /// Safety observations (PFC wait-for edges, unconditional goodput
+    /// ticks). Each sim records pause edges only for nodes it owns, so the
+    /// per-edge log order is the engine's deterministic processing order and
+    /// shard merges reproduce the serial log exactly.
+    pub(crate) safety: SafetyTracker,
     /// Whether this sim records the schedule-derived recovery metrics
     /// (fault instants, reroute count). Every shard applies dynamics to its
     /// own link-state/routing replica, but only one may *count* them, or the
@@ -282,13 +301,16 @@ impl FabricSim<'_> {
             self.peak_queue_samples.push(max_queue as f64);
             self.occupied_queue_samples.push(max_occupied as f64);
         }
+        let delivered: u64 = self
+            .hosts
+            .iter()
+            .flatten()
+            .map(|h| h.counters().rx_data_bytes)
+            .sum();
+        // The livelock detector needs goodput on every run; the recovery
+        // tracker keeps its historical dynamics-only gating.
+        self.safety.record_goodput(now, delivered);
         if !self.dynamics.is_empty() {
-            let delivered: u64 = self
-                .hosts
-                .iter()
-                .flatten()
-                .map(|h| h.counters().rx_data_bytes)
-                .sum();
             self.recovery.record_goodput(now, delivered);
         }
     }
@@ -373,6 +395,12 @@ impl FabricSim<'_> {
                         self.recovery.add_blackholed(1);
                     }
                     return;
+                }
+                // A delivered PFC frame from `packet.src` pauses/resumes
+                // this node's egress toward it: a wait-for edge
+                // `node → packet.src` for the deadlock detector.
+                if let PacketKind::PfcPause { pause } = &packet.kind {
+                    self.safety.record_pause(now, node, packet.src, *pause);
                 }
                 let routes = &self.routes;
                 if let Some(sw) = self.switches[node.index()].as_mut() {
@@ -645,6 +673,7 @@ pub(crate) fn build_sim<'a>(
         sample_until,
         completed: 0,
         recovery: RecoveryTracker::new(),
+        safety: SafetyTracker::new(),
         record_dynamics_metrics,
         fifo_rank: config.rank_mode.is_fifo(),
     }
@@ -727,6 +756,14 @@ pub(crate) fn assemble_result(
         .map(|s| std::mem::take(&mut s.recovery))
         .collect();
 
+    // Safety observations merge the same way: pause edges are recorded by
+    // the owning sim only, goodput ticks sum per instant, and the replay in
+    // `finish` sorts canonically — bit-identical at any shard count.
+    let safety_parts: Vec<SafetyTracker> = sims
+        .iter_mut()
+        .map(|s| std::mem::take(&mut s.safety))
+        .collect();
+
     // Sampled series. Each sim records one occupancy value per owned switch
     // per tick (in node order) and one peak/occupied maximum per tick;
     // interleaving by switch owner / taking elementwise maxima reconstructs
@@ -773,6 +810,11 @@ pub(crate) fn assemble_result(
     let mut recovery_tracker = RecoveryTracker::merge(recovery_parts);
     recovery_tracker.add_blackholed(switch_blackholed);
     let recovery = recovery_tracker.finish();
+    let safety = SafetyTracker::merge(safety_parts).finish(
+        &config.safety,
+        end_time,
+        trace.len() - completed,
+    );
 
     ExperimentResult {
         scheme: config.scheme.name(),
@@ -789,6 +831,7 @@ pub(crate) fn assemble_result(
         total_flows: trace.len(),
         end_time,
         recovery,
+        safety,
         epochs: EpochStats::default(),
     }
 }

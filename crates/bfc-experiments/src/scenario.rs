@@ -14,10 +14,20 @@
 //! flap tor0 spine1 from 80us every 40us until 280us
 //! ```
 //!
-//! Times are `<integer><unit>` with unit `ns`, `us`, `ms` or `s`. A `flap`
-//! expands to alternating `down`/`up` events every period, starting down at
-//! `from`; if the expansion would leave the link down at `until`, a final
-//! `up` is appended there, so a flapped link always ends the scenario up.
+//! Times are `<integer><unit>` with unit `ps`, `ns`, `us`, `ms` or `s`. A
+//! `flap` expands to alternating `down`/`up` events every period, starting
+//! down at `from`; a toggle landing exactly on `until` is excluded (the
+//! window is half-open), and if the expansion would leave the link down at
+//! `until`, a final `up` is appended there, so a flapped link always ends
+//! the scenario up. Steps at identical timestamps are applied in spec order
+//! ([`FaultSchedule`] sorts stably).
+//!
+//! The format also round-trips: [`ScenarioSpec`] implements [`Display`],
+//! emitting one `at` directive per (expanded) step using the largest time
+//! unit that is exact, so `parse(spec.to_string())` reconstructs the same
+//! spec. This is what the fuzzer uses to serialize shrunk reproducers.
+//!
+//! [`Display`]: fmt::Display
 //!
 //! Canonical shapes used by the failure-sweep figure and the tier-1 tests
 //! are provided as constructors: [`ScenarioSpec::single_link_down_up`],
@@ -107,7 +117,7 @@ impl fmt::Display for ScenarioError {
             ),
             ScenarioErrorKind::BadTime { value } => write!(
                 f,
-                "bad time `{value}`: expected <integer><ns|us|ms|s>"
+                "bad time `{value}`: expected <integer><ps|ns|us|ms|s>"
             ),
             ScenarioErrorKind::BadRate { value } => {
                 write!(f, "bad rate `{value}`: expected a positive Gbps number")
@@ -125,9 +135,9 @@ impl fmt::Display for ScenarioError {
 
 impl std::error::Error for ScenarioError {}
 
-/// Parses `<integer><ns|us|ms|s>` into a duration. All arithmetic is checked
-/// against the picosecond clock domain, so absurd values are a parse error,
-/// never an overflow.
+/// Parses `<integer><ps|ns|us|ms|s>` into a duration. All arithmetic is
+/// checked against the picosecond clock domain, so absurd values are a parse
+/// error, never an overflow.
 fn parse_time(text: &str) -> Option<SimDuration> {
     let split = text.find(|c: char| !c.is_ascii_digit())?;
     let (digits, unit) = text.split_at(split);
@@ -136,6 +146,7 @@ fn parse_time(text: &str) -> Option<SimDuration> {
     }
     let value: u64 = digits.parse().ok()?;
     let ps_per_unit: u64 = match unit {
+        "ps" => 1,
         "ns" => 1_000,
         "us" => 1_000_000,
         "ms" => 1_000_000_000,
@@ -143,6 +154,45 @@ fn parse_time(text: &str) -> Option<SimDuration> {
         _ => return None,
     };
     Some(SimDuration::from_picos(value.checked_mul(ps_per_unit)?))
+}
+
+/// Formats a duration as `<integer><unit>` with the largest unit that is
+/// exact, the inverse of [`parse_time`]. The `ps` unit makes every
+/// representable duration serializable, so `Display` → `parse` is lossless.
+fn format_time(d: SimDuration) -> String {
+    let ps = d.as_picos();
+    let (per, unit) = [
+        (1_000_000_000_000u64, "s"),
+        (1_000_000_000, "ms"),
+        (1_000_000, "us"),
+        (1_000, "ns"),
+        (1, "ps"),
+    ]
+    .into_iter()
+    .find(|(per, _)| ps % per == 0)
+    .expect("everything divides by 1ps");
+    format!("{}{unit}", ps / per)
+}
+
+/// Serializes back to the text format: one `at` directive per (expanded)
+/// step, in spec order. Flaps were expanded at build time, so they reappear
+/// as their constituent `down`/`up` steps; parsing the output reconstructs
+/// an equal [`ScenarioSpec`]. Rates round-trip exactly (Rust's shortest
+/// float repr re-parses to the same bits).
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in &self.steps {
+            let at = format_time(step.at);
+            match step.action {
+                StepAction::Down => writeln!(f, "at {at} down {} {}", step.a, step.b)?,
+                StepAction::Up => writeln!(f, "at {at} up {} {}", step.a, step.b)?,
+                StepAction::Rate(gbps) => {
+                    writeln!(f, "at {at} rate {} {} {gbps}", step.a, step.b)?
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl ScenarioSpec {
@@ -480,6 +530,85 @@ flap tor0 spine1 from 80us every 40us until 200us
         let spec = ScenarioSpec::flapping_link("a", "b", us(80), us(40), us(170));
         let last = spec.steps.last().expect("non-empty");
         assert_eq!((last.at, last.action), (us(170), StepAction::Up));
+    }
+
+    #[test]
+    fn display_round_trips_losslessly() {
+        // Mix of units, a non-integral-unit time (odd picoseconds), a float
+        // rate that needs shortest-repr printing, and a flap.
+        let spec = ScenarioSpec::new()
+            .down(SimDuration::from_picos(1_234_567), "tor0", "spine0")
+            .rate(us(150), "tor1", "spine1", 12.625)
+            .rate(us(151), "tor1", "spine1", 0.1)
+            .up(SimDuration::from_nanos(300), "tor0", "spine0")
+            .flap("tor0", "spine1", us(80), us(40), us(200));
+        let text = spec.to_string();
+        let reparsed = ScenarioSpec::parse(&text).expect("display output parses");
+        assert_eq!(spec, reparsed);
+        // The largest exact unit is chosen per step.
+        assert!(text.contains("at 1234567ps down"), "{text}");
+        assert!(text.contains("at 150us rate tor1 spine1 12.625"), "{text}");
+        assert!(text.contains("at 300ns up"), "{text}");
+    }
+
+    #[test]
+    fn flap_toggle_on_until_is_excluded() {
+        // 80 + 2*40 = 160 lands exactly on `until`: the window is half-open,
+        // so the toggle at 160 is *not* emitted and no repair is needed
+        // (expansion already ends up).
+        let spec = ScenarioSpec::flapping_link("a", "b", us(80), us(40), us(160));
+        let times: Vec<SimDuration> = spec.steps.iter().map(|s| s.at).collect();
+        assert_eq!(times, vec![us(80), us(120)]);
+        let actions: Vec<StepAction> = spec.steps.iter().map(|s| s.action).collect();
+        assert_eq!(actions, vec![StepAction::Down, StepAction::Up]);
+        // One period exactly: a single down, repaired at `until`.
+        let spec = ScenarioSpec::flapping_link("a", "b", us(80), us(40), us(120));
+        let steps: Vec<(SimDuration, StepAction)> =
+            spec.steps.iter().map(|s| (s.at, s.action)).collect();
+        assert_eq!(
+            steps,
+            vec![(us(80), StepAction::Down), (us(120), StepAction::Up)]
+        );
+        // Both survive the serializer round trip.
+        assert_eq!(ScenarioSpec::parse(&spec.to_string()).unwrap(), spec);
+    }
+
+    #[test]
+    fn identical_timestamps_keep_spec_order() {
+        // Two actions on the same cable at the same instant: the stable sort
+        // in `FaultSchedule::new` must keep spec order, so the later `up`
+        // wins and the link ends the scenario alive.
+        let topo = fat_tree(FatTreeParams::tiny());
+        let spec = ScenarioSpec::new()
+            .down(us(50), "tor0", "spine0")
+            .up(us(50), "tor0", "spine0");
+        let schedule = spec.resolve(&topo).expect("resolves");
+        let kinds: Vec<bool> = schedule
+            .events()
+            .iter()
+            .map(|e| matches!(e.action, LinkAction::Down { .. }))
+            .collect();
+        assert_eq!(kinds, vec![true, false], "down first, then up");
+        // Reversed spec order reverses the outcome — and the serializer
+        // preserves it, because Display emits steps in spec order.
+        let spec = ScenarioSpec::new()
+            .up(us(50), "tor0", "spine0")
+            .down(us(50), "tor0", "spine0");
+        let reparsed = ScenarioSpec::parse(&spec.to_string()).expect("parses");
+        assert_eq!(reparsed, spec);
+        let schedule = reparsed.resolve(&topo).expect("resolves");
+        let kinds: Vec<bool> = schedule
+            .events()
+            .iter()
+            .map(|e| matches!(e.action, LinkAction::Down { .. }))
+            .collect();
+        assert_eq!(kinds, vec![false, true], "up first, then down");
+    }
+
+    #[test]
+    fn picosecond_times_parse() {
+        let spec = ScenarioSpec::parse("at 1500ps down tor0 spine0\n").expect("ps unit");
+        assert_eq!(spec.steps[0].at, SimDuration::from_picos(1500));
     }
 
     #[test]

@@ -93,6 +93,38 @@ impl Scheme {
         ]
     }
 
+    /// The stable machine-readable key used on command lines and in fuzz
+    /// reproducer files. Round-trips through [`Scheme::from_cli_key`] for
+    /// every scheme a key exists for (the BFC ablation configs other than
+    /// `bfc` / `bfc-vfid` map onto the plain `bfc` key).
+    pub fn cli_key(&self) -> &'static str {
+        match self {
+            Scheme::Bfc(cfg) if !cfg.dynamic_assignment => "bfc-vfid",
+            Scheme::Bfc(_) => "bfc",
+            Scheme::Dcqcn { window: false, .. } => "dcqcn",
+            Scheme::Dcqcn { window: true, sfq: false } => "dcqcn-win",
+            Scheme::Dcqcn { window: true, sfq: true } => "dcqcn-win-sfq",
+            Scheme::Hpcc => "hpcc",
+            Scheme::IdealFq => "ideal-fq",
+            Scheme::SfqInfBuffer => "sfq-inf",
+        }
+    }
+
+    /// Parses a [`Scheme::cli_key`] back into a scheme.
+    pub fn from_cli_key(key: &str) -> Option<Scheme> {
+        Some(match key {
+            "bfc" => Scheme::bfc(),
+            "bfc-vfid" => Scheme::bfc_vfid(),
+            "ideal-fq" => Scheme::IdealFq,
+            "dcqcn" => Scheme::Dcqcn { window: false, sfq: false },
+            "dcqcn-win" => Scheme::Dcqcn { window: true, sfq: false },
+            "dcqcn-win-sfq" => Scheme::Dcqcn { window: true, sfq: true },
+            "hpcc" => Scheme::Hpcc,
+            "sfq-inf" => Scheme::SfqInfBuffer,
+            _ => return None,
+        })
+    }
+
     /// Whether the scheme relies on PFC as a backstop.
     pub fn uses_pfc(&self) -> bool {
         !matches!(self, Scheme::IdealFq | Scheme::SfqInfBuffer)
@@ -193,6 +225,17 @@ mod tests {
             "BFC-HighPriorityQ"
         );
         assert_eq!(Scheme::SfqInfBuffer.name(), "SFQ+InfBuffer");
+    }
+
+    #[test]
+    fn cli_keys_round_trip() {
+        for scheme in Scheme::paper_lineup()
+            .into_iter()
+            .chain([Scheme::bfc_vfid(), Scheme::SfqInfBuffer])
+        {
+            assert_eq!(Scheme::from_cli_key(scheme.cli_key()), Some(scheme.clone()));
+        }
+        assert_eq!(Scheme::from_cli_key("no-such-scheme"), None);
     }
 
     #[test]

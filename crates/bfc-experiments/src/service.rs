@@ -6,7 +6,8 @@
 //! serializes the complete simulation state — calendar queues, switches
 //! (PhysQueues, shared buffers, pause state, policy state and RNG streams),
 //! hosts (sender/receiver flow tables and congestion-control state), link
-//! state, metrics collectors and the recovery tracker — into a versioned,
+//! state, metrics collectors and the recovery and safety trackers — into a
+//! versioned,
 //! length-prefixed, checksummed, std-only binary blob
 //! ([`bfc_sim::snapshot`]). [`resume_experiment`] rebuilds the run from the
 //! same inputs, overlays the saved state and runs to completion.
@@ -65,7 +66,7 @@ pub const SNAPSHOT_MAGIC: &[u8; 8] = b"BFCSNAP\0";
 /// Current snapshot payload format version. Bump on any layout change; old
 /// versions are rejected with [`SnapError::BadVersion`] rather than
 /// misinterpreted.
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Hashes every run input the snapshot does *not* serialize — topology
 /// shape, trace, configuration and shard count — so a resume against
@@ -139,6 +140,7 @@ fn save_sim(sim: &FabricSim<'_>, w: &mut SnapWriter) {
     }
     w.put_usize(sim.completed);
     sim.recovery.save_state(w);
+    sim.safety.save_state(w);
 }
 
 /// Overlays saved mutable state onto a freshly built sim. The sim must have
@@ -196,6 +198,7 @@ fn restore_sim(
         return Err(SnapError::Corrupt("completed count exceeds flow count"));
     }
     sim.recovery = bfc_metrics::RecoveryTracker::restore_state(r)?;
+    sim.safety = bfc_metrics::SafetyTracker::restore_state(r)?;
     // Routing tables are derived state: recompute them from the restored
     // link-state instead of serializing O(nodes^2) next-hop tables.
     sim.routes = if sim.link_state.all_up() {

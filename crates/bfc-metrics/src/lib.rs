@@ -13,13 +13,18 @@
 //!   pause-time accounting.
 //! * [`recovery`] — fault-recovery metrics for runs with network dynamics:
 //!   blackholed packets, reroute count, time-to-recover, goodput dip depth.
+//! * [`safety`] — the safety detectors the PFC/BFC community cares about:
+//!   circular buffer-dependency (PFC deadlock) detection over the pause
+//!   wait-for graph, pause-storm metrics, and livelock detection.
 
 pub mod fct;
 pub mod recovery;
+pub mod safety;
 pub mod series;
 pub mod stats;
 
 pub use fct::{FctRecord, FctSummary, SizeBucket};
 pub use recovery::{RecoveryMetrics, RecoveryTracker};
+pub use safety::{SafetyConfig, SafetyReport, SafetyTracker};
 pub use series::{OccupancySeries, UtilizationTracker};
 pub use stats::{build_cdf, mean, percentile};

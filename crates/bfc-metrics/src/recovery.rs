@@ -179,7 +179,31 @@ impl RecoveryTracker {
         })
     }
 
+    /// The pre-fault baseline: mean per-sample goodput over the samples
+    /// strictly before `first`. Returns `None` when no such sample exists
+    /// (fault at t=0, or before the first sample window closed) or when the
+    /// mean is zero — both would otherwise divide by zero downstream and
+    /// poison `goodput_dip_depth` with NaN/inf and `time_to_recover` with a
+    /// threshold every idle sample trivially meets.
+    fn baseline(&self, first: SimTime) -> Option<f64> {
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for &(t, d) in &self.samples {
+            if t < first {
+                sum += d;
+                count += 1;
+            }
+        }
+        let baseline = (count > 0).then(|| sum as f64 / count as f64)?;
+        (baseline > 0.0).then_some(baseline)
+    }
+
     /// Distills the recorded run into its [`RecoveryMetrics`].
+    ///
+    /// When no pre-fault baseline exists (see [`RecoveryTracker::baseline`]),
+    /// `time_to_recover` is explicitly `None` and `goodput_dip_depth`
+    /// explicitly `0.0` — "unmeasurable", never NaN and never a bogus
+    /// instant-recovery reading.
     pub fn finish(&self) -> RecoveryMetrics {
         let mut metrics = RecoveryMetrics {
             blackholed_packets: self.blackholed,
@@ -192,19 +216,9 @@ impl RecoveryTracker {
         else {
             return metrics;
         };
-        let pre_fault: Vec<u64> = self
-            .samples
-            .iter()
-            .filter(|(t, _)| *t < first)
-            .map(|(_, d)| *d)
-            .collect();
-        if pre_fault.is_empty() {
+        let Some(baseline) = self.baseline(first) else {
             return metrics;
-        }
-        let baseline = pre_fault.iter().sum::<u64>() as f64 / pre_fault.len() as f64;
-        if baseline <= 0.0 {
-            return metrics;
-        }
+        };
 
         // A sample's delta covers the window since the *previous* sample, so
         // the first sample at/after the fault mostly counts pre-fault bytes.
@@ -337,6 +351,59 @@ mod tests {
         assert_eq!(m.time_to_recover, None);
         assert_eq!(m.goodput_dip_depth, 0.0);
         assert_eq!(m.faults, 1);
+    }
+
+    #[test]
+    fn fault_at_time_zero_is_unmeasurable_not_nan() {
+        // A fault at t=0 leaves zero samples strictly before it: no baseline
+        // exists, so both metrics must take their explicit "unmeasurable"
+        // values rather than dividing by zero.
+        let mut t = RecoveryTracker::new();
+        t.record_fault(us(0));
+        let mut cumulative = 0;
+        for i in 1..=3u64 {
+            cumulative += 1_000;
+            t.record_goodput(us(i * 10), cumulative);
+        }
+        let m = t.finish();
+        assert_eq!(m.time_to_recover, None);
+        assert_eq!(m.goodput_dip_depth, 0.0);
+        assert!(m.goodput_dip_depth.is_finite());
+        assert_eq!(m.faults, 1);
+    }
+
+    #[test]
+    fn fault_before_first_window_closes_is_unmeasurable() {
+        // The fault lands after t=0 but before the first sample window has
+        // closed; the t=10 sample straddles it, so it is not baseline
+        // evidence and the metrics stay at their explicit defaults.
+        let mut t = RecoveryTracker::new();
+        t.record_fault(us(5));
+        let mut cumulative = 0;
+        for i in 1..=3u64 {
+            cumulative += 1_000;
+            t.record_goodput(us(i * 10), cumulative);
+        }
+        let m = t.finish();
+        assert_eq!(m.time_to_recover, None);
+        assert_eq!(m.goodput_dip_depth, 0.0);
+    }
+
+    #[test]
+    fn all_idle_pre_fault_samples_yield_no_baseline() {
+        // Pre-fault samples exist but carry zero bytes: a zero baseline would
+        // make every idle sample "recovered" instantly and the dip 0/0 = NaN.
+        // It must instead count as no baseline at all.
+        let mut t = RecoveryTracker::new();
+        t.record_goodput(us(10), 0);
+        t.record_goodput(us(20), 0);
+        t.record_fault(us(25));
+        t.record_goodput(us(30), 0);
+        t.record_goodput(us(40), 500);
+        let m = t.finish();
+        assert_eq!(m.time_to_recover, None);
+        assert_eq!(m.goodput_dip_depth, 0.0);
+        assert!(m.goodput_dip_depth.is_finite());
     }
 
     #[test]

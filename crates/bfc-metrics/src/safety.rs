@@ -1,0 +1,563 @@
+//! Safety analysis: PFC deadlock, pause storms, livelock.
+//!
+//! The PFC/BFC literature (and §2 of the paper) cares about three failure
+//! modes that ordinary FCT/goodput metrics do not surface:
+//!
+//! * **PFC deadlock** — priority-flow-control pauses form a *wait-for
+//!   graph*: when switch `Y` sends a pause frame to its upstream `X`, `X`'s
+//!   egress toward `Y` stalls, so `X` waits for `Y`. A cycle in this graph
+//!   that persists means no member can ever drain — the classic circular
+//!   buffer dependency. Transient cycles do occur in healthy operation
+//!   (pauses are short and release as queues drain), so only a cycle that
+//!   survives at least [`SafetyConfig::deadlock_hold`] counts as a
+//!   violation; shorter-lived ones are tallied as `cycles_formed`.
+//! * **Pause storms** — cascades of pause frames propagating upstream. We
+//!   track the total pause-frame count, the worst per-link count inside any
+//!   fixed [`SafetyConfig::storm_window`], and the maximum *propagation
+//!   depth*: a pause of `X` by `Y` while `Y` is itself paused by `Z` (which
+//!   is paused by …) has depth `1 + depth(Y)`.
+//! * **Livelock** — the fabric is "up", flows remain pending, and yet
+//!   goodput is pinned at zero for at least
+//!   [`SafetyConfig::livelock_horizon`] at the end of the run — the
+//!   signature of flapping-link schedules that keep resetting recovery.
+//!
+//! A [`SafetyTracker`] accumulates raw observations during a run (pause
+//! install/release edges from the driver's PFC interception, plus goodput
+//! samples at every tick); [`SafetyTracker::finish`] replays the
+//! canonically-sorted edge log into a [`SafetyReport`]. Like every other
+//! metric in this workspace, the report is bit-identical across shard
+//! counts: each wait-for edge `X → Y` is recorded only by the shard that
+//! owns `X`, per-edge order is preserved by the engine's determinism, and
+//! the replay sorts stably by `(time, X, Y)` in both the serial and the
+//! merged path.
+
+use std::collections::BTreeMap;
+
+use bfc_net::types::NodeId;
+use bfc_sim::snapshot::{SnapError, SnapReader, SnapWriter};
+use bfc_sim::{SimDuration, SimTime};
+
+/// Thresholds for the three safety detectors. Analysis-only: changing these
+/// never changes simulation behavior, only how the observations are judged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SafetyConfig {
+    /// A wait-for cycle must persist this long to count as a deadlock
+    /// (shorter cycles are healthy transients and only tally
+    /// `cycles_formed`).
+    pub deadlock_hold: SimDuration,
+    /// Zero goodput for at least this long at the end of a run — while
+    /// flows remain pending — counts as livelock.
+    pub livelock_horizon: SimDuration,
+    /// Window for the worst per-link pause-frame count.
+    pub storm_window: SimDuration,
+}
+
+impl Default for SafetyConfig {
+    /// 20 µs hold (several pause/resume round trips on a datacenter RTT),
+    /// 100 µs livelock horizon, 10 µs storm window (the default sample
+    /// interval).
+    fn default() -> Self {
+        SafetyConfig {
+            deadlock_hold: SimDuration::from_micros(20),
+            livelock_horizon: SimDuration::from_micros(100),
+            storm_window: SimDuration::from_micros(10),
+        }
+    }
+}
+
+/// One PFC wait-for edge observation: at `at`, the egress of `from` toward
+/// `to` was paused (`pause`) or resumed (`!pause`) by a PFC frame from `to`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PauseEdge {
+    at: SimTime,
+    from: NodeId,
+    to: NodeId,
+    pause: bool,
+}
+
+/// Accumulates raw safety observations during a run. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct SafetyTracker {
+    edges: Vec<PauseEdge>,
+    /// Per-sample delivered bytes, `(instant, bytes since previous sample)`
+    /// — recorded at *every* tick, unlike the recovery tracker's
+    /// dynamics-gated sampling.
+    samples: Vec<(SimTime, u64)>,
+    last_cumulative: u64,
+}
+
+impl SafetyTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        SafetyTracker::default()
+    }
+
+    /// Records a PFC frame delivery: `from`'s egress toward `to` pauses
+    /// (`pause`) or resumes (`!pause`) at `now`. Call from the shard that
+    /// owns `from`, in its processing order.
+    pub fn record_pause(&mut self, now: SimTime, from: NodeId, to: NodeId, pause: bool) {
+        self.edges.push(PauseEdge {
+            at: now,
+            from,
+            to,
+            pause,
+        });
+    }
+
+    /// Records one goodput sample: `cumulative_bytes` is the running total
+    /// of delivered bytes across this tracker's receivers at `now`. Call at
+    /// every sample tick, in time order.
+    pub fn record_goodput(&mut self, now: SimTime, cumulative_bytes: u64) {
+        let delta = cumulative_bytes.saturating_sub(self.last_cumulative);
+        self.last_cumulative = cumulative_bytes;
+        self.samples.push((now, delta));
+    }
+
+    /// Merges per-shard trackers into the tracker one fabric-wide collector
+    /// would have built. Edge logs concatenate (each `(from, *)` edge is
+    /// recorded by exactly one shard; [`SafetyTracker::finish`] sorts
+    /// canonically anyway); lockstep goodput ticks sum per instant, exactly
+    /// like the recovery tracker.
+    pub fn merge(parts: Vec<SafetyTracker>) -> SafetyTracker {
+        let mut merged = SafetyTracker::new();
+        for part in &parts {
+            merged.last_cumulative += part.last_cumulative;
+            merged.edges.extend(part.edges.iter().copied());
+        }
+        if let Some(longest) = parts.iter().map(|p| p.samples.len()).max() {
+            for tick in 0..longest {
+                let mut at = None;
+                let mut delta = 0u64;
+                for part in &parts {
+                    if let Some(&(t, d)) = part.samples.get(tick) {
+                        debug_assert!(
+                            at.is_none_or(|a| a == t),
+                            "shards must sample at identical instants"
+                        );
+                        at = Some(t);
+                        delta += d;
+                    }
+                }
+                if let Some(t) = at {
+                    merged.samples.push((t, delta));
+                }
+            }
+        }
+        merged
+    }
+
+    /// Serializes the accumulated observations for snapshot/restore.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_usize(self.edges.len());
+        for e in &self.edges {
+            w.put_u64(e.at.as_picos());
+            w.put_u32(e.from.0);
+            w.put_u32(e.to.0);
+            w.put_bool(e.pause);
+        }
+        w.put_usize(self.samples.len());
+        for &(t, bytes) in &self.samples {
+            w.put_u64(t.as_picos());
+            w.put_u64(bytes);
+        }
+        w.put_u64(self.last_cumulative);
+    }
+
+    /// Rebuilds a tracker from [`SafetyTracker::save_state`] output.
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.get_count(17)?;
+        let mut edges = Vec::with_capacity(n);
+        for _ in 0..n {
+            edges.push(PauseEdge {
+                at: SimTime::from_picos(r.get_u64()?),
+                from: NodeId(r.get_u32()?),
+                to: NodeId(r.get_u32()?),
+                pause: r.get_bool()?,
+            });
+        }
+        let n = r.get_count(16)?;
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = SimTime::from_picos(r.get_u64()?);
+            samples.push((t, r.get_u64()?));
+        }
+        Ok(SafetyTracker {
+            edges,
+            samples,
+            last_cumulative: r.get_u64()?,
+        })
+    }
+
+    /// Replays the observations into a [`SafetyReport`]. `end` is the run's
+    /// end time (bounds the lifetime of never-released cycles and the
+    /// trailing stall); `pending_flows` is how many flows had not completed
+    /// by then (livelock needs at least one).
+    pub fn finish(&self, config: &SafetyConfig, end: SimTime, pending_flows: usize) -> SafetyReport {
+        let mut report = SafetyReport::default();
+
+        // Canonical order: stable by (time, from, to), so the merged
+        // per-shard logs and the serial log replay identically; same-key
+        // events (install + release of one edge at one instant) keep the
+        // owning shard's processing order.
+        let mut edges = self.edges.clone();
+        edges.sort_by_key(|e| (e.at, e.from, e.to));
+
+        // Live wait-for edges with their propagation depth.
+        let mut live: BTreeMap<(NodeId, NodeId), u32> = BTreeMap::new();
+        // Cycles currently intact: formation time + member edges.
+        let mut candidates: Vec<(SimTime, Vec<(NodeId, NodeId)>)> = Vec::new();
+        // Streaming per-link storm-window counter: (window index, count).
+        let mut storm: BTreeMap<(NodeId, NodeId), (u64, u64)> = BTreeMap::new();
+        let storm_ps = config.storm_window.as_picos().max(1);
+
+        let confirm = |report: &mut SafetyReport, formed: SimTime, released: SimTime, cycle: &[(NodeId, NodeId)]| {
+            if released.saturating_since(formed) >= config.deadlock_hold {
+                report.deadlocks += 1;
+                if report.first_deadlock_at.is_none() {
+                    report.first_deadlock_at = Some(formed);
+                    report.first_deadlock_cycle = cycle.iter().map(|&(a, _)| a).collect();
+                }
+            }
+        };
+
+        for e in &edges {
+            let key = (e.from, e.to);
+            if e.pause {
+                report.pause_frames += 1;
+                let window = e.at.as_picos() / storm_ps;
+                let entry = storm.entry(key).or_insert((window, 0));
+                if entry.0 != window {
+                    *entry = (window, 0);
+                }
+                entry.1 += 1;
+                report.max_link_window_frames = report.max_link_window_frames.max(entry.1);
+
+                if live.contains_key(&key) {
+                    // A refresh of an already-live edge: the wait-for graph
+                    // is unchanged, so no new depth or cycle can arise.
+                    continue;
+                }
+                let depth = 1 + live
+                    .range((e.to, NodeId(0))..=(e.to, NodeId(u32::MAX)))
+                    .map(|(_, &d)| d)
+                    .max()
+                    .unwrap_or(0);
+                live.insert(key, depth);
+                report.max_pause_depth = report.max_pause_depth.max(depth);
+
+                // Does the new edge close a cycle? DFS from `to` back to
+                // `from` over live edges (BTreeMap iteration order keeps it
+                // deterministic).
+                if let Some(path) = find_path(&live, e.to, e.from) {
+                    report.cycles_formed += 1;
+                    let mut cycle = vec![key];
+                    cycle.extend(path);
+                    candidates.push((e.at, cycle));
+                }
+            } else {
+                live.remove(&key);
+                // A released member breaks every cycle it participated in;
+                // cycles that were held long enough are deadlocks.
+                let mut kept = Vec::with_capacity(candidates.len());
+                for (formed, cycle) in candidates.drain(..) {
+                    if cycle.contains(&key) {
+                        confirm(&mut report, formed, e.at, &cycle);
+                    } else {
+                        kept.push((formed, cycle));
+                    }
+                }
+                candidates = kept;
+            }
+        }
+        // Cycles still intact at the end of the run were held until `end`.
+        for (formed, cycle) in candidates.drain(..) {
+            confirm(&mut report, formed, end, &cycle);
+        }
+
+        // Livelock: flows pending, and the trailing span with zero goodput
+        // is at least the horizon.
+        if pending_flows > 0 {
+            if let Some(&(last_tick, _)) = self.samples.last() {
+                let stalled_from = self
+                    .samples
+                    .iter()
+                    .rev()
+                    .find(|&&(_, d)| d > 0)
+                    .map(|&(t, _)| t)
+                    .unwrap_or(SimTime::ZERO);
+                report.stalled_for = last_tick.saturating_since(stalled_from);
+                report.livelock = report.stalled_for >= config.livelock_horizon;
+            }
+        }
+        report
+    }
+}
+
+/// DFS from `start` to `goal` over the live wait-for edges; returns the
+/// path's edges in order, or `None` if unreachable.
+fn find_path(
+    live: &BTreeMap<(NodeId, NodeId), u32>,
+    start: NodeId,
+    goal: NodeId,
+) -> Option<Vec<(NodeId, NodeId)>> {
+    let mut stack = vec![start];
+    let mut parent: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+    while let Some(node) = stack.pop() {
+        if node == goal {
+            // Walk parents back to `start`, collecting edges.
+            let mut path = Vec::new();
+            let mut at = goal;
+            while at != start {
+                let p = parent[&at];
+                path.push((p, at));
+                at = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for (&(_, next), _) in live.range((node, NodeId(0))..=(node, NodeId(u32::MAX))) {
+            if next != start && !parent.contains_key(&next) {
+                parent.insert(next, node);
+                stack.push(next);
+            }
+        }
+    }
+    None
+}
+
+/// The safety summary of one experiment run. `Default` is the all-clear.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SafetyReport {
+    /// PFC pause (XOFF) frames delivered.
+    pub pause_frames: u64,
+    /// Deepest pause-propagation chain observed (0 = PFC never fired).
+    pub max_pause_depth: u32,
+    /// Worst pause-frame count on one directed link inside one storm
+    /// window.
+    pub max_link_window_frames: u64,
+    /// Wait-for cycles observed at pause install, including healthy
+    /// transients.
+    pub cycles_formed: u64,
+    /// Cycles that persisted at least the configured hold — the PFC
+    /// deadlock count. Non-zero is a safety violation.
+    pub deadlocks: u64,
+    /// Formation time of the first confirmed deadlock.
+    pub first_deadlock_at: Option<SimTime>,
+    /// The nodes of the first confirmed deadlock's cycle, in wait order.
+    pub first_deadlock_cycle: Vec<NodeId>,
+    /// Goodput pinned at zero past the horizon while flows were pending.
+    /// A safety violation.
+    pub livelock: bool,
+    /// Length of the trailing zero-goodput span (diagnostic; only a
+    /// violation when `livelock` is set).
+    pub stalled_for: SimDuration,
+}
+
+impl SafetyReport {
+    /// Number of safety violations: confirmed deadlocks plus livelock.
+    pub fn violations(&self) -> u64 {
+        self.deadlocks + u64::from(self.livelock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_micros(n)
+    }
+
+    fn node(n: u32) -> NodeId {
+        NodeId(n)
+    }
+
+    /// Builds the canonical constructed-positive: a three-switch circular
+    /// buffer dependency A→B→C→A installed at t=10us.
+    fn cycle_at_10us(t: &mut SafetyTracker) {
+        t.record_pause(us(10), node(0), node(1), true);
+        t.record_pause(us(10), node(1), node(2), true);
+        t.record_pause(us(10), node(2), node(0), true);
+    }
+
+    #[test]
+    fn persistent_cycle_is_a_deadlock() {
+        let mut t = SafetyTracker::new();
+        cycle_at_10us(&mut t);
+        // Released after 40us — twice the default 20us hold.
+        t.record_pause(us(50), node(0), node(1), false);
+        let r = t.finish(&SafetyConfig::default(), us(100), 0);
+        assert_eq!(r.cycles_formed, 1);
+        assert_eq!(r.deadlocks, 1);
+        assert_eq!(r.violations(), 1);
+        assert_eq!(r.first_deadlock_at, Some(us(10)));
+        let mut nodes = r.first_deadlock_cycle.clone();
+        nodes.sort();
+        assert_eq!(nodes, vec![node(0), node(1), node(2)]);
+    }
+
+    #[test]
+    fn transient_cycle_is_not_a_deadlock() {
+        let mut t = SafetyTracker::new();
+        cycle_at_10us(&mut t);
+        // Broken after 5us — well under the hold: healthy PFC churn.
+        t.record_pause(us(15), node(1), node(2), false);
+        let r = t.finish(&SafetyConfig::default(), us(100), 0);
+        assert_eq!(r.cycles_formed, 1);
+        assert_eq!(r.deadlocks, 0);
+        assert_eq!(r.violations(), 0);
+    }
+
+    #[test]
+    fn unreleased_cycle_is_held_until_the_end_of_the_run() {
+        let mut t = SafetyTracker::new();
+        cycle_at_10us(&mut t);
+        let r = t.finish(&SafetyConfig::default(), us(25), 0);
+        assert_eq!(r.deadlocks, 0, "held 15us < 20us hold");
+        let r = t.finish(&SafetyConfig::default(), us(100), 0);
+        assert_eq!(r.deadlocks, 1, "held 90us at run end");
+    }
+
+    #[test]
+    fn pause_depth_chains_through_live_edges() {
+        let mut t = SafetyTracker::new();
+        // C pauses B first, then B pauses A: A's pause has depth 2.
+        t.record_pause(us(10), node(1), node(2), true);
+        t.record_pause(us(11), node(0), node(1), true);
+        let r = t.finish(&SafetyConfig::default(), us(100), 0);
+        assert_eq!(r.max_pause_depth, 2);
+        assert_eq!(r.pause_frames, 2);
+        // Released edges no longer deepen later pauses.
+        let mut t = SafetyTracker::new();
+        t.record_pause(us(10), node(1), node(2), true);
+        t.record_pause(us(12), node(1), node(2), false);
+        t.record_pause(us(14), node(0), node(1), true);
+        let r = t.finish(&SafetyConfig::default(), us(100), 0);
+        assert_eq!(r.max_pause_depth, 1);
+    }
+
+    #[test]
+    fn storm_window_tracks_the_worst_link() {
+        let cfg = SafetyConfig::default(); // 10us window
+        let mut t = SafetyTracker::new();
+        // Three pause/release rounds on one link inside one window, one
+        // round on another link.
+        for i in 0..3u64 {
+            t.record_pause(us(20) + SimDuration::from_micros(i), node(0), node(1), true);
+            t.record_pause(
+                us(20) + SimDuration::from_micros(i) + SimDuration::from_nanos(100),
+                node(0),
+                node(1),
+                false,
+            );
+        }
+        t.record_pause(us(21), node(2), node(3), true);
+        let r = t.finish(&cfg, us(100), 0);
+        assert_eq!(r.pause_frames, 4);
+        assert_eq!(r.max_link_window_frames, 3);
+        // The same three rounds spread across distinct windows peak at 1.
+        let mut t = SafetyTracker::new();
+        for i in 0..3u64 {
+            t.record_pause(us(20 + 10 * i), node(0), node(1), true);
+            t.record_pause(us(25 + 10 * i), node(0), node(1), false);
+        }
+        let r = t.finish(&cfg, us(100), 0);
+        assert_eq!(r.max_link_window_frames, 1);
+    }
+
+    #[test]
+    fn livelock_needs_pending_flows_and_a_long_stall() {
+        let cfg = SafetyConfig::default(); // 100us horizon
+        let mut t = SafetyTracker::new();
+        let mut cumulative = 0;
+        for i in 1..=5u64 {
+            cumulative += 1_000;
+            t.record_goodput(us(i * 10), cumulative);
+        }
+        for i in 6..=20u64 {
+            t.record_goodput(us(i * 10), cumulative); // zero from t=60 on
+        }
+        // Stalled 150us ≥ 100us horizon with flows pending: livelock.
+        let r = t.finish(&cfg, us(200), 3);
+        assert!(r.livelock);
+        assert_eq!(r.stalled_for, SimDuration::from_micros(150));
+        assert_eq!(r.violations(), 1);
+        // Same trace with everything completed: not a livelock.
+        let r = t.finish(&cfg, us(200), 0);
+        assert!(!r.livelock);
+        assert_eq!(r.violations(), 0);
+        // A short trailing stall with flows pending: not a livelock either.
+        let mut t = SafetyTracker::new();
+        t.record_goodput(us(10), 1_000);
+        t.record_goodput(us(20), 1_000);
+        let r = t.finish(&cfg, us(20), 3);
+        assert!(!r.livelock);
+        assert_eq!(r.stalled_for, SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn merging_shard_trackers_matches_the_fabric_wide_tracker() {
+        // Shard 0 owns nodes {0, 2}, shard 1 owns node {1}: each wait-for
+        // edge is recorded by its `from`-owner only.
+        let mut whole = SafetyTracker::new();
+        let mut shard0 = SafetyTracker::new();
+        let mut shard1 = SafetyTracker::new();
+        for (at, from, to, pause) in [
+            (10u64, 0u32, 1u32, true),
+            (10, 1, 2, true),
+            (10, 2, 0, true),
+            (40, 1, 2, false),
+        ] {
+            whole.record_pause(us(at), node(from), node(to), pause);
+            let shard = if from == 1 { &mut shard1 } else { &mut shard0 };
+            shard.record_pause(us(at), node(from), node(to), pause);
+        }
+        let deliveries = [(10u64, 600u64, 400u64), (20, 700, 400), (30, 700, 500)];
+        let (mut c, mut c0, mut c1) = (0, 0, 0);
+        for (at, a, b) in deliveries {
+            c += a + b;
+            c0 += a;
+            c1 += b;
+            whole.record_goodput(us(at), c);
+            shard0.record_goodput(us(at), c0);
+            shard1.record_goodput(us(at), c1);
+        }
+        let merged = SafetyTracker::merge(vec![shard0, shard1]);
+        let cfg = SafetyConfig::default();
+        assert_eq!(merged.finish(&cfg, us(100), 2), whole.finish(&cfg, us(100), 2));
+        assert_eq!(merged.finish(&cfg, us(100), 2).deadlocks, 1);
+    }
+
+    #[test]
+    fn save_restore_round_trips() {
+        let mut t = SafetyTracker::new();
+        cycle_at_10us(&mut t);
+        t.record_pause(us(30), node(0), node(1), false);
+        t.record_goodput(us(10), 500);
+        t.record_goodput(us(20), 1_500);
+        let mut w = SnapWriter::new();
+        t.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let restored = SafetyTracker::restore_state(&mut r).expect("restores");
+        let cfg = SafetyConfig::default();
+        assert_eq!(restored.finish(&cfg, us(50), 1), t.finish(&cfg, us(50), 1));
+        // A later sample continues from the restored cumulative counter.
+        let mut t2 = restored.clone();
+        t2.record_goodput(us(30), 1_600);
+        assert_eq!(t2.samples.last(), Some(&(us(30), 100)));
+    }
+
+    #[test]
+    fn refreshed_pause_does_not_double_count_cycles() {
+        let mut t = SafetyTracker::new();
+        cycle_at_10us(&mut t);
+        // The same edges pause again while still live: frames count,
+        // cycles do not.
+        cycle_at_10us(&mut t);
+        let r = t.finish(&SafetyConfig::default(), us(100), 0);
+        assert_eq!(r.pause_frames, 6);
+        assert_eq!(r.cycles_formed, 1);
+        assert_eq!(r.deadlocks, 1);
+    }
+}

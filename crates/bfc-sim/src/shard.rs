@@ -61,9 +61,96 @@
 //! which is what makes sharded results bit-identical to serial ones, at any
 //! shard count and under any batching policy.
 
-use std::sync::{Barrier, Mutex};
+use std::any::Any;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 use crate::time::{SimDuration, SimTime};
+
+/// Locks a mutex, recovering the guard when a panicking sibling poisoned it.
+/// Everything behind these mutexes is discarded wholesale once any worker
+/// panics (the run is abandoned and the original payload re-raised by the
+/// driver), so the poison flag carries no information — and honoring it
+/// would replace the worker's own panic message with an unrelated "lock"
+/// error at whichever thread touches the mutex next.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What one barrier crossing observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BarrierWait {
+    /// This thread is the single designated leader of the crossing.
+    Leader,
+    /// Crossed normally, as a non-leader.
+    Follower,
+    /// The barrier was aborted — a sibling worker panicked. The caller must
+    /// stop immediately; no further crossing will ever complete.
+    Aborted,
+}
+
+/// A reusable rendezvous barrier like [`std::sync::Barrier`], plus
+/// [`EpochBarrier::abort`]. The std barrier has no poisoning: a worker that
+/// unwinds mid-epoch never makes its remaining arrivals, so its siblings
+/// would block forever and the scope join would hang silently. `abort`
+/// releases every current and future waiter with [`BarrierWait::Aborted`],
+/// letting them unwind cleanly so the driver can re-raise the original
+/// panic payload.
+struct EpochBarrier {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+    n: usize,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    aborted: bool,
+}
+
+impl EpochBarrier {
+    fn new(n: usize) -> Self {
+        EpochBarrier {
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                aborted: false,
+            }),
+            cv: Condvar::new(),
+            n,
+        }
+    }
+
+    fn wait(&self) -> BarrierWait {
+        let mut s = lock(&self.state);
+        if s.aborted {
+            return BarrierWait::Aborted;
+        }
+        s.arrived += 1;
+        if s.arrived == self.n {
+            s.arrived = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+            return BarrierWait::Leader;
+        }
+        let generation = s.generation;
+        while s.generation == generation && !s.aborted {
+            s = self
+                .cv
+                .wait(s)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if s.aborted {
+            BarrierWait::Aborted
+        } else {
+            BarrierWait::Follower
+        }
+    }
+
+    fn abort(&self) {
+        lock(&self.state).aborted = true;
+        self.cv.notify_all();
+    }
+}
 
 /// A boundary event in flight between shards: `(time, rank, payload)`. The
 /// scheduling key travels with the payload so the destination queue can slot
@@ -350,7 +437,7 @@ fn run_threaded<S: ShardHandler>(
     batch: BatchPolicy,
 ) -> EpochStats {
     let n = shards.len();
-    let barrier = Barrier::new(n);
+    let barrier = EpochBarrier::new(n);
     let times: Vec<Mutex<Option<SimTime>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let ctl = Mutex::new(BatchCtl {
         t0: SimTime::ZERO,
@@ -379,6 +466,9 @@ fn run_threaded<S: ShardHandler>(
         })
         .collect();
     let out_stats: Mutex<EpochStats> = Mutex::new(EpochStats::default());
+    // First panic payload from any worker; re-raised by the driver after the
+    // scope joins, so a panicking `ShardHandler` surfaces its own message.
+    let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
         for (i, shard) in shards.iter_mut().enumerate() {
@@ -388,11 +478,12 @@ fn run_threaded<S: ShardHandler>(
             let mailboxes = &mailboxes;
             let window_stats = &window_stats;
             let out_stats = &out_stats;
+            let panic_slot = &panic_slot;
             scope.spawn(move || {
-                // `Barrier` has no poisoning: if this worker unwound, the
-                // other n-1 workers would wait forever for its n-th arrival
-                // and the scope join would hang silently. Turn any panic
-                // into a loud process abort instead.
+                // A worker that unwinds mid-epoch can never make its
+                // remaining barrier arrivals: catch the panic, park its
+                // payload, and abort the barrier so the other n-1 workers
+                // drain out instead of waiting forever.
                 let body = std::panic::AssertUnwindSafe(|| {
                     let mut sched = BatchSchedule::new(batch);
                     let mut stats = EpochStats::default();
@@ -402,29 +493,32 @@ fn run_threaded<S: ShardHandler>(
                     loop {
                         // Election phase 1: publish this shard's next event
                         // time.
-                        *times[i].lock().expect("times lock") = shard.next_time();
-                        if barrier.wait().is_leader() {
-                            // Exactly one thread computes the batch anchor
-                            // from the published times; which thread it is
-                            // does not matter.
-                            let t0 = times
-                                .iter()
-                                .filter_map(|m| *m.lock().expect("times lock"))
-                                .min();
-                            let mut c = ctl.lock().expect("ctl lock");
-                            match t0 {
-                                Some(t0) if t0 <= deadline => {
-                                    c.t0 = t0;
-                                    c.done = false;
+                        *lock(&times[i]) = shard.next_time();
+                        match barrier.wait() {
+                            BarrierWait::Aborted => return,
+                            BarrierWait::Leader => {
+                                // Exactly one thread computes the batch
+                                // anchor from the published times; which
+                                // thread it is does not matter.
+                                let t0 = times.iter().filter_map(|m| *lock(m)).min();
+                                let mut c = lock(ctl);
+                                match t0 {
+                                    Some(t0) if t0 <= deadline => {
+                                        c.t0 = t0;
+                                        c.done = false;
+                                    }
+                                    _ => c.done = true,
                                 }
-                                _ => c.done = true,
                             }
+                            BarrierWait::Follower => {}
                         }
-                        barrier.wait();
+                        if barrier.wait() == BarrierWait::Aborted {
+                            return;
+                        }
                         stats.barriers += 2;
                         // Election phase 2: read the leader's decision.
                         let t0 = {
-                            let c = ctl.lock().expect("ctl lock");
+                            let c = lock(ctl);
                             if c.done {
                                 break;
                             }
@@ -445,24 +539,21 @@ fn run_threaded<S: ShardHandler>(
                             for (dest, batch) in shard.take_outboxes().into_iter().enumerate() {
                                 if !batch.is_empty() {
                                     sent += batch.len() as u64;
-                                    mailboxes[i][dest][p]
-                                        .lock()
-                                        .expect("mailbox lock")
-                                        .extend(batch);
+                                    lock(&mailboxes[i][dest][p]).extend(batch);
                                 }
                             }
-                            *window_stats[i][p].lock().expect("stats lock") = WindowStat {
+                            *lock(&window_stats[i][p]) = WindowStat {
                                 sent,
                                 next: shard.next_time(),
                             };
-                            barrier.wait();
+                            if barrier.wait() == BarrierWait::Aborted {
+                                return;
+                            }
                             stats.barriers += 1;
                             stats.windows += 1;
                             // Ingest batches in source shard id order.
                             for row in mailboxes.iter() {
-                                let batch = std::mem::take(
-                                    &mut *row[i][p].lock().expect("mailbox lock"),
-                                );
+                                let batch = std::mem::take(&mut *lock(&row[i][p]));
                                 if !batch.is_empty() {
                                     shard.deliver(batch);
                                 }
@@ -473,7 +564,7 @@ fn run_threaded<S: ShardHandler>(
                             let mut total_sent = 0u64;
                             let mut min_next: Option<SimTime> = None;
                             for s in window_stats.iter() {
-                                let ws = *s[p].lock().expect("stats lock");
+                                let ws = *lock(&s[p]);
                                 total_sent += ws.sent;
                                 min_next = match (min_next, ws.next) {
                                     (Some(a), Some(b)) => Some(a.min(b)),
@@ -493,20 +584,27 @@ fn run_threaded<S: ShardHandler>(
                         sched.adapt(had_traffic);
                     }
                     if i == 0 {
-                        *out_stats.lock().expect("stats lock") = stats;
+                        *lock(out_stats) = stats;
                     }
                 });
-                if std::panic::catch_unwind(body).is_err() {
-                    eprintln!(
-                        "shard worker {i} panicked inside a barrier epoch; \
-                         aborting the process (a hung barrier cannot be recovered)"
-                    );
-                    std::process::abort();
+                if let Err(payload) = std::panic::catch_unwind(body) {
+                    {
+                        let mut slot = lock(panic_slot);
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                    }
+                    barrier.abort();
                 }
             });
         }
     });
-    out_stats.into_inner().expect("stats lock")
+    if let Some(payload) = lock(&panic_slot).take() {
+        std::panic::resume_unwind(payload);
+    }
+    out_stats
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -704,6 +802,88 @@ mod tests {
         assert_eq!(end, SimTime::ZERO);
         assert_eq!(stats.batches, 0);
         assert_eq!(stats.barriers, 2);
+    }
+
+    /// A ring shard that detonates once its window reaches the fuse time.
+    struct Bomb {
+        inner: Ring,
+        fuse: Option<SimTime>,
+    }
+
+    impl ShardHandler for Bomb {
+        type Event = u32;
+        fn next_time(&self) -> Option<SimTime> {
+            self.inner.next_time()
+        }
+        fn run_window(&mut self, window_end: SimTime, deadline: SimTime) {
+            if let Some(fuse) = self.fuse {
+                if window_end > fuse {
+                    panic!("ring handler exploded in shard {}", self.inner.me);
+                }
+            }
+            self.inner.run_window(window_end, deadline);
+        }
+        fn take_outboxes(&mut self) -> Vec<Vec<Boundary<u32>>> {
+            self.inner.take_outboxes()
+        }
+        fn deliver(&mut self, batch: Vec<Boundary<u32>>) {
+            self.inner.deliver(batch);
+        }
+        fn last_processed(&self) -> SimTime {
+            self.inner.last_processed()
+        }
+    }
+
+    /// A panicking handler must surface its *own* message through the
+    /// threaded driver — not a poisoned-mutex error on another thread, and
+    /// not a barrier hang.
+    #[test]
+    fn panicking_handler_surfaces_its_own_message() {
+        let mut shards: Vec<Bomb> = ring(3, 2)
+            .into_iter()
+            .enumerate()
+            .map(|(i, inner)| Bomb {
+                inner,
+                fuse: (i == 1).then(|| SimTime::from_nanos(200)),
+            })
+            .collect();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_conservative(
+                &mut shards,
+                HOP,
+                SimTime::from_nanos(1_000),
+                true,
+                BatchPolicy::default(),
+            );
+        }))
+        .expect_err("the worker panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| err.downcast_ref::<&str>().copied())
+            .unwrap_or("<non-string payload>");
+        assert!(
+            msg.contains("ring handler exploded in shard 1"),
+            "expected the handler's own panic message, got: {msg}"
+        );
+    }
+
+    /// An aborted barrier releases both current and future waiters.
+    #[test]
+    fn aborted_barrier_releases_waiters() {
+        let barrier = EpochBarrier::new(2);
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| barrier.wait());
+            // Give the waiter a moment to park, then abort instead of
+            // arriving.
+            while lock(&barrier.state).arrived == 0 {
+                std::thread::yield_now();
+            }
+            barrier.abort();
+            assert_eq!(waiter.join().expect("no panic"), BarrierWait::Aborted);
+        });
+        // Post-abort waits return immediately.
+        assert_eq!(barrier.wait(), BarrierWait::Aborted);
     }
 
     #[test]

@@ -5,15 +5,19 @@
 #   2. the bfc-testkit harness's own unit tests
 #   3. a trace-tool smoke: synth -> stats -> replay on a tiny CSV trace,
 #      plus a `scenario` run (link down/up + flap fault injection)
-#   4. malformed-CSV rejection: every trace-consuming subcommand must exit
+#   4. fuzz + safety: a fixed-seed `trace-tool fuzz` run must be
+#      deterministic (same bytes out twice, second run sharded) and its
+#      reproducer must replay; a lineup scenario run must print one
+#      violation-free safety line per scheme
+#   5. malformed-CSV rejection: every trace-consuming subcommand must exit
 #      nonzero and name the offending line
-#   5. service mode: run -> snapshot -> resume must reproduce the
+#   6. service mode: run -> snapshot -> resume must reproduce the
 #      uninterrupted replay byte-for-byte, and `serve --tail` must complete
-#   6. a quick benchmark run diffed against the committed BENCH.json —
+#   7. a quick benchmark run diffed against the committed BENCH.json —
 #      any benchmark whose median regresses more than 25% fails the check
 #      (benchmarks without a committed baseline entry are reported, not
 #      compared)
-#   7. configuration cross-checks: the fifo-rank feature build's quickstart
+#   8. configuration cross-checks: the fifo-rank feature build's quickstart
 #      and a batched 2-shard replay must be byte-identical to their default
 #      serial counterparts
 #
@@ -100,6 +104,40 @@ cargo run --release -q -p bfc-experiments --bin trace-tool -- \
     scenario "$scenario_txt" --scheme bfc --duration-us 120 --seed 7
 cargo run --release -q -p bfc-experiments --bin trace-tool -- \
     scenario "$scenario_txt" --trace "$trace_csv" --scheme dcqcn-win --seed 7
+
+echo "== fuzz: fixed-seed search is deterministic and emits a replayable reproducer"
+# Same seed/budget twice must write byte-identical reproducers, and the
+# written artifact (re-read from disk) must replay; --shards 2 on the second
+# run doubles as a sharded-evaluation witness since results are bit-identical.
+fuzz_a="$tmpdir/fuzz-a.scn"
+fuzz_b="$tmpdir/fuzz-b.scn"
+cargo run --release -q -p bfc-experiments --bin trace-tool -- \
+    fuzz --out "$fuzz_a" --seed 3 --budget 6 --shrink-evals 8 --objective dip --replay
+cargo run --release -q -p bfc-experiments --bin trace-tool -- \
+    fuzz --out "$fuzz_b" --seed 3 --budget 6 --shrink-evals 8 --objective dip --shards 2
+if ! cmp -s "$fuzz_a" "$fuzz_b"; then
+    echo "verify: FAILED — same-seed fuzz runs wrote different reproducers" >&2
+    diff -u "$fuzz_a" "$fuzz_b" >&2 || true
+    exit 1
+fi
+
+echo "== safety: paper lineup stays violation-free under fault injection"
+# The scenario table now carries one safety line per scheme; all six must be
+# present and none may be a violation (the constructed-positive direction is
+# covered by bfc-metrics' unit tests).
+safety_out="$tmpdir/safety.txt"
+cargo run --release -q -p bfc-experiments --bin trace-tool -- \
+    scenario "$scenario_txt" --scheme lineup --duration-us 120 --seed 7 > "$safety_out"
+if [[ "$(grep -c '^safety\[' "$safety_out")" -ne 6 ]]; then
+    echo "verify: FAILED — expected 6 safety lines in the lineup scenario run:" >&2
+    cat "$safety_out" >&2
+    exit 1
+fi
+if grep -q 'VIOLATION' "$safety_out"; then
+    echo "verify: FAILED — safety violation reported for a paper-lineup scheme:" >&2
+    grep '^safety\[' "$safety_out" >&2
+    exit 1
+fi
 
 echo "== trace-tool: malformed CSV exits nonzero with a line number"
 # Line 3 holds a bare-trailing-dot start_ns — every subcommand that consumes

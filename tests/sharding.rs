@@ -124,6 +124,7 @@ fn assert_identical(label: &str, a: &ExperimentResult, b: &ExperimentResult) {
     assert_eq!(a.total_flows, b.total_flows, "{label}: flow count");
     assert_eq!(a.end_time, b.end_time, "{label}: end time");
     assert_eq!(a.recovery, b.recovery, "{label}: recovery metrics");
+    assert_eq!(a.safety, b.safety, "{label}: safety report");
 }
 
 fn compare_all_shard_counts(
