@@ -77,6 +77,31 @@ impl BenchResult {
         }
         v.iter().sum::<f64>() / v.len() as f64
     }
+
+    /// Median absolute deviation of the per-iteration samples, in ns/iter —
+    /// the robust spread estimate paired with the median headline. A
+    /// comparison whose delta is inside the combined MAD band is noise, not
+    /// a regression.
+    pub fn mad_ns(&self) -> f64 {
+        let v = self.per_iter_ns();
+        if v.is_empty() {
+            return f64::NAN;
+        }
+        let median = self.median_ns();
+        let mut dev: Vec<f64> = v.iter().map(|x| (x - median).abs()).collect();
+        dev.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let n = dev.len();
+        if n % 2 == 1 {
+            dev[n / 2]
+        } else {
+            (dev[n / 2 - 1] + dev[n / 2]) / 2.0
+        }
+    }
+
+    /// Total iterations executed across all timed samples.
+    pub fn iterations_total(&self) -> u64 {
+        self.iters_per_sample * self.sample_ns.len() as u64
+    }
 }
 
 /// The benchmark harness: registers and times benchmarks, renders reports.
@@ -186,16 +211,17 @@ impl Harness {
     /// Text table of all results.
     pub fn report(&self) -> String {
         let mut out = String::from(
-            "benchmark                            median(ns/iter)     min(ns/iter)     max(ns/iter)\n",
+            "benchmark                            median(ns/iter)     min(ns/iter)     max(ns/iter)     mad(ns/iter)\n",
         );
         for r in &self.results {
             let _ = writeln!(
                 out,
-                "{:<34} {:>16.0} {:>16.0} {:>16.0}",
+                "{:<34} {:>16.0} {:>16.0} {:>16.0} {:>16.1}",
                 r.name,
                 r.median_ns(),
                 r.min_ns(),
-                r.max_ns()
+                r.max_ns(),
+                r.mad_ns()
             );
         }
         out
@@ -216,7 +242,9 @@ impl Harness {
             out.push_str("    {\n");
             let _ = writeln!(out, "      \"name\": \"{}\",", escape_json(&r.name));
             let _ = writeln!(out, "      \"iters_per_sample\": {},", r.iters_per_sample);
+            let _ = writeln!(out, "      \"iterations_total\": {},", r.iterations_total());
             let _ = writeln!(out, "      \"median_ns_per_iter\": {},", json_f64(r.median_ns()));
+            let _ = writeln!(out, "      \"mad_ns_per_iter\": {},", json_f64(r.mad_ns()));
             let _ = writeln!(out, "      \"mean_ns_per_iter\": {},", json_f64(r.mean_ns()));
             let _ = writeln!(out, "      \"min_ns_per_iter\": {},", json_f64(r.min_ns()));
             let _ = writeln!(out, "      \"max_ns_per_iter\": {},", json_f64(r.max_ns()));
@@ -251,6 +279,9 @@ pub struct BaselineEntry {
     pub name: String,
     /// Median ns/iter recorded in the baseline.
     pub median_ns: f64,
+    /// Median absolute deviation recorded in the baseline, when present
+    /// (baselines written before the MAD field was added have `None`).
+    pub mad_ns: Option<f64>,
 }
 
 /// Extracts `(name, median_ns_per_iter)` pairs from a `BENCH.json` document
@@ -291,7 +322,37 @@ pub fn parse_baseline(json: &str) -> Result<Vec<BaselineEntry>, String> {
                 .trim_end_matches(',')
                 .parse::<f64>()
                 .map_err(|_| format!("line {}: median is not a number", lineno + 1))?;
-            entries.push(BaselineEntry { name, median_ns });
+            entries.push(BaselineEntry {
+                name,
+                median_ns,
+                mad_ns: None,
+            });
+        } else if let Some(rest) = line.strip_prefix("\"mad_ns_per_iter\":") {
+            if pending_name.is_some() {
+                return Err(format!(
+                    "line {}: MAD between a \"name\" and its median",
+                    lineno + 1
+                ));
+            }
+            let Some(entry) = entries.last_mut() else {
+                return Err(format!(
+                    "line {}: MAD without a preceding benchmark",
+                    lineno + 1
+                ));
+            };
+            if entry.mad_ns.is_some() {
+                return Err(format!(
+                    "line {}: duplicate MAD for \"{}\"",
+                    lineno + 1,
+                    entry.name
+                ));
+            }
+            let mad = rest
+                .trim()
+                .trim_end_matches(',')
+                .parse::<f64>()
+                .map_err(|_| format!("line {}: MAD is not a number", lineno + 1))?;
+            entry.mad_ns = Some(mad);
         }
     }
     if pending_name.is_some() {
@@ -309,6 +370,10 @@ pub struct Comparison {
     pub baseline_ns: f64,
     /// Freshly measured median ns/iter.
     pub current_ns: f64,
+    /// Baseline MAD ns/iter, when the baseline recorded one.
+    pub baseline_mad_ns: Option<f64>,
+    /// Freshly measured MAD ns/iter.
+    pub current_mad_ns: f64,
 }
 
 impl Comparison {
@@ -318,6 +383,15 @@ impl Comparison {
             return 0.0;
         }
         self.current_ns / self.baseline_ns - 1.0
+    }
+
+    /// True when the median delta is within the combined noise band of the
+    /// two measurements (3 x the summed MADs) — the spread of the samples
+    /// explains the difference, so a flagged regression is suspect and a
+    /// re-run (or a quieter machine) is in order before believing it.
+    pub fn is_noisy(&self) -> bool {
+        let band = 3.0 * (self.baseline_mad_ns.unwrap_or(0.0) + self.current_mad_ns);
+        (self.current_ns - self.baseline_ns).abs() <= band
     }
 }
 
@@ -344,6 +418,8 @@ pub fn compare_against_baseline(
             name: r.name.clone(),
             baseline_ns: b.median_ns,
             current_ns: r.median_ns(),
+            baseline_mad_ns: b.mad_ns,
+            current_mad_ns: r.mad_ns(),
         };
         if cmp.change_fraction() > max_regression {
             regressions.push(cmp.clone());
@@ -359,6 +435,15 @@ pub fn comparison_report(matched: &[Comparison], max_regression: f64) -> String 
         "benchmark                            baseline(ns)      current(ns)   change\n",
     );
     for c in matched {
+        let flag = if c.change_fraction() > max_regression {
+            if c.is_noisy() {
+                "  << REGRESSION (within noise band — re-run before believing it)"
+            } else {
+                "  << REGRESSION"
+            }
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
             "{:<34} {:>15.0} {:>16.0} {:>+7.1}%{}",
@@ -366,11 +451,7 @@ pub fn comparison_report(matched: &[Comparison], max_regression: f64) -> String 
             c.baseline_ns,
             c.current_ns,
             c.change_fraction() * 100.0,
-            if c.change_fraction() > max_regression {
-                "  << REGRESSION"
-            } else {
-                ""
-            }
+            flag
         );
     }
     out
@@ -438,6 +519,9 @@ mod tests {
         assert_eq!(r.min_ns(), 10.0);
         assert_eq!(r.max_ns(), 30.0);
         assert_eq!(r.mean_ns(), 20.0);
+        // Absolute deviations from 20 are 10, 10, 0 -> MAD 10.
+        assert_eq!(r.mad_ns(), 10.0);
+        assert_eq!(r.iterations_total(), 30);
     }
 
     #[test]
@@ -511,6 +595,55 @@ mod tests {
         assert_eq!(baseline[0].name, "alpha");
         assert_eq!(baseline[1].name, "beta \"quoted\"");
         assert!((baseline[0].median_ns - h.results()[0].median_ns()).abs() < 1.0);
+        // The MAD written alongside each median round-trips too.
+        let mad = baseline[0].mad_ns.expect("fresh baselines carry a MAD");
+        assert!((mad - h.results()[0].mad_ns()).abs() < 1.0);
+    }
+
+    #[test]
+    fn pre_mad_baselines_still_parse() {
+        // A baseline written before the MAD field existed: medians load,
+        // the spread is simply unknown.
+        let old = "\"name\": \"a\",\n\"median_ns_per_iter\": 10.0\n";
+        let baseline = parse_baseline(old).expect("old baselines stay readable");
+        assert_eq!(baseline.len(), 1);
+        assert_eq!(baseline[0].mad_ns, None);
+        // But a MAD in the wrong place is still malformed.
+        let orphan = "\"mad_ns_per_iter\": 1.0\n";
+        assert!(parse_baseline(orphan).is_err());
+        let split = "\"name\": \"a\",\n\"mad_ns_per_iter\": 1.0\n\"median_ns_per_iter\": 10.0\n";
+        assert!(parse_baseline(split).is_err());
+        let doubled = "\"name\": \"a\",\n\"median_ns_per_iter\": 10.0,\n\
+                       \"mad_ns_per_iter\": 1.0,\n\"mad_ns_per_iter\": 2.0\n";
+        assert!(parse_baseline(doubled).is_err());
+    }
+
+    #[test]
+    fn noisy_regressions_are_marked() {
+        // Samples 100/200/300 -> median 200, MAD 100: the +100% "regression"
+        // vs a baseline median of 100 sits inside the noise band.
+        let noisy = BenchResult {
+            name: "noisy".into(),
+            iters_per_sample: 1,
+            sample_ns: vec![100, 200, 300],
+        };
+        // Samples all 200 -> MAD 0: the same +100% delta is real.
+        let steady = BenchResult {
+            name: "steady".into(),
+            iters_per_sample: 1,
+            sample_ns: vec![200, 200, 200],
+        };
+        let baseline = vec![
+            BaselineEntry { name: "noisy".into(), median_ns: 100.0, mad_ns: Some(10.0) },
+            BaselineEntry { name: "steady".into(), median_ns: 100.0, mad_ns: Some(1.0) },
+        ];
+        let (matched, regressions, _) =
+            compare_against_baseline(&[noisy, steady], &baseline, 0.25);
+        assert_eq!(regressions.len(), 2, "noise does not excuse the gate");
+        assert!(matched[0].is_noisy());
+        assert!(!matched[1].is_noisy());
+        let report = comparison_report(&matched, 0.25);
+        assert!(report.contains("within noise band"));
     }
 
     #[test]
@@ -527,9 +660,9 @@ mod tests {
             result("brand_new", 1_000),   // no baseline: skipped
         ];
         let baseline = vec![
-            BaselineEntry { name: "fast_enough".into(), median_ns: 100.0 },
-            BaselineEntry { name: "regressed".into(), median_ns: 100.0 },
-            BaselineEntry { name: "improved".into(), median_ns: 100.0 },
+            BaselineEntry { name: "fast_enough".into(), median_ns: 100.0, mad_ns: None },
+            BaselineEntry { name: "regressed".into(), median_ns: 100.0, mad_ns: None },
+            BaselineEntry { name: "improved".into(), median_ns: 100.0, mad_ns: None },
         ];
         let (matched, regressions, missing) = compare_against_baseline(&results, &baseline, 0.25);
         assert_eq!(matched.len(), 3, "new benchmarks are not compared");

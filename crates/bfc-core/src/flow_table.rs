@@ -170,6 +170,12 @@ pub struct FlowTable {
     cache_capacity: usize,
     tracked: usize,
     peak_tracked: usize,
+    /// Observability counters over [`FlowTable::lookup_or_insert`] probes
+    /// (the hot path; `find` and snapshot restore do not count). Never read
+    /// back by the table itself — they feed the metrics registry.
+    lookups: u64,
+    probe_steps: u64,
+    max_probe: u64,
 }
 
 impl FlowTable {
@@ -186,6 +192,9 @@ impl FlowTable {
             cache_capacity,
             tracked: 0,
             peak_tracked: 0,
+            lookups: 0,
+            probe_steps: 0,
+            max_probe: 0,
         }
     }
 
@@ -202,6 +211,12 @@ impl FlowTable {
     /// Highest number of simultaneously tracked flows observed.
     pub fn peak_len(&self) -> usize {
         self.peak_tracked
+    }
+
+    /// Probing counters over [`FlowTable::lookup_or_insert`]:
+    /// `(lookups, total probe steps, longest single probe)`.
+    pub fn probe_counters(&self) -> (u64, u64, u64) {
+        (self.lookups, self.probe_steps, self.max_probe)
     }
 
     fn mask(&self) -> usize {
@@ -256,7 +271,15 @@ impl FlowTable {
     /// admit it. The store itself never fills — it grows before probe runs
     /// get long — so `TableFull` is purely a quota decision.
     pub fn lookup_or_insert(&mut self, key: FlowKey) -> LookupOutcome {
-        if let Ok(i) = self.probe(key) {
+        let probed = self.probe(key);
+        let end = match probed {
+            Ok(i) | Err(i) => i,
+        };
+        let steps = ((end + self.slots.len() - self.home(key)) & self.mask()) as u64 + 1;
+        self.lookups += 1;
+        self.probe_steps += steps;
+        self.max_probe = self.max_probe.max(steps);
+        if let Ok(i) = probed {
             return LookupOutcome::Found(self.slot_handle(i));
         }
         let cached = if (self.bucket_residents[key.vfid as usize] as usize) < self.bucket_size {
@@ -408,6 +431,9 @@ impl FlowTable {
             }
         }
         w.put_usize(self.peak_tracked);
+        w.put_u64(self.lookups);
+        w.put_u64(self.probe_steps);
+        w.put_u64(self.max_probe);
     }
 
     /// Restores state captured by [`FlowTable::save_state`] into this table,
@@ -460,6 +486,9 @@ impl FlowTable {
         if self.peak_tracked < self.tracked {
             return Err(SnapError::Corrupt("flow-table peak below current"));
         }
+        self.lookups = r.get_u64()?;
+        self.probe_steps = r.get_u64()?;
+        self.max_probe = r.get_u64()?;
         Ok(())
     }
 }

@@ -10,7 +10,8 @@ use std::collections::VecDeque;
 
 use bfc_net::packet::Packet;
 use bfc_net::policy::{
-    DequeueCtx, EnqueueCtx, EnqueueDecision, PauseTick, PolicyStats, QueueTarget, SwitchPolicy,
+    DequeueCtx, EnqueueCtx, EnqueueDecision, PauseTick, PolicyStats, ProbeStats, QueueTarget,
+    SwitchPolicy,
 };
 use bfc_sim::rng::mix64;
 use bfc_sim::snapshot::{SnapError, SnapReader, SnapWriter};
@@ -343,6 +344,15 @@ impl SwitchPolicy for BfcPolicy {
 
     fn stats(&self) -> PolicyStats {
         self.stats
+    }
+
+    fn probe_stats(&self) -> ProbeStats {
+        let (lookups, probe_steps, max_probe) = self.table.probe_counters();
+        ProbeStats {
+            lookups,
+            probe_steps,
+            max_probe,
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -28,10 +28,12 @@ use std::process::ExitCode;
 
 use bfc_experiments::figures::failure_sweep;
 use bfc_experiments::{
-    resume_experiment, serve_experiment, snapshot_experiment, ExperimentConfig, ExperimentResult,
-    ParallelRunner, ReplayTrace, ScenarioSpec, Scheme,
+    resume_experiment, serve_experiment_with, snapshot_experiment, ExperimentConfig,
+    ExperimentResult, MetricsHub, ParallelRunner, ReplayTrace, Reproducer, ScenarioSpec, Scheme,
 };
 use bfc_net::topology::Topology;
+use bfc_net::trace::{read_trace, write_trace, FlightTrace};
+use bfc_net::types::NodeId;
 use bfc_sim::{SimDuration, SimTime};
 use bfc_workloads::ingest::{CsvTail, IngestSource, SocketIngest};
 use bfc_workloads::io::{read_csv_file, write_csv_file, TraceStats};
@@ -95,6 +97,10 @@ commands:
     --seed <n>              experiment seed [1]
     --horizon-us <n>        measurement horizon in microseconds [300]
     --drain-x <n>           drain window as a multiple of the horizon [4]
+    --metrics <addr>        also serve a Prometheus-style text exposition of
+                            the live counter registry on this TCP address
+                            (port 0 picks a free port; one scrape per
+                            connection; the bound address prints to stderr)
 
   scenario <path>         run a link-dynamics scenario (fault-injection)
                           file through the experiment driver and report the
@@ -105,6 +111,11 @@ commands:
                             flap <a> <b> from <t> every <period> until <t>
                           with times like 100us/2ms and endpoints named by
                           topology label (tor0, spine1, host3) or node id.
+                          A fuzz reproducer (`objective ...` header, as
+                          written by `fuzz --out` and committed under
+                          tests/scenarios/) also works: it pins its own
+                          topology, scheme and workload, so the
+                          scenario-building flags below don't apply.
     --topo tiny|t1|t2       topology the scenario runs over [tiny]
     --trace <csv>           replay this trace instead of synthesizing one
     --scheme ... (as replay) scheme(s) to run [lineup]
@@ -114,6 +125,32 @@ commands:
     --drain-x <n>           drain window as a multiple of the horizon [4]
     --shards <n>            split each run across n engine shards
                             (bit-identical results; same as BFC_SHARDS=n)
+    --json                  report safety/recovery per scheme as JSON on
+                            stdout instead of the tables
+    --trace-cap <n>         flight-recorder ring capacity for this run
+                            [65536]
+    --flight <path>         write the (single) scheme's flight trace here
+                            unconditionally; without this flag, any run whose
+                            safety report is a VIOLATION auto-dumps its last
+                            trace events to <scenario-stem>-<scheme>.flight
+
+  trace <sub>             flight-recorder traces (binary .flight containers)
+    record <trace.csv> --out <flight>   replay with the recorder on and write
+                                        the canonical trace
+      --last <n>            ring capacity: keep the last n events [65536]
+      --topo / --scheme / --seed / --drain-x   as replay (single scheme)
+      --shards <n>          record under the sharded engine (the merged
+                            trace is identical to a serial recording)
+    inspect <flight>        print the label, per-kind counts and records
+      --limit <n>           print at most the last n records [40]
+    filter <flight>         print records matching every given predicate
+      --kind <k>            event kind (enqueue, dequeue, drop, pfc-sent,
+                            pfc-delivered, flow-pause, queue-active, ...)
+      --node <id>           only events at this switch/host id
+      --limit <n>           print at most the last n matches [1000]
+    top <flight>            top queues by PFC pause-time
+      --n <count>           rows to print [10]
+      --tree                print the pause-propagation tree instead
 
   fuzz --out <path>       search for the (workload, fault schedule) a scheme
                           handles worst, shrink the offender to a minimal
@@ -366,22 +403,26 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         if runner.threads() == 1 { "" } else { "s" },
     );
     print_results_table(&results);
-    print_epoch_counters(&results);
+    print_engine_counters(&results);
     Ok(())
 }
 
-/// Per-run epoch-driver counters for sharded replays. Written to stderr so
-/// stdout stays byte-identical to a serial replay (scripts diff it); serial
-/// runs have no epochs and print nothing.
-fn print_epoch_counters(results: &[ExperimentResult]) {
-    if bfc_experiments::sharded::shards_from_env() <= 1 {
-        return;
-    }
+/// Per-run engine-internal counters, read uniformly from the unified
+/// registry — serial runs print the same line with zero epochs. Written to
+/// stderr so stdout stays byte-identical across engines (scripts diff it).
+fn print_engine_counters(results: &[ExperimentResult]) {
     for r in results {
-        let e = &r.epochs;
+        let c = |key: &str| r.registry.counter(key).unwrap_or(0);
         eprintln!(
-            "epochs[{}]: batches {} windows {} barriers {} widened {} cross-shard msgs {}",
-            r.scheme, e.batches, e.windows, e.barriers, e.widened, e.boundary_events
+            "engine[{}]: queue-overflow {} epoch-batches {} windows {} barriers {} widened {} \
+             cross-shard msgs {}",
+            r.scheme,
+            c("bfc_engine_queue_overflow_pushes"),
+            c("bfc_engine_epoch_batches"),
+            c("bfc_engine_epoch_windows"),
+            c("bfc_engine_epoch_barriers"),
+            c("bfc_engine_epoch_widened"),
+            c("bfc_engine_epoch_boundary_events"),
         );
     }
 }
@@ -574,6 +615,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut opts = RunOptions::defaults();
     let mut tail_path: Option<PathBuf> = None;
     let mut listen_addr: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut cap = 64usize;
     let mut horizon_us = 300u64;
     let positional = walk_options(&args, |flag, value| {
@@ -583,6 +625,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         match flag {
             "tail" => tail_path = Some(PathBuf::from(value)),
             "listen" => listen_addr = Some(value.to_string()),
+            "metrics" => metrics_addr = Some(value.to_string()),
             "cap" => {
                 cap = parse_num(flag, value)?;
                 if cap == 0 {
@@ -604,6 +647,28 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     let config = opts.config(SimDuration::from_micros(horizon_us));
 
+    // Live metrics exposition: a scrape thread serving the latest registry
+    // render, one scrape per connection. Observation never feeds back into
+    // the simulation.
+    let hub = MetricsHub::new();
+    let metrics = if let Some(addr) = &metrics_addr {
+        let listener = std::net::TcpListener::bind(addr.as_str())
+            .map_err(|e| format!("binding metrics address {addr}: {e}"))?;
+        let local = listener.local_addr().map_err(|e| format!("metrics: {e}"))?;
+        eprintln!("metrics listening on {local}");
+        let scrape_hub = hub.clone();
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut conn) = conn else { continue };
+                use std::io::Write as _;
+                let _ = conn.write_all(scrape_hub.render().as_bytes());
+            }
+        });
+        Some(hub)
+    } else {
+        None
+    };
+
     let mut source: Box<dyn IngestSource> = match (&tail_path, &listen_addr) {
         (Some(path), None) => Box::new(
             CsvTail::open(path, follow).map_err(|e| format!("opening {}: {e}", path.display()))?,
@@ -620,7 +685,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         return Err("serve: --follow only applies to --tail".into());
     }
 
-    let report = serve_experiment(&opts.topo, &config, source.as_mut(), cap)
+    let report = serve_experiment_with(&opts.topo, &config, source.as_mut(), cap, metrics.as_ref())
         .map_err(|e| format!("serve: {e}"))?;
     println!(
         "served {} flows (horizon {}) over `{}` under inflight cap {cap}\n",
@@ -631,15 +696,29 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_scenario(args: &[String]) -> Result<(), String> {
+    // `--json` is valueless; pull it out before the `--flag value` walker.
+    let mut json = false;
+    let args: Vec<String> = args
+        .iter()
+        .filter(|a| {
+            let is_json = a.as_str() == "--json";
+            json |= is_json;
+            !is_json
+        })
+        .cloned()
+        .collect();
+
     let mut topo: Option<Topology> = None;
     let mut topo_name = "tiny".to_string();
     let mut schemes = Scheme::paper_lineup();
     let mut trace_path: Option<PathBuf> = None;
+    let mut flight_path: Option<PathBuf> = None;
+    let mut trace_cap = 65_536usize;
     let mut load = 0.6f64;
     let mut duration_us = 300u64;
     let mut seed = 1u64;
     let mut drain_x = 4u64;
-    let positional = walk_options(args, |flag, value| {
+    let positional = walk_options(&args, |flag, value| {
         match flag {
             "topo" => {
                 topo = Some(
@@ -653,6 +732,13 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
                     .ok_or_else(|| format!("--scheme: unknown scheme {value}"))?;
             }
             "trace" => trace_path = Some(PathBuf::from(value)),
+            "flight" => flight_path = Some(PathBuf::from(value)),
+            "trace-cap" => {
+                trace_cap = parse_num(flag, value)?;
+                if trace_cap == 0 {
+                    return Err("--trace-cap must be at least 1".into());
+                }
+            }
             "load" => load = parse_num(flag, value)?,
             "duration-us" => duration_us = parse_num(flag, value)?,
             "seed" => seed = parse_num(flag, value)?,
@@ -672,60 +758,122 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
         return Err("scenario: --duration-us must be positive".into());
     }
 
-    let topo = topo.unwrap_or_else(|| parse_topology("tiny").expect("tiny always builds"));
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let spec = ScenarioSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    let schedule = spec.resolve(&topo).map_err(|e| format!("{path}: {e}"))?;
+    // A file whose first directive is an `objective` header is a committed
+    // fuzz reproducer: it pins its own topology, scheme, workload and fault
+    // schedule, so the scenario-building flags don't apply to it.
+    let is_reproducer = text
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .is_some_and(|l| l.starts_with("objective "));
 
-    let (flows, horizon) = match &trace_path {
-        Some(csv) => {
-            let replay =
-                ReplayTrace::from_csv_path(csv).map_err(|e| format!("{}: {e}", csv.display()))?;
-            replay
-                .validate(&topo)
-                .map_err(|e| format!("{}: {e}", csv.display()))?;
-            let horizon = replay.horizon();
-            (replay.flows().to_vec(), horizon)
-        }
-        None => {
-            let hosts = topo.hosts();
-            let duration = SimDuration::from_micros(duration_us);
-            let params = TraceParams::background_only(Workload::Google, load, duration, seed);
-            let params = TraceParams {
-                host_gbps: topo.host_uplink(hosts[0]).link.rate_gbps,
-                ..params
-            };
-            (synthesize(&hosts, &params), duration)
-        }
+    let (topo, topo_name, flows, configs, run_seed) = if is_reproducer {
+        let repro = Reproducer::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let (topo, flows, config) = repro.materialize().map_err(|e| format!("{path}: {e}"))?;
+        let run_seed = config.seed;
+        // Always record: the ring is bounded and results are bit-identical
+        // either way, and a VIOLATION verdict must be able to dump the
+        // events leading up to it.
+        let config = config.with_trace_capacity(trace_cap);
+        (topo, repro.topo.clone(), flows, vec![config], run_seed)
+    } else {
+        let topo = topo.unwrap_or_else(|| parse_topology("tiny").expect("tiny always builds"));
+        let spec = ScenarioSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let schedule = spec.resolve(&topo).map_err(|e| format!("{path}: {e}"))?;
+
+        let (flows, horizon) = match &trace_path {
+            Some(csv) => {
+                let replay = ReplayTrace::from_csv_path(csv)
+                    .map_err(|e| format!("{}: {e}", csv.display()))?;
+                replay
+                    .validate(&topo)
+                    .map_err(|e| format!("{}: {e}", csv.display()))?;
+                let horizon = replay.horizon();
+                (replay.flows().to_vec(), horizon)
+            }
+            None => {
+                let hosts = topo.hosts();
+                let duration = SimDuration::from_micros(duration_us);
+                let params = TraceParams::background_only(Workload::Google, load, duration, seed);
+                let params = TraceParams {
+                    host_gbps: topo.host_uplink(hosts[0]).link.rate_gbps,
+                    ..params
+                };
+                (synthesize(&hosts, &params), duration)
+            }
+        };
+        let configs: Vec<ExperimentConfig> = schemes
+            .into_iter()
+            .map(|scheme| {
+                let mut config = ExperimentConfig::new(scheme, horizon)
+                    .with_seed(seed)
+                    .with_dynamics(schedule.clone())
+                    // See above: tracing is always on in scenario runs.
+                    .with_trace_capacity(trace_cap);
+                config.drain = horizon * drain_x;
+                config
+            })
+            .collect();
+        (topo, topo_name, flows, configs, seed)
     };
-    let configs: Vec<ExperimentConfig> = schemes
-        .into_iter()
-        .map(|scheme| {
-            let mut config = ExperimentConfig::new(scheme, horizon)
-                .with_seed(seed)
-                .with_dynamics(schedule.clone());
-            config.drain = horizon * drain_x;
-            config
-        })
-        .collect();
+    let fault_events = configs[0].dynamics.events().len();
+    if flight_path.is_some() && configs.len() != 1 {
+        return Err("scenario: --flight requires a single --scheme, not a lineup".into());
+    }
     let runner = ParallelRunner::from_env();
-    let results = runner.run_experiments(&topo, &flows, &configs);
+    let mut results = runner.run_experiments(&topo, &flows, &configs);
 
-    println!(
-        "scenario `{path}`: {} fault event{} over `{topo_name}`, {} flows, {} worker thread{}\n",
-        schedule.len(),
-        if schedule.len() == 1 { "" } else { "s" },
-        flows.len(),
-        runner.threads(),
-        if runner.threads() == 1 { "" } else { "s" },
-    );
     // The scenario file's stem labels the rows; the table itself is the
     // failure-sweep figure's formatter, so the CLI and figure cannot drift.
     let label = std::path::Path::new(path)
         .file_stem()
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_else(|| "scenario".to_string());
+
+    // Flight dumps: explicit `--flight` always writes; otherwise a safety
+    // VIOLATION auto-dumps the last trace events so the pause wait-for
+    // chain leading into the deadlock/livelock stays inspectable.
+    for r in results.iter_mut() {
+        let Some(flight) = r.flight.take() else { continue };
+        let dump: Option<PathBuf> = match &flight_path {
+            Some(p) => Some(p.clone()),
+            None if r.safety.violations() > 0 => {
+                Some(PathBuf::from(format!("{label}-{}.flight", scheme_file_key(&r.scheme))))
+            }
+            None => None,
+        };
+        if let Some(out) = dump {
+            let trace_label = format!("scenario {label} scheme {} seed {run_seed}", r.scheme);
+            let blob = write_trace(&trace_label, &flight);
+            std::fs::write(&out, &blob).map_err(|e| format!("writing {}: {e}", out.display()))?;
+            eprintln!(
+                "flight[{}]: {} events ({} shed) -> {}{}",
+                r.scheme,
+                flight.records.len(),
+                flight.dropped,
+                out.display(),
+                if r.safety.violations() > 0 { " (safety violation)" } else { "" },
+            );
+        }
+        r.flight = Some(flight);
+    }
+
+    if json {
+        println!("{}", scenario_json(&label, &topo_name, flows.len(), fault_events, &results));
+        print_engine_counters(&results);
+        return Ok(());
+    }
+
+    println!(
+        "scenario `{path}`: {} fault event{} over `{topo_name}`, {} flows, {} worker thread{}\n",
+        fault_events,
+        if fault_events == 1 { "" } else { "s" },
+        flows.len(),
+        runner.threads(),
+        if runner.threads() == 1 { "" } else { "s" },
+    );
     print!("{}", failure_sweep::HEADER);
     for r in &results {
         print!("{}", failure_sweep::result_row(&label, r));
@@ -735,7 +883,111 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
         println!("{}", safety_line(r));
     }
     println!("\n(FCT slowdown p99 over non-incast flows; ttr = goodput recovery after the last fault)");
+    print_engine_counters(&results);
     Ok(())
+}
+
+/// Filesystem-safe key for a scheme name (`DCQCN+Win` -> `dcqcn-win`).
+fn scheme_file_key(name: &str) -> String {
+    let mut key = String::with_capacity(name.len());
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            key.push(ch.to_ascii_lowercase());
+        } else if !key.ends_with('-') {
+            key.push('-');
+        }
+    }
+    key.trim_matches('-').to_string()
+}
+
+/// Renders a float as a JSON value (`null` for NaN/infinite, which JSON
+/// cannot represent).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// JSON string escaping for the small, controlled strings we emit (scheme
+/// names, labels): quotes, backslashes and control characters.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The `scenario --json` document: run header plus per-scheme completion,
+/// tail latency, recovery and safety reporting.
+fn scenario_json(
+    label: &str,
+    topo_name: &str,
+    flows: usize,
+    fault_events: usize,
+    results: &[ExperimentResult],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scenario\": {},\n", json_str(label)));
+    out.push_str(&format!("  \"topology\": {},\n", json_str(topo_name)));
+    out.push_str(&format!("  \"flows\": {flows},\n"));
+    out.push_str(&format!("  \"fault_events\": {fault_events},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let p99 = r.fct.overall.as_ref().map(|o| o.p99).unwrap_or(f64::NAN);
+        let s = &r.safety;
+        let rec = &r.recovery;
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"scheme\": {},\n", json_str(&r.scheme)));
+        out.push_str(&format!("      \"completed\": {},\n", r.completed_flows));
+        out.push_str(&format!("      \"total\": {},\n", r.total_flows));
+        out.push_str(&format!("      \"p99_slowdown\": {},\n", json_f64(p99)));
+        out.push_str(&format!("      \"utilization\": {},\n", json_f64(r.utilization)));
+        out.push_str(&format!("      \"drops\": {},\n", r.drops));
+        out.push_str("      \"recovery\": {\n");
+        out.push_str(&format!(
+            "        \"blackholed_packets\": {},\n",
+            rec.blackholed_packets
+        ));
+        out.push_str(&format!("        \"reroutes\": {},\n", rec.reroutes));
+        out.push_str(&format!("        \"faults\": {},\n", rec.faults));
+        out.push_str(&format!(
+            "        \"time_to_recover_us\": {},\n",
+            rec.time_to_recover
+                .map(|d| json_f64(d.as_secs_f64() * 1e6))
+                .unwrap_or_else(|| "null".to_string())
+        ));
+        out.push_str(&format!(
+            "        \"goodput_dip_depth\": {}\n",
+            json_f64(rec.goodput_dip_depth)
+        ));
+        out.push_str("      },\n");
+        out.push_str("      \"safety\": {\n");
+        out.push_str(&format!("        \"pause_frames\": {},\n", s.pause_frames));
+        out.push_str(&format!("        \"max_pause_depth\": {},\n", s.max_pause_depth));
+        out.push_str(&format!(
+            "        \"max_link_window_frames\": {},\n",
+            s.max_link_window_frames
+        ));
+        out.push_str(&format!("        \"cycles_formed\": {},\n", s.cycles_formed));
+        out.push_str(&format!("        \"deadlocks\": {},\n", s.deadlocks));
+        out.push_str(&format!("        \"livelock\": {},\n", s.livelock));
+        out.push_str(&format!("        \"violations\": {}\n", s.violations()));
+        out.push_str("      }\n");
+        out.push_str(if i + 1 == results.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ]\n}");
+    out
 }
 
 /// One per-scheme line from the safety detectors: pause-storm counters,
@@ -760,6 +1012,281 @@ fn safety_line(r: &ExperimentResult) -> String {
         line.push_str(" VIOLATION");
     }
     line
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err("trace: missing subcommand (record, inspect, filter, top)".into());
+    };
+    match sub.as_str() {
+        "record" => cmd_trace_record(rest),
+        "inspect" => cmd_trace_inspect(rest),
+        "filter" => cmd_trace_filter(rest),
+        "top" => cmd_trace_top(rest),
+        other => Err(format!("trace: unknown subcommand `{other}`")),
+    }
+}
+
+fn cmd_trace_record(args: &[String]) -> Result<(), String> {
+    let mut opts = RunOptions::defaults();
+    let mut out: Option<PathBuf> = None;
+    let mut last = 65_536usize;
+    let positional = walk_options(args, |flag, value| {
+        if opts.set("trace record", flag, value)? {
+            return Ok(());
+        }
+        match flag {
+            "out" => out = Some(PathBuf::from(value)),
+            "last" => {
+                last = parse_num(flag, value)?;
+                if last == 0 {
+                    return Err("--last must be at least 1".into());
+                }
+            }
+            "shards" => set_shards(flag, value)?,
+            _ => return Err(format!("trace record: unknown option --{flag}")),
+        }
+        Ok(())
+    })?;
+    let [path] = positional.as_slice() else {
+        return Err("trace record: exactly one trace CSV path is required".into());
+    };
+    let out = out.ok_or("trace record: --out <flight> is required")?;
+
+    let replay = load_trace("trace record", &opts, path)?;
+    let config = opts.config(replay.horizon()).with_trace_capacity(last);
+    let result = bfc_experiments::run_experiment_auto(&opts.topo, replay.flows(), &config);
+    let flight = result.flight.expect("tracing was enabled for this run");
+    let label = format!(
+        "replay {path} scheme {} seed {}",
+        config.scheme.name(),
+        opts.seed
+    );
+    let blob = write_trace(&label, &flight);
+    std::fs::write(&out, &blob).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "recorded {} trace events ({} shed by the ring of {last}) from {} flows over `{}` -> {} ({} bytes)",
+        flight.records.len(),
+        flight.dropped,
+        replay.flows().len(),
+        opts.topo_name,
+        out.display(),
+        blob.len(),
+    );
+    Ok(())
+}
+
+/// Opens a flight-trace container, mapping errors to CLI diagnostics.
+fn open_flight(path: &str) -> Result<(String, FlightTrace), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    read_trace(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+/// One rendered record line: sequence, simulated time, one-line event text.
+fn record_line(r: &bfc_net::trace::TraceRecord) -> String {
+    format!("{:>8}  {:<14} {}", r.seq, format!("{}", r.at), r.event.render())
+}
+
+fn cmd_trace_inspect(args: &[String]) -> Result<(), String> {
+    let mut limit = 40usize;
+    let positional = walk_options(args, |flag, value| {
+        match flag {
+            "limit" => limit = parse_num(flag, value)?,
+            _ => return Err(format!("trace inspect: unknown option --{flag}")),
+        }
+        Ok(())
+    })?;
+    let [path] = positional.as_slice() else {
+        return Err("trace inspect: exactly one flight path is required".into());
+    };
+    let (label, flight) = open_flight(path)?;
+
+    println!("label:   {label}");
+    println!(
+        "records: {} held, {} shed by the ring before them",
+        flight.records.len(),
+        flight.dropped
+    );
+    let mut by_kind: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for r in &flight.records {
+        *by_kind.entry(r.event.kind()).or_insert(0) += 1;
+    }
+    for (kind, count) in &by_kind {
+        println!("  {kind:<14} {count}");
+    }
+    if flight.records.is_empty() {
+        return Ok(());
+    }
+    let skip = flight.records.len().saturating_sub(limit);
+    if skip > 0 {
+        println!("\nlast {limit} records ({skip} earlier records not shown; --limit raises):");
+    } else {
+        println!("\nrecords:");
+    }
+    for r in &flight.records[skip..] {
+        println!("{}", record_line(r));
+    }
+    Ok(())
+}
+
+fn cmd_trace_filter(args: &[String]) -> Result<(), String> {
+    let mut kind: Option<String> = None;
+    let mut node: Option<u32> = None;
+    let mut limit = 1_000usize;
+    let positional = walk_options(args, |flag, value| {
+        match flag {
+            "kind" => kind = Some(value.to_string()),
+            "node" => node = Some(parse_num(flag, value)?),
+            "limit" => limit = parse_num(flag, value)?,
+            _ => return Err(format!("trace filter: unknown option --{flag}")),
+        }
+        Ok(())
+    })?;
+    let [path] = positional.as_slice() else {
+        return Err("trace filter: exactly one flight path is required".into());
+    };
+    if kind.is_none() && node.is_none() {
+        return Err("trace filter: at least one of --kind or --node is required".into());
+    }
+    let (_, flight) = open_flight(path)?;
+
+    let matches: Vec<_> = flight
+        .records
+        .iter()
+        .filter(|r| kind.as_deref().is_none_or(|k| r.event.kind() == k))
+        .filter(|r| node.is_none_or(|n| r.event.node() == Some(NodeId(n))))
+        .collect();
+    let skip = matches.len().saturating_sub(limit);
+    println!(
+        "{} of {} records match{}",
+        matches.len(),
+        flight.records.len(),
+        if skip > 0 {
+            format!(" (showing the last {limit}; --limit raises)")
+        } else {
+            String::new()
+        }
+    );
+    for r in &matches[skip..] {
+        println!("{}", record_line(r));
+    }
+    Ok(())
+}
+
+fn cmd_trace_top(args: &[String]) -> Result<(), String> {
+    // `--tree` is valueless; pull it out before the `--flag value` walker.
+    let mut tree = false;
+    let args: Vec<String> = args
+        .iter()
+        .filter(|a| {
+            let is_tree = a.as_str() == "--tree";
+            tree |= is_tree;
+            !is_tree
+        })
+        .cloned()
+        .collect();
+
+    let mut n = 10usize;
+    let positional = walk_options(&args, |flag, value| {
+        match flag {
+            "n" => n = parse_num(flag, value)?,
+            _ => return Err(format!("trace top: unknown option --{flag}")),
+        }
+        Ok(())
+    })?;
+    let [path] = positional.as_slice() else {
+        return Err("trace top: exactly one flight path is required".into());
+    };
+    let (_, flight) = open_flight(path)?;
+
+    if tree {
+        print_pause_tree(&flight);
+        return Ok(());
+    }
+
+    let end = flight
+        .records
+        .last()
+        .map(|r| r.at)
+        .unwrap_or(SimTime::ZERO);
+    let top = flight.pause_time_by_port(end);
+    if top.is_empty() {
+        println!("no PFC pause intervals in this trace");
+        return Ok(());
+    }
+    println!("top {} queues by PFC pause-time (open intervals closed at {end}):", n.min(top.len()));
+    println!("{:<8} {:<6} {}", "switch", "port", "paused");
+    for ((node, port), paused) in top.iter().take(n) {
+        println!("{:<8} {:<6} {}", format!("sw{}", node.0), port, paused);
+    }
+    Ok(())
+}
+
+/// Renders the pause-propagation forest from the trace's PFC wait-for
+/// edges: an edge `src -> node` means a frame from `src` paused `node`'s
+/// egress toward it, i.e. backpressure propagated from `src` upstream to
+/// `node`. Roots are pause origins (never themselves paused); a back edge
+/// to an ancestor is marked as a cycle — the signature of PFC deadlock.
+fn print_pause_tree(flight: &FlightTrace) {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut children: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    let mut paused: BTreeSet<u32> = BTreeSet::new();
+    for (_, node, src, pause) in flight.pause_edges() {
+        if pause {
+            children.entry(src.0).or_default().insert(node.0);
+            paused.insert(node.0);
+        }
+    }
+    if children.is_empty() {
+        println!("no PFC pause (XOFF) deliveries in this trace");
+        return;
+    }
+    fn walk(
+        node: u32,
+        children: &BTreeMap<u32, BTreeSet<u32>>,
+        path: &mut Vec<u32>,
+        depth: usize,
+        seen: &mut BTreeSet<u32>,
+    ) {
+        println!("{}sw{}", "  ".repeat(depth), node);
+        seen.insert(node);
+        path.push(node);
+        if let Some(kids) = children.get(&node) {
+            for &kid in kids {
+                if path.contains(&kid) {
+                    println!(
+                        "{}sw{} ^ cycle back into the chain",
+                        "  ".repeat(depth + 1),
+                        kid
+                    );
+                    seen.insert(kid);
+                } else {
+                    walk(kid, children, path, depth + 1, seen);
+                }
+            }
+        }
+        path.pop();
+    }
+    let roots: Vec<u32> = children
+        .keys()
+        .filter(|k| !paused.contains(k))
+        .copied()
+        .collect();
+    println!("pause propagation (roots are pause origins):");
+    let mut seen = BTreeSet::new();
+    for root in roots {
+        walk(root, &children, &mut Vec::new(), 0, &mut seen);
+    }
+    // Components with no pure origin are wait-for cycles — the deadlock
+    // signature — and are unreachable from any root, so walk them too,
+    // entering each at its smallest unvisited pauser.
+    loop {
+        let Some(&entry) = children.keys().find(|k| !seen.contains(k)) else {
+            break;
+        };
+        println!("(cyclic component, no pure origin:)");
+        walk(entry, &children, &mut Vec::new(), 0, &mut seen);
+    }
 }
 
 fn cmd_fuzz(args: &[String]) -> Result<(), String> {
@@ -871,6 +1398,7 @@ fn main() -> ExitCode {
         "resume" => cmd_resume(rest),
         "serve" => cmd_serve(rest),
         "scenario" => cmd_scenario(rest),
+        "trace" => cmd_trace(rest),
         "fuzz" => cmd_fuzz(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");

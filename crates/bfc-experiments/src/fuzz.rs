@@ -696,7 +696,9 @@ impl Reproducer {
     }
 
     /// The trace this reproducer synthesizes and the topology it runs over.
-    fn materialize(&self) -> Result<(Topology, Vec<bfc_workloads::TraceFlow>, ExperimentConfig), String> {
+    /// Public so CLI front ends (e.g. `trace-tool scenario` on a committed
+    /// reproducer) can run the exact case through their own drivers.
+    pub fn materialize(&self) -> Result<(Topology, Vec<bfc_workloads::TraceFlow>, ExperimentConfig), String> {
         let topo = topology_by_name(&self.topo)
             .ok_or_else(|| format!("reproducer: unknown topology `{}`", self.topo))?;
         let hosts = topo.hosts();

@@ -64,7 +64,7 @@ pub use runner::{run_experiment, ExperimentConfig, ExperimentResult, RankMode};
 pub use scenario::{ScenarioError, ScenarioSpec};
 pub use scheme::Scheme;
 pub use service::{
-    resume_experiment, serve_experiment, snapshot_experiment, ServeReport, SNAPSHOT_MAGIC,
-    SNAPSHOT_VERSION,
+    resume_experiment, serve_experiment, serve_experiment_with, snapshot_experiment, MetricsHub,
+    ServeReport, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use sharded::{run_experiment_auto, run_experiment_sharded, ShardError, ShardPlan};

@@ -7,13 +7,15 @@
 
 use bfc_metrics::fct::{FctRecord, FctSummary};
 use bfc_metrics::recovery::{RecoveryMetrics, RecoveryTracker};
+use bfc_metrics::registry::{labeled, MetricsRegistry};
 use bfc_metrics::safety::{SafetyConfig, SafetyReport, SafetyTracker};
 use bfc_metrics::series::{OccupancySeries, UtilizationTracker};
 use bfc_net::config::SwitchConfig;
 use bfc_net::dynamics::{FaultEvent, FaultSchedule, LinkAction, LinkStateMap};
 use bfc_net::event::{FifoSink, NetEvent, NetSink};
 use bfc_net::packet::{vfid_for_flow, PacketKind};
-use bfc_net::policy::PolicyStats;
+use bfc_net::policy::{PolicyStats, ProbeStats};
+use bfc_net::trace::{FlightRecorder, FlightTrace, Recording, TraceEvent};
 use bfc_net::routing::RoutingTables;
 use bfc_net::switch::Switch;
 use bfc_net::topology::Topology;
@@ -102,6 +104,12 @@ pub struct ExperimentConfig {
     /// horizon, pause-storm window). Analysis-only — judging the run's
     /// observations differently never changes the run itself.
     pub safety: SafetyConfig,
+    /// Flight-recorder capacity: `Some(n)` records the last `n` trace
+    /// events (per shard, under sharding); `None` (the default) disables
+    /// tracing entirely. Observability-only — on or off, results are
+    /// bit-identical, and the setting is deliberately excluded from the
+    /// snapshot fingerprint so resume works across a tracing toggle.
+    pub trace_capacity: Option<usize>,
 }
 
 impl ExperimentConfig {
@@ -120,6 +128,7 @@ impl ExperimentConfig {
             rank_mode: RankMode::default(),
             epoch_batching: true,
             safety: SafetyConfig::default(),
+            trace_capacity: None,
         }
     }
 
@@ -162,6 +171,12 @@ impl ExperimentConfig {
     /// Overrides the safety-detector thresholds.
     pub fn with_safety(mut self, safety: SafetyConfig) -> Self {
         self.safety = safety;
+        self
+    }
+
+    /// Enables the flight recorder with the given ring capacity.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
         self
     }
 
@@ -215,6 +230,14 @@ pub struct ExperimentResult {
     /// never part of any bit-identity comparison, since a resumed run only
     /// counts its post-snapshot epochs.
     pub epochs: EpochStats,
+    /// The unified counter/gauge registry: per-switch, per-port, per-scheme
+    /// and engine-internal series, merged deterministically across shards.
+    /// Observability only — never part of any bit-identity comparison.
+    pub registry: MetricsRegistry,
+    /// Flight-recorder trace in canonical `(time, rank, seq)` order, or
+    /// `None` when tracing was off. Observability only — never part of any
+    /// bit-identity comparison.
+    pub flight: Option<FlightTrace>,
 }
 
 impl ExperimentResult {
@@ -225,6 +248,24 @@ impl ExperimentResult {
         } else {
             self.completed_flows as f64 / self.total_flows as f64
         }
+    }
+
+    /// Folds engine-level counters into the registry once they are known:
+    /// the event queue's calendar-overflow count and the epoch-driver stats
+    /// (zeros for serial runs, recorded all the same so output is uniform).
+    pub(crate) fn record_engine_counters(&mut self, queue_overflow_pushes: u64) {
+        self.registry
+            .add_counter("bfc_engine_queue_overflow_pushes", queue_overflow_pushes);
+        self.registry
+            .add_counter("bfc_engine_epoch_batches", self.epochs.batches);
+        self.registry
+            .add_counter("bfc_engine_epoch_windows", self.epochs.windows);
+        self.registry
+            .add_counter("bfc_engine_epoch_barriers", self.epochs.barriers);
+        self.registry
+            .add_counter("bfc_engine_epoch_widened", self.epochs.widened);
+        self.registry
+            .add_counter("bfc_engine_epoch_boundary_events", self.epochs.boundary_events);
     }
 }
 
@@ -281,6 +322,11 @@ pub(crate) struct FabricSim<'a> {
     /// events carry rank 0. The sharded engine never consults this flag —
     /// it dispatches through its own ranked boundary-routing sink.
     pub(crate) fifo_rank: bool,
+    /// Flight recorder capturing this sim's trace events, or `None` when
+    /// tracing is off. [`FabricSim::dispatch`] wraps the sink in a
+    /// [`Recording`] only when this is `Some`, so the off path stays
+    /// zero-cost.
+    pub(crate) recorder: Option<FlightRecorder>,
 }
 
 impl FabricSim<'_> {
@@ -372,7 +418,23 @@ impl FabricSim<'_> {
 
     /// Handles one event. Generic over the sink so the serial engine passes
     /// the global queue and the sharded engine passes its boundary router.
+    /// With tracing on, the sink is wrapped in a [`Recording`] first so
+    /// every emission seam below reports into the flight recorder.
     pub(crate) fn dispatch(&mut self, now: SimTime, event: NetEvent, queue: &mut impl NetSink) {
+        match self.recorder.take() {
+            Some(mut rec) => {
+                let mut sink = Recording {
+                    inner: queue,
+                    recorder: &mut rec,
+                };
+                self.dispatch_inner(now, event, &mut sink);
+                self.recorder = Some(rec);
+            }
+            None => self.dispatch_inner(now, event, queue),
+        }
+    }
+
+    fn dispatch_inner(&mut self, now: SimTime, event: NetEvent, queue: &mut impl NetSink) {
         match event {
             NetEvent::FlowArrival { index } => {
                 let meta = &self.flows[index];
@@ -401,6 +463,14 @@ impl FabricSim<'_> {
                 // `node → packet.src` for the deadlock detector.
                 if let PacketKind::PfcPause { pause } = &packet.kind {
                     self.safety.record_pause(now, node, packet.src, *pause);
+                    queue.trace(
+                        now,
+                        TraceEvent::PfcDelivered {
+                            node,
+                            src: packet.src,
+                            pause: *pause,
+                        },
+                    );
                 }
                 let routes = &self.routes;
                 if let Some(sw) = self.switches[node.index()].as_mut() {
@@ -442,6 +512,25 @@ impl FabricSim<'_> {
             }
             NetEvent::NetworkDynamics { index } => {
                 let action = self.dynamics[index].action;
+                // Every shard applies dynamics to its own replica; only the
+                // counting sim traces them, or merged traces would hold one
+                // copy per shard.
+                if self.record_dynamics_metrics {
+                    match action {
+                        LinkAction::Down { a, b } => {
+                            queue.trace(now, TraceEvent::LinkDown { a, b });
+                        }
+                        LinkAction::Up { a, b } => {
+                            queue.trace(now, TraceEvent::LinkUp { a, b });
+                        }
+                        LinkAction::SetRate { a, b, .. } => {
+                            queue.trace(now, TraceEvent::LinkRate { a, b });
+                        }
+                    }
+                    if !matches!(action, LinkAction::SetRate { .. }) {
+                        queue.trace(now, TraceEvent::Reroute { index: index as u32 });
+                    }
+                }
                 self.apply_dynamics(now, action, queue);
             }
         }
@@ -676,7 +765,26 @@ pub(crate) fn build_sim<'a>(
         safety: SafetyTracker::new(),
         record_dynamics_metrics,
         fifo_rank: config.rank_mode.is_fifo(),
+        recorder: config.trace_capacity.map(FlightRecorder::new),
     }
+}
+
+/// Folds one switch's forwarding counters into `registry` under
+/// `bfc_switch_*{node="..."}` series. Shared by the end-of-run assembly and
+/// the live exposition in service mode.
+pub(crate) fn record_switch_counters(registry: &mut MetricsRegistry, sw: &Switch) {
+    let node = sw.id.0.to_string();
+    let by_node: &[(&str, &str)] = &[("node", node.as_str())];
+    let c = sw.counters();
+    registry.add_counter(labeled("bfc_switch_rx_packets", by_node), c.rx_packets);
+    registry.add_counter(labeled("bfc_switch_drops", by_node), c.drops);
+    registry.add_counter(labeled("bfc_switch_ecn_marked", by_node), c.ecn_marked);
+    registry.add_counter(labeled("bfc_switch_pfc_pauses_sent", by_node), c.pfc_pauses_sent);
+    registry.add_counter(
+        labeled("bfc_switch_flow_pause_frames_sent", by_node),
+        c.flow_pause_frames_sent,
+    );
+    registry.add_counter(labeled("bfc_switch_blackholed", by_node), c.blackholed);
 }
 
 /// Merges one or more finished `FabricSim`s (one from the serial engine, one
@@ -724,11 +832,14 @@ pub(crate) fn assemble_result(
     };
 
     // Scalar per-node metrics, iterated in node order (each node lives in
-    // exactly one sim).
+    // exactly one sim). The registry is built in the same pass and in the
+    // same order, so serial and sharded runs produce equal registries.
     let mut tracker = UtilizationTracker::new(frame.hosts_list.len(), frame.host_gbps, measured);
     let mut policy_stats = PolicyStats::default();
     let mut drops = 0;
     let mut switch_blackholed = 0;
+    let mut registry = MetricsRegistry::new();
+    let mut probe = ProbeStats::default();
     for idx in 0..topo.num_nodes() {
         for sim in &sims {
             if let Some(host) = &sim.hosts[idx] {
@@ -741,12 +852,54 @@ pub(crate) fn assemble_result(
                 // arrivals) join the driver's in-flight drops in the
                 // recovery metrics.
                 switch_blackholed += sw.counters().blackholed;
+                record_switch_counters(&mut registry, sw);
+                let node = sw.id.0.to_string();
+                let ps = sw.probe_stats();
+                probe.lookups += ps.lookups;
+                probe.probe_steps += ps.probe_steps;
+                probe.max_probe = probe.max_probe.max(ps.max_probe);
                 for p in 0..sw.num_ports() {
-                    tracker.add_pfc_paused(sw.port(p as u32).pfc_paused_time(end_time));
+                    let paused = sw.port(p as u32).pfc_paused_time(end_time);
+                    tracker.add_pfc_paused(paused);
+                    // Ports that never paused stay out of the registry, or
+                    // big fabrics would drown in all-zero series.
+                    if paused.as_secs_f64() > 0.0 {
+                        let port = p.to_string();
+                        registry.set_gauge(
+                            labeled(
+                                "bfc_port_pfc_paused_seconds",
+                                &[("node", node.as_str()), ("port", port.as_str())],
+                            ),
+                            paused.as_secs_f64(),
+                        );
+                    }
                 }
             }
         }
     }
+
+    // Per-scheme policy counters (the quantities behind Figs. 7, 12 and 13).
+    let scheme_name = config.scheme.name();
+    let by_scheme: &[(&str, &str)] = &[("scheme", scheme_name.as_str())];
+    registry.add_counter(
+        labeled("bfc_policy_flow_assignments", by_scheme),
+        policy_stats.flow_assignments,
+    );
+    registry.add_counter(
+        labeled("bfc_policy_collisions", by_scheme),
+        policy_stats.collisions,
+    );
+    registry.add_counter(
+        labeled("bfc_policy_table_overflows", by_scheme),
+        policy_stats.table_overflows,
+    );
+    registry.add_counter(labeled("bfc_policy_pauses", by_scheme), policy_stats.pauses);
+    registry.add_counter(labeled("bfc_policy_resumes", by_scheme), policy_stats.resumes);
+
+    // Flow-table probe behavior, aggregated across every switch.
+    registry.add_counter("bfc_flow_table_lookups", probe.lookups);
+    registry.add_counter("bfc_flow_table_probe_steps", probe.probe_steps);
+    registry.set_gauge("bfc_flow_table_max_probe", probe.max_probe as f64);
 
     // Recovery accumulators merge exactly: blackhole counts sum, the fault /
     // reroute log lives in the one sim with `record_dynamics_metrics`, and
@@ -763,6 +916,22 @@ pub(crate) fn assemble_result(
         .iter_mut()
         .map(|s| std::mem::take(&mut s.safety))
         .collect();
+
+    // Flight traces: concatenating the per-shard rings and restoring
+    // canonical `(time, rank, seq)` order reproduces exactly the stream one
+    // serial recorder would have captured (same merge argument as above —
+    // equal `(time, rank)` implies one owning shard). A serial run's single
+    // trace goes through the same canonicalization.
+    let flight_parts: Vec<FlightTrace> = sims
+        .iter_mut()
+        .filter_map(|s| s.recorder.take())
+        .map(|r| r.finish())
+        .collect();
+    let flight = if flight_parts.is_empty() {
+        None
+    } else {
+        Some(FlightTrace::merge(flight_parts))
+    };
 
     // Sampled series. Each sim records one occupancy value per owned switch
     // per tick (in node order) and one peak/occupied maximum per tick;
@@ -816,6 +985,19 @@ pub(crate) fn assemble_result(
         trace.len() - completed,
     );
 
+    // Run-level rollups and the safety verdict.
+    registry.add_counter("bfc_flows_completed", completed as u64);
+    registry.add_counter("bfc_flows_total", trace.len() as u64);
+    registry.add_counter("bfc_safety_pause_frames", safety.pause_frames);
+    registry.add_counter("bfc_safety_cycles_formed", safety.cycles_formed);
+    registry.add_counter("bfc_safety_deadlocks", safety.deadlocks);
+    registry.add_counter("bfc_safety_violations", safety.violations());
+    registry.add_counter("bfc_recovery_blackholed_packets", recovery.blackholed_packets);
+    registry.add_counter("bfc_recovery_reroutes", recovery.reroutes);
+    registry.set_gauge("bfc_utilization", tracker.utilization());
+    registry.set_gauge("bfc_pfc_pause_fraction", tracker.pfc_pause_fraction());
+    registry.set_gauge("bfc_safety_max_pause_depth", f64::from(safety.max_pause_depth));
+
     ExperimentResult {
         scheme: config.scheme.name(),
         fct,
@@ -833,6 +1015,8 @@ pub(crate) fn assemble_result(
         recovery,
         safety,
         epochs: EpochStats::default(),
+        registry,
+        flight,
     }
 }
 
@@ -870,7 +1054,9 @@ pub fn run_experiment(
 
     let deadline = SimTime::ZERO + config.horizon + config.drain;
     let end_time = run_until(&mut sim, &mut queue, deadline);
-    assemble_result(topo, trace, config, &frame, vec![sim], end_time)
+    let mut result = assemble_result(topo, trace, config, &frame, vec![sim], end_time);
+    result.record_engine_counters(queue.overflow_pushes());
+    result
 }
 
 #[cfg(test)]

@@ -65,8 +65,9 @@ pub const SNAPSHOT_MAGIC: &[u8; 8] = b"BFCSNAP\0";
 
 /// Current snapshot payload format version. Bump on any layout change; old
 /// versions are rejected with [`SnapError::BadVersion`] rather than
-/// misinterpreted.
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// misinterpreted. Version 4 appended the observability counters to the
+/// flow-table and calendar-queue states.
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// Hashes every run input the snapshot does *not* serialize — topology
 /// shape, trace, configuration and shard count — so a resume against
@@ -354,7 +355,11 @@ pub fn resume_experiment(
         // `run_until` returns ZERO when every event was already processed
         // before the snapshot; the run's end is whichever came later.
         let end_time = last.max(resumed);
-        Ok(assemble_result(topo, trace, config, &frame, vec![sim], end_time))
+        let mut result = assemble_result(topo, trace, config, &frame, vec![sim], end_time);
+        // The queue counter was restored from the snapshot, so the resumed
+        // run reports the same lifetime total as the uninterrupted one.
+        result.record_engine_counters(queue.overflow_pushes());
+        Ok(result)
     } else {
         let plan = plan_for(topo, trace, config, num_shards);
         if plan.num_shards() != num_shards {
@@ -378,11 +383,52 @@ pub fn resume_experiment(
             parallel,
             config.batch_policy(),
         );
+        let overflow_pushes: u64 = workers.iter().map(|w| w.queue.overflow_pushes()).sum();
         let sims: Vec<FabricSim<'_>> = workers.into_iter().map(|w| w.sim).collect();
         let mut result = assemble_result(topo, trace, config, &frame, sims, end_time);
         result.epochs = epochs;
+        result.record_engine_counters(overflow_pushes);
         Ok(result)
     }
+}
+
+/// A shared slot holding the latest rendered metrics exposition, so a
+/// scrape thread can serve the text while [`serve_experiment_with`] keeps
+/// driving the simulation. Cloning shares the slot.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsHub {
+    text: Arc<std::sync::Mutex<String>>,
+}
+
+impl MetricsHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the published exposition with a fresh render of `registry`.
+    pub fn publish(&self, registry: &bfc_metrics::MetricsRegistry) {
+        *self.text.lock().expect("metrics hub poisoned") = registry.expose();
+    }
+
+    /// The most recently published exposition text (empty before the first
+    /// publish).
+    pub fn render(&self) -> String {
+        self.text.lock().expect("metrics hub poisoned").clone()
+    }
+}
+
+/// Builds the live (mid-run) registry for service mode: the per-switch
+/// forwarding counters plus the ingest admission state. Cheap enough to
+/// rebuild on every admission.
+fn live_registry(sim: &FabricSim<'_>, admitted: usize) -> bfc_metrics::MetricsRegistry {
+    let mut registry = bfc_metrics::MetricsRegistry::new();
+    for sw in sim.switches.iter().flatten() {
+        crate::runner::record_switch_counters(&mut registry, sw);
+    }
+    registry.add_counter("bfc_flows_admitted", admitted as u64);
+    registry.add_counter("bfc_flows_completed", sim.completed as u64);
+    registry
 }
 
 /// What [`serve_experiment`] produced.
@@ -413,6 +459,21 @@ pub fn serve_experiment(
     source: &mut dyn IngestSource,
     inflight_cap: usize,
 ) -> Result<ServeReport, IngestError> {
+    serve_experiment_with(topo, config, source, inflight_cap, None)
+}
+
+/// [`serve_experiment`] with live metrics: when `metrics` is given, the
+/// driver publishes a fresh exposition to the hub on every admission and
+/// once more at the end of the run, so a concurrent scrape thread always
+/// reads a consistent (if slightly stale) snapshot. Publishing never feeds
+/// back into the simulation, so results are unchanged by observation.
+pub fn serve_experiment_with(
+    topo: &Topology,
+    config: &ExperimentConfig,
+    source: &mut dyn IngestSource,
+    inflight_cap: usize,
+    metrics: Option<&MetricsHub>,
+) -> Result<ServeReport, IngestError> {
     assert!(inflight_cap >= 1, "inflight cap must be at least 1");
     if let Err(e) = config.dynamics.validate(topo) {
         panic!("invalid fault schedule for this topology: {e}");
@@ -428,6 +489,11 @@ pub fn serve_experiment(
     let deadline = SimTime::ZERO + config.horizon + config.drain;
     let mut admitted: Vec<TraceFlow> = Vec::new();
     let mut last = SimTime::ZERO;
+    if let Some(hub) = metrics {
+        // Publish the zeroed registry up front so a scrape racing the first
+        // admission still reads well-formed exposition text.
+        hub.publish(&live_registry(&sim, 0));
+    }
 
     loop {
         // Backpressure: while the inflight window is full, make progress
@@ -462,11 +528,18 @@ pub fn serve_experiment(
         sim.flow_completed.push(None);
         seed_send(&mut queue, fifo, flow.start, NetEvent::FlowArrival { index });
         admitted.push(flow);
+        if let Some(hub) = metrics {
+            hub.publish(&live_registry(&sim, admitted.len()));
+        }
     }
 
     let drained = run_until(&mut sim, &mut queue, deadline);
     let end_time = last.max(drained);
-    let result = assemble_result(topo, &admitted, config, &frame, vec![sim], end_time);
+    let mut result = assemble_result(topo, &admitted, config, &frame, vec![sim], end_time);
+    result.record_engine_counters(queue.overflow_pushes());
+    if let Some(hub) = metrics {
+        hub.publish(&result.registry);
+    }
     let count = admitted.len();
     Ok(ServeReport {
         result,

@@ -338,9 +338,11 @@ pub fn run_experiment_sharded(
         parallel,
         config.batch_policy(),
     );
+    let overflow_pushes: u64 = workers.iter().map(|w| w.queue.overflow_pushes()).sum();
     let sims: Vec<FabricSim<'_>> = workers.into_iter().map(|w| w.sim).collect();
     let mut result = assemble_result(topo, trace, config, &frame, sims, end_time);
     result.epochs = epochs;
+    result.record_engine_counters(overflow_pushes);
     result
 }
 

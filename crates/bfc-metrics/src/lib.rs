@@ -16,15 +16,20 @@
 //! * [`safety`] — the safety detectors the PFC/BFC community cares about:
 //!   circular buffer-dependency (PFC deadlock) detection over the pause
 //!   wait-for graph, pause-storm metrics, and livelock detection.
+//! * [`registry`] — the unified counter/gauge registry: per-switch,
+//!   per-scheme and engine-internal counters under Prometheus-style series
+//!   names, with deterministic cross-shard merge and text exposition.
 
 pub mod fct;
 pub mod recovery;
+pub mod registry;
 pub mod safety;
 pub mod series;
 pub mod stats;
 
 pub use fct::{FctRecord, FctSummary, SizeBucket};
 pub use recovery::{RecoveryMetrics, RecoveryTracker};
+pub use registry::MetricsRegistry;
 pub use safety::{SafetyConfig, SafetyReport, SafetyTracker};
 pub use series::{OccupancySeries, UtilizationTracker};
 pub use stats::{build_cdf, mean, percentile};

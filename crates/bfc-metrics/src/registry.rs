@@ -1,0 +1,218 @@
+//! The unified counter/gauge registry.
+//!
+//! Every layer of a run — switches, ports, schemes, and the engine itself
+//! (epoch batches, calendar-queue overflow, flow-table probe lengths) —
+//! reports into one [`MetricsRegistry`] keyed by Prometheus-style series
+//! names (`bfc_switch_drops{node="3"}`). The registry is plain data over
+//! `BTreeMap`s, so iteration order, [`MetricsRegistry::merge`] and the text
+//! exposition are all deterministic: two registries built from the same run
+//! are equal no matter how the run was sharded.
+//!
+//! The registry is *derived* state: it is rebuilt from the simulation's
+//! components (which own the real counters and serialize them in
+//! snapshots), never snapshotted itself, and never participates in result
+//! bit-identity comparisons.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A deterministic registry of named counters and gauges.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+/// Formats a full series key from a metric family name and `(label, value)`
+/// pairs: `labeled("bfc_drops", &[("node", "3")])` →
+/// `bfc_drops{node="3"}`. Labels are emitted in the order given.
+pub fn labeled(family: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return family.to_string();
+    }
+    let mut key = String::with_capacity(family.len() + 16 * labels.len());
+    key.push_str(family);
+    key.push('{');
+    for (i, (name, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        let _ = write!(key, "{name}=\"{value}\"");
+    }
+    key.push('}');
+    key
+}
+
+/// The metric family of a series key (the part before the label braces).
+fn family(key: &str) -> &str {
+    key.split('{').next().unwrap_or(key)
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `value` to the counter at `key` (creating it at zero first).
+    pub fn add_counter(&mut self, key: impl Into<String>, value: u64) {
+        *self.counters.entry(key.into()).or_insert(0) += value;
+    }
+
+    /// Sets the gauge at `key`.
+    pub fn set_gauge(&mut self, key: impl Into<String>, value: f64) {
+        self.gauges.insert(key.into(), value);
+    }
+
+    /// The counter at `key`, or `None` if it was never reported.
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        self.counters.get(key).copied()
+    }
+
+    /// The gauge at `key`, or `None` if it was never reported.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// Sums every counter of `family` across its label sets.
+    pub fn family_total(&self, family_name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| family(k) == family_name)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Iterates counters in sorted key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates gauges in sorted key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of series (counters plus gauges).
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len()
+    }
+
+    /// True if nothing has been reported.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty()
+    }
+
+    /// Folds another registry into this one: counters sum exactly; a gauge
+    /// reported by both takes the maximum (gauges here are peaks). The
+    /// operation is associative and commutative over counters, which is
+    /// what makes the per-shard merge order-independent.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, &v) in &other.counters {
+            self.add_counter(k.clone(), v);
+        }
+        for (k, &v) in &other.gauges {
+            self.gauges
+                .entry(k.clone())
+                .and_modify(|g| *g = g.max(v))
+                .or_insert(v);
+        }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format:
+    /// one `# TYPE` comment per metric family followed by its series,
+    /// families and series in sorted order, terminated by a newline.
+    pub fn expose(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = "";
+        for (key, value) in &self.counters {
+            let fam = family(key);
+            if fam != last_family {
+                let _ = writeln!(out, "# TYPE {fam} counter");
+                last_family = fam;
+            }
+            let _ = writeln!(out, "{key} {value}");
+        }
+        last_family = "";
+        for (key, value) in &self.gauges {
+            let fam = family(key);
+            if fam != last_family {
+                let _ = writeln!(out, "# TYPE {fam} gauge");
+                last_family = fam;
+            }
+            let _ = writeln!(out, "{key} {value}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labeled_formats_series_keys() {
+        assert_eq!(labeled("bfc_up", &[]), "bfc_up");
+        assert_eq!(
+            labeled("bfc_drops", &[("node", "3"), ("port", "1")]),
+            "bfc_drops{node=\"3\",port=\"1\"}"
+        );
+    }
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let mut reg = MetricsRegistry::new();
+        reg.add_counter("a", 2);
+        reg.add_counter("a", 3);
+        reg.add_counter(labeled("b", &[("node", "0")]), 7);
+        assert_eq!(reg.counter("a"), Some(5));
+        assert_eq!(reg.counter("b{node=\"0\"}"), Some(7));
+        assert_eq!(reg.counter("missing"), None);
+        assert_eq!(reg.family_total("b"), 7);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn merge_sums_counters_exactly_and_is_order_independent() {
+        let mut a = MetricsRegistry::new();
+        a.add_counter("x", 1);
+        a.add_counter("y", 10);
+        a.set_gauge("peak", 3.0);
+        let mut b = MetricsRegistry::new();
+        b.add_counter("x", 2);
+        b.add_counter("z", 5);
+        b.set_gauge("peak", 4.0);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("x"), Some(3));
+        assert_eq!(ab.counter("y"), Some(10));
+        assert_eq!(ab.counter("z"), Some(5));
+        assert_eq!(ab.gauge("peak"), Some(4.0));
+    }
+
+    #[test]
+    fn exposition_is_sorted_grouped_and_newline_terminated() {
+        let mut reg = MetricsRegistry::new();
+        reg.add_counter(labeled("bfc_drops", &[("node", "1")]), 4);
+        reg.add_counter(labeled("bfc_drops", &[("node", "0")]), 2);
+        reg.add_counter("bfc_batches", 9);
+        reg.set_gauge("bfc_peak_flows", 12.0);
+        let text = reg.expose();
+        assert_eq!(
+            text,
+            "# TYPE bfc_batches counter\n\
+             bfc_batches 9\n\
+             # TYPE bfc_drops counter\n\
+             bfc_drops{node=\"0\"} 2\n\
+             bfc_drops{node=\"1\"} 4\n\
+             # TYPE bfc_peak_flows gauge\n\
+             bfc_peak_flows 12\n"
+        );
+        // Deterministic: rendering twice is identical.
+        assert_eq!(reg.expose(), text);
+    }
+}

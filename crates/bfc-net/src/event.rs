@@ -275,6 +275,15 @@ impl NetEvent {
 pub trait NetSink {
     /// Schedules `event` at absolute time `time`.
     fn send(&mut self, time: SimTime, event: NetEvent);
+
+    /// Observability hook riding the same seam: emission sites report
+    /// structured [`TraceEvent`]s through the sink they already hold. The
+    /// default ignores them — only the flight recorder's
+    /// [`crate::trace::Recording`] wrapper overrides it, so tracing is
+    /// zero-cost when off (the no-op inlines away, taking the event
+    /// construction with it).
+    #[inline]
+    fn trace(&mut self, _at: SimTime, _event: crate::trace::TraceEvent) {}
 }
 
 impl NetSink for EventQueue<NetEvent> {

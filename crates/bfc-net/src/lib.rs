@@ -21,6 +21,9 @@
 //!   link-state overlay, fault schedules, and the stable-rehash routing
 //!   re-convergence they drive.
 //! * [`event`] — the global event vocabulary used by the simulation driver.
+//! * [`trace`] — flight-recorder tracing: structured observability events
+//!   behind the [`event::NetSink`] seam, a bounded last-N ring, and the
+//!   binary trace container.
 //!
 //! The crate deliberately knows nothing about congestion-control algorithms
 //! (DCQCN, HPCC, …); those live in `bfc-transport` and only interact with
@@ -38,6 +41,7 @@ pub mod queue;
 pub mod routing;
 pub mod switch;
 pub mod topology;
+pub mod trace;
 pub mod types;
 
 pub use buffer::SharedBuffer;
@@ -47,11 +51,13 @@ pub use event::{NetEvent, TransportTimer};
 pub use link::Link;
 pub use packet::{IntHop, IntPath, Packet, PacketKind, PauseFrame, MAX_INT_HOPS};
 pub use policy::{
-    EnqueueCtx, EnqueueDecision, FifoPolicy, PolicyStats, QueueTarget, SfqPolicy, SwitchPolicy,
+    EnqueueCtx, EnqueueDecision, FifoPolicy, PolicyStats, ProbeStats, QueueTarget, SfqPolicy,
+    SwitchPolicy,
 };
 pub use port::Port;
 pub use queue::PhysQueue;
 pub use routing::RoutingTables;
 pub use switch::Switch;
 pub use topology::{NodeKind, Topology, TopologyBuilder};
+pub use trace::{FlightRecorder, FlightTrace, TraceEvent, TraceRecord};
 pub use types::{FlowId, NodeId, PortId};

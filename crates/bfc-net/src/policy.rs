@@ -166,6 +166,21 @@ impl PolicyStats {
     }
 }
 
+/// Flow-table probing counters a policy may expose for the observability
+/// registry. Kept separate from [`PolicyStats`] — which experiment results
+/// compare bit-for-bit — so new instrumentation never perturbs the
+/// evaluation figures. Schemes without a flow table report all zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Flow-table lookups performed.
+    pub lookups: u64,
+    /// Total probe steps across all lookups (1 per lookup when every key
+    /// sits in its home slot).
+    pub probe_steps: u64,
+    /// Longest single probe sequence observed.
+    pub max_probe: u64,
+}
+
 /// Serializes a per-flow residency map in sorted key order. The map is only
 /// ever probed by key, so sorted order is canonical and restore-equivalent.
 fn save_residency(w: &mut SnapWriter, map: &FastHashMap<FlowId, usize>) {
@@ -209,6 +224,12 @@ pub trait SwitchPolicy: Send {
 
     /// Aggregated counters.
     fn stats(&self) -> PolicyStats;
+
+    /// Flow-table probing counters for the observability registry. The
+    /// default covers schemes without a flow table.
+    fn probe_stats(&self) -> ProbeStats {
+        ProbeStats::default()
+    }
 
     /// Human-readable name used in experiment output.
     fn name(&self) -> &'static str;

@@ -154,6 +154,18 @@ impl Port {
         self.queues[i].is_empty()
     }
 
+    /// True if the queue a [`QueueTarget`] names currently holds nothing.
+    /// The switch probes this around enqueue/dequeue to detect the
+    /// empty<->non-empty transitions the flight recorder reports.
+    pub fn target_is_empty(&self, target: QueueTarget) -> bool {
+        match target {
+            QueueTarget::Control => self.control.is_empty(),
+            QueueTarget::HighPriority => self.high_priority.is_empty(),
+            QueueTarget::Overflow => self.overflow.is_empty(),
+            QueueTarget::Phys(i) => self.queues[i].is_empty(),
+        }
+    }
+
     /// Total bytes queued across all data-plane queues (physical + high
     /// priority + overflow). Used for ECN marking and INT telemetry.
     pub fn data_queued_bytes(&self) -> u64 {

@@ -29,7 +29,18 @@ use crate::policy::{DequeueCtx, EnqueueCtx, QueueTarget, SwitchPolicy};
 use crate::port::Port;
 use crate::routing::RoutingTables;
 use crate::topology::PortSpec;
+use crate::trace::{self, TraceEvent};
 use crate::types::NodeId;
+
+/// Maps a policy queue target onto the trace-record queue encoding.
+fn queue_code(target: QueueTarget) -> u32 {
+    match target {
+        QueueTarget::Control => trace::QUEUE_CONTROL,
+        QueueTarget::HighPriority => trace::QUEUE_HIGH_PRIORITY,
+        QueueTarget::Overflow => trace::QUEUE_OVERFLOW,
+        QueueTarget::Phys(q) => q as u32,
+    }
+}
 
 /// Counters a switch exposes to the experiment harness.
 #[derive(Debug, Clone, Copy, Default)]
@@ -124,6 +135,11 @@ impl Switch {
     /// The policy's counters.
     pub fn policy_stats(&self) -> crate::policy::PolicyStats {
         self.policy.stats()
+    }
+
+    /// The policy's flow-table probing counters (observability registry).
+    pub fn probe_stats(&self) -> crate::policy::ProbeStats {
+        self.policy.probe_stats()
     }
 
     /// Name of the installed policy.
@@ -231,6 +247,14 @@ impl Switch {
             // the link) comes back.
             if packet.is_data() {
                 self.counters.blackholed += 1;
+                events.trace(
+                    now,
+                    TraceEvent::Blackhole {
+                        node: self.id,
+                        flow: packet.flow.0,
+                        bytes: packet.size_bytes,
+                    },
+                );
             }
             return;
         };
@@ -242,6 +266,15 @@ impl Switch {
 
         if !self.buffer.admit(packet.size_bytes, ingress) {
             // Dropped: Go-Back-N at the sender recovers it.
+            events.trace(
+                now,
+                TraceEvent::Drop {
+                    node: self.id,
+                    port: egress,
+                    flow: packet.flow.0,
+                    bytes: packet.size_bytes,
+                },
+            );
             return;
         }
         self.maybe_send_pfc(now, ingress, events);
@@ -283,7 +316,32 @@ impl Switch {
             }
         }
 
+        let queue = queue_code(target);
+        let (flow, bytes, is_data) = (packet.flow.0, packet.size_bytes, packet.is_data());
+        let was_empty = self.ports[egress as usize].target_is_empty(target);
         self.ports[egress as usize].enqueue(target, packet, ingress);
+        if is_data {
+            events.trace(
+                now,
+                TraceEvent::Enqueue {
+                    node: self.id,
+                    port: egress,
+                    queue,
+                    flow,
+                    bytes,
+                },
+            );
+        }
+        if was_empty {
+            events.trace(
+                now,
+                TraceEvent::QueueActive {
+                    node: self.id,
+                    port: egress,
+                    queue,
+                },
+            );
+        }
         self.try_transmit(now, egress, events);
     }
 
@@ -296,6 +354,14 @@ impl Switch {
                 let frame = Packet::pfc(self.id, peer, pause);
                 let arrival = port.link.arrival_time(now, frame.size_bytes);
                 self.counters.pfc_pauses_sent += u64::from(pause);
+                events.trace(
+                    now,
+                    TraceEvent::PfcSent {
+                        node: self.id,
+                        port: ingress,
+                        pause,
+                    },
+                );
                 events.send(
                     arrival,
                     NetEvent::PacketArrive {
@@ -333,6 +399,15 @@ impl Switch {
                 let packet = Packet::flow_pause(self.id, peer, frame);
                 let arrival = port.link.arrival_time(now, packet.size_bytes);
                 self.counters.flow_pause_frames_sent += 1;
+                events.trace(
+                    now,
+                    TraceEvent::FlowPause {
+                        node: self.id,
+                        port: ingress,
+                        bits: frame.popcount(),
+                        pause: !frame.is_empty(),
+                    },
+                );
                 events.send(
                     arrival,
                     NetEvent::PacketArrive {
@@ -375,6 +450,14 @@ impl Switch {
             self.buffer.release(qp.packet.size_bytes, qp.ingress);
             if qp.packet.is_data() {
                 blackholed += 1;
+                events.trace(
+                    now,
+                    TraceEvent::Blackhole {
+                        node: self.id,
+                        flow: qp.packet.flow.0,
+                        bytes: qp.packet.size_bytes,
+                    },
+                );
             }
             if from_queue != QueueTarget::Control {
                 let ctx = DequeueCtx {
@@ -421,6 +504,30 @@ impl Switch {
         };
         let mut packet = queued.packet;
         let ingress = queued.ingress;
+
+        let queue = queue_code(from_queue);
+        if packet.is_data() {
+            events.trace(
+                now,
+                TraceEvent::Dequeue {
+                    node: self.id,
+                    port,
+                    queue,
+                    flow: packet.flow.0,
+                    bytes: packet.size_bytes,
+                },
+            );
+        }
+        if self.ports[idx].target_is_empty(from_queue) {
+            events.trace(
+                now,
+                TraceEvent::QueueIdle {
+                    node: self.id,
+                    port,
+                    queue,
+                },
+            );
+        }
 
         self.buffer.release(packet.size_bytes, ingress);
         self.maybe_send_pfc(now, ingress, events);

@@ -1,0 +1,963 @@
+//! Flight-recorder tracing: structured sim events behind the [`NetSink`]
+//! seam.
+//!
+//! Every interesting thing a switch does — enqueue, dequeue, drop, pause —
+//! already happens with a [`NetSink`] in hand, so tracing rides the same
+//! seam: [`NetSink::trace`] is a default no-op that only the [`Recording`]
+//! wrapper overrides. When tracing is off the emission sites compile down to
+//! nothing (the default impl ignores its arguments and is inlined away);
+//! when it is on, each event lands in a bounded [`FlightRecorder`] ring that
+//! keeps the last N records and counts what it sheds.
+//!
+//! # Canonical order
+//!
+//! A record is keyed by `(time, rank, seq)` exactly like the engine's
+//! scheduled events: the rank is derived from the event's *content*
+//! ([`TraceEvent::canon_rank`]), so per-shard record streams merge into one
+//! canonical order that does not depend on how the run was sharded. Two
+//! records with equal `(time, rank)` necessarily describe the same node,
+//! which exactly one shard owns — so a stable sort over the concatenated
+//! per-shard streams reproduces the serial engine's relative order
+//! ([`FlightTrace::merge`]).
+//!
+//! # Container
+//!
+//! [`write_trace`] / [`read_trace`] serialize a trace to a binary container
+//! reusing [`bfc_sim::snapshot`]'s framing (magic, version, length prefix,
+//! FNV-1a-64 checksum), with its own magic so snapshot and trace files can
+//! never be confused for one another.
+
+use std::collections::VecDeque;
+
+use bfc_sim::snapshot::{finalize, open, SnapError, SnapReader, SnapWriter};
+use bfc_sim::{SimDuration, SimTime};
+
+use crate::event::NetSink;
+use crate::types::NodeId;
+
+/// Magic bytes of the flight-recorder trace container.
+pub const TRACE_MAGIC: &[u8; 8] = b"BFCTRACE";
+/// Container format version checked by [`read_trace`].
+pub const TRACE_VERSION: u32 = 1;
+
+/// Queue index used for the strict-priority control queue in trace records.
+pub const QUEUE_CONTROL: u32 = u32::MAX;
+/// Queue index used for the BFC high-priority queue in trace records.
+pub const QUEUE_HIGH_PRIORITY: u32 = u32::MAX - 1;
+/// Queue index used for the untracked-flow overflow queue in trace records.
+pub const QUEUE_OVERFLOW: u32 = u32::MAX - 2;
+
+/// Formats a trace-record queue index, naming the special queues.
+pub fn queue_name(queue: u32) -> String {
+    match queue {
+        QUEUE_CONTROL => "ctrl".to_string(),
+        QUEUE_HIGH_PRIORITY => "hi".to_string(),
+        QUEUE_OVERFLOW => "ovfl".to_string(),
+        q => q.to_string(),
+    }
+}
+
+/// One structured observability event. `Copy` and small on purpose: the
+/// recorder's ring shuffles these by value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A data packet joined queue `queue` of egress `port` at `node`.
+    Enqueue {
+        /// Switch making the decision.
+        node: NodeId,
+        /// Local egress port.
+        port: u32,
+        /// Queue index (see the `QUEUE_*` constants for special queues).
+        queue: u32,
+        /// Flow the packet belongs to.
+        flow: u32,
+        /// Packet size in bytes.
+        bytes: u32,
+    },
+    /// A data packet left queue `queue` of egress `port` at `node`.
+    Dequeue {
+        /// Switch transmitting the packet.
+        node: NodeId,
+        /// Local egress port.
+        port: u32,
+        /// Queue the packet was scheduled from.
+        queue: u32,
+        /// Flow the packet belongs to.
+        flow: u32,
+        /// Packet size in bytes.
+        bytes: u32,
+    },
+    /// A data packet was dropped at admission (shared buffer full).
+    Drop {
+        /// Switch dropping the packet.
+        node: NodeId,
+        /// Local egress port the packet was headed for.
+        port: u32,
+        /// Flow the packet belonged to.
+        flow: u32,
+        /// Packet size in bytes.
+        bytes: u32,
+    },
+    /// A packet was blackholed (no route to its destination).
+    Blackhole {
+        /// Switch at which routing failed.
+        node: NodeId,
+        /// Flow the packet belonged to.
+        flow: u32,
+        /// Packet size in bytes.
+        bytes: u32,
+    },
+    /// `node` sent a port-level PFC frame out of ingress `port` toward its
+    /// upstream neighbor (`pause` = XOFF, `!pause` = XON).
+    PfcSent {
+        /// Switch sending the frame.
+        node: NodeId,
+        /// Local ingress port whose buffer usage triggered the frame.
+        port: u32,
+        /// True for pause (XOFF), false for resume (XON).
+        pause: bool,
+    },
+    /// A PFC frame from `src` arrived at `node`: `node`'s egress toward
+    /// `src` pauses (or resumes). These are exactly the wait-for edges the
+    /// safety tracker analyses.
+    PfcDelivered {
+        /// Switch whose egress is paused/resumed.
+        node: NodeId,
+        /// Neighbor that sent the frame.
+        src: NodeId,
+        /// True for pause (XOFF), false for resume (XON).
+        pause: bool,
+    },
+    /// `node` sent a per-flow (BFC) pause-frame bloom filter upstream out of
+    /// ingress `port`.
+    FlowPause {
+        /// Switch sending the frame.
+        node: NodeId,
+        /// Local ingress port the paused flows arrive on.
+        port: u32,
+        /// Bloom-filter bits set in the frame (0 = every VFID resumed).
+        bits: u32,
+        /// True if the frame pauses at least one VFID.
+        pause: bool,
+    },
+    /// Queue `queue` of egress `port` went empty → non-empty.
+    QueueActive {
+        /// The switch.
+        node: NodeId,
+        /// Local egress port.
+        port: u32,
+        /// Queue index.
+        queue: u32,
+    },
+    /// Queue `queue` of egress `port` went non-empty → empty.
+    QueueIdle {
+        /// The switch.
+        node: NodeId,
+        /// Local egress port.
+        port: u32,
+        /// Queue index.
+        queue: u32,
+    },
+    /// The cable `a <-> b` went down.
+    LinkDown {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// The cable `a <-> b` came back up.
+    LinkUp {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// The cable `a <-> b` changed rate (degrade/restore).
+    LinkRate {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Routing was recomputed after a fault event.
+    Reroute {
+        /// Index of the dynamics event that triggered the recompute.
+        index: u32,
+    },
+}
+
+impl TraceEvent {
+    /// The switch a record describes (`a` for link events, `None` for
+    /// reroutes, which are fabric-wide).
+    pub fn node(&self) -> Option<NodeId> {
+        match *self {
+            TraceEvent::Enqueue { node, .. }
+            | TraceEvent::Dequeue { node, .. }
+            | TraceEvent::Drop { node, .. }
+            | TraceEvent::Blackhole { node, .. }
+            | TraceEvent::PfcSent { node, .. }
+            | TraceEvent::PfcDelivered { node, .. }
+            | TraceEvent::FlowPause { node, .. }
+            | TraceEvent::QueueActive { node, .. }
+            | TraceEvent::QueueIdle { node, .. } => Some(node),
+            TraceEvent::LinkDown { a, .. }
+            | TraceEvent::LinkUp { a, .. }
+            | TraceEvent::LinkRate { a, .. } => Some(a),
+            TraceEvent::Reroute { .. } => None,
+        }
+    }
+
+    /// Short kind name used by the CLI's filter and summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Enqueue { .. } => "enqueue",
+            TraceEvent::Dequeue { .. } => "dequeue",
+            TraceEvent::Drop { .. } => "drop",
+            TraceEvent::Blackhole { .. } => "blackhole",
+            TraceEvent::PfcSent { .. } => "pfc-sent",
+            TraceEvent::PfcDelivered { .. } => "pfc-delivered",
+            TraceEvent::FlowPause { .. } => "flow-pause",
+            TraceEvent::QueueActive { .. } => "queue-active",
+            TraceEvent::QueueIdle { .. } => "queue-idle",
+            TraceEvent::LinkDown { .. } => "link-down",
+            TraceEvent::LinkUp { .. } => "link-up",
+            TraceEvent::LinkRate { .. } => "link-rate",
+            TraceEvent::Reroute { .. } => "reroute",
+        }
+    }
+
+    /// Content-derived rank ordering simultaneous records canonically,
+    /// mirroring [`crate::event::NetEvent::canon_rank`]: kind tag in the
+    /// high bits, then the node, then the port (or peer). Records with
+    /// equal `(time, rank)` necessarily describe the same node, which is
+    /// what makes the per-shard merge exact.
+    pub fn canon_rank(&self) -> u64 {
+        fn key(tag: u64, node: NodeId, sub: u32) -> u64 {
+            (tag << 52) | (u64::from(node.0) << 20) | u64::from(sub)
+        }
+        match *self {
+            TraceEvent::Enqueue { node, port, .. } => key(0, node, port),
+            TraceEvent::Dequeue { node, port, .. } => key(1, node, port),
+            TraceEvent::Drop { node, port, .. } => key(2, node, port),
+            TraceEvent::Blackhole { node, .. } => key(3, node, 0),
+            TraceEvent::PfcSent { node, port, .. } => key(4, node, port),
+            TraceEvent::PfcDelivered { node, src, .. } => key(5, node, src.0),
+            TraceEvent::FlowPause { node, port, .. } => key(6, node, port),
+            TraceEvent::QueueActive { node, port, .. } => key(7, node, port),
+            TraceEvent::QueueIdle { node, port, .. } => key(8, node, port),
+            TraceEvent::LinkDown { a, b } => key(9, a, b.0),
+            TraceEvent::LinkUp { a, b } => key(10, a, b.0),
+            TraceEvent::LinkRate { a, b } => key(11, a, b.0),
+            TraceEvent::Reroute { index } => key(12, NodeId(0), index),
+        }
+    }
+
+    /// One-line human rendering used by `trace-tool trace inspect`.
+    pub fn render(&self) -> String {
+        match *self {
+            TraceEvent::Enqueue {
+                node,
+                port,
+                queue,
+                flow,
+                bytes,
+            } => format!(
+                "enqueue       sw{} port {} q {} flow {} ({} B)",
+                node.0,
+                port,
+                queue_name(queue),
+                flow,
+                bytes
+            ),
+            TraceEvent::Dequeue {
+                node,
+                port,
+                queue,
+                flow,
+                bytes,
+            } => format!(
+                "dequeue       sw{} port {} q {} flow {} ({} B)",
+                node.0,
+                port,
+                queue_name(queue),
+                flow,
+                bytes
+            ),
+            TraceEvent::Drop {
+                node,
+                port,
+                flow,
+                bytes,
+            } => format!("drop          sw{node} port {port} flow {flow} ({bytes} B)", node = node.0),
+            TraceEvent::Blackhole { node, flow, bytes } => {
+                format!("blackhole     sw{} flow {} ({} B)", node.0, flow, bytes)
+            }
+            TraceEvent::PfcSent { node, port, pause } => format!(
+                "pfc-sent      sw{} port {} {}",
+                node.0,
+                port,
+                if pause { "XOFF" } else { "XON" }
+            ),
+            TraceEvent::PfcDelivered { node, src, pause } => format!(
+                "pfc-delivered sw{} {} by sw{}",
+                node.0,
+                if pause { "paused" } else { "resumed" },
+                src.0
+            ),
+            TraceEvent::FlowPause {
+                node,
+                port,
+                bits,
+                pause,
+            } => format!(
+                "flow-pause    sw{} port {} {} ({} bloom bits)",
+                node.0,
+                port,
+                if pause { "pause" } else { "resume" },
+                bits
+            ),
+            TraceEvent::QueueActive { node, port, queue } => format!(
+                "queue-active  sw{} port {} q {}",
+                node.0,
+                port,
+                queue_name(queue)
+            ),
+            TraceEvent::QueueIdle { node, port, queue } => format!(
+                "queue-idle    sw{} port {} q {}",
+                node.0,
+                port,
+                queue_name(queue)
+            ),
+            TraceEvent::LinkDown { a, b } => format!("link-down     {} <-> {}", a.0, b.0),
+            TraceEvent::LinkUp { a, b } => format!("link-up       {} <-> {}", a.0, b.0),
+            TraceEvent::LinkRate { a, b } => format!("link-rate     {} <-> {}", a.0, b.0),
+            TraceEvent::Reroute { index } => format!("reroute       (dynamics event {index})"),
+        }
+    }
+
+    fn save(&self, w: &mut SnapWriter) {
+        match *self {
+            TraceEvent::Enqueue {
+                node,
+                port,
+                queue,
+                flow,
+                bytes,
+            } => {
+                w.put_u8(0);
+                w.put_u32(node.0);
+                w.put_u32(port);
+                w.put_u32(queue);
+                w.put_u32(flow);
+                w.put_u32(bytes);
+            }
+            TraceEvent::Dequeue {
+                node,
+                port,
+                queue,
+                flow,
+                bytes,
+            } => {
+                w.put_u8(1);
+                w.put_u32(node.0);
+                w.put_u32(port);
+                w.put_u32(queue);
+                w.put_u32(flow);
+                w.put_u32(bytes);
+            }
+            TraceEvent::Drop {
+                node,
+                port,
+                flow,
+                bytes,
+            } => {
+                w.put_u8(2);
+                w.put_u32(node.0);
+                w.put_u32(port);
+                w.put_u32(flow);
+                w.put_u32(bytes);
+            }
+            TraceEvent::Blackhole { node, flow, bytes } => {
+                w.put_u8(3);
+                w.put_u32(node.0);
+                w.put_u32(flow);
+                w.put_u32(bytes);
+            }
+            TraceEvent::PfcSent { node, port, pause } => {
+                w.put_u8(4);
+                w.put_u32(node.0);
+                w.put_u32(port);
+                w.put_bool(pause);
+            }
+            TraceEvent::PfcDelivered { node, src, pause } => {
+                w.put_u8(5);
+                w.put_u32(node.0);
+                w.put_u32(src.0);
+                w.put_bool(pause);
+            }
+            TraceEvent::FlowPause {
+                node,
+                port,
+                bits,
+                pause,
+            } => {
+                w.put_u8(6);
+                w.put_u32(node.0);
+                w.put_u32(port);
+                w.put_u32(bits);
+                w.put_bool(pause);
+            }
+            TraceEvent::QueueActive { node, port, queue } => {
+                w.put_u8(7);
+                w.put_u32(node.0);
+                w.put_u32(port);
+                w.put_u32(queue);
+            }
+            TraceEvent::QueueIdle { node, port, queue } => {
+                w.put_u8(8);
+                w.put_u32(node.0);
+                w.put_u32(port);
+                w.put_u32(queue);
+            }
+            TraceEvent::LinkDown { a, b } => {
+                w.put_u8(9);
+                w.put_u32(a.0);
+                w.put_u32(b.0);
+            }
+            TraceEvent::LinkUp { a, b } => {
+                w.put_u8(10);
+                w.put_u32(a.0);
+                w.put_u32(b.0);
+            }
+            TraceEvent::LinkRate { a, b } => {
+                w.put_u8(11);
+                w.put_u32(a.0);
+                w.put_u32(b.0);
+            }
+            TraceEvent::Reroute { index } => {
+                w.put_u8(12);
+                w.put_u32(index);
+            }
+        }
+    }
+
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => TraceEvent::Enqueue {
+                node: NodeId(r.get_u32()?),
+                port: r.get_u32()?,
+                queue: r.get_u32()?,
+                flow: r.get_u32()?,
+                bytes: r.get_u32()?,
+            },
+            1 => TraceEvent::Dequeue {
+                node: NodeId(r.get_u32()?),
+                port: r.get_u32()?,
+                queue: r.get_u32()?,
+                flow: r.get_u32()?,
+                bytes: r.get_u32()?,
+            },
+            2 => TraceEvent::Drop {
+                node: NodeId(r.get_u32()?),
+                port: r.get_u32()?,
+                flow: r.get_u32()?,
+                bytes: r.get_u32()?,
+            },
+            3 => TraceEvent::Blackhole {
+                node: NodeId(r.get_u32()?),
+                flow: r.get_u32()?,
+                bytes: r.get_u32()?,
+            },
+            4 => TraceEvent::PfcSent {
+                node: NodeId(r.get_u32()?),
+                port: r.get_u32()?,
+                pause: r.get_bool()?,
+            },
+            5 => TraceEvent::PfcDelivered {
+                node: NodeId(r.get_u32()?),
+                src: NodeId(r.get_u32()?),
+                pause: r.get_bool()?,
+            },
+            6 => TraceEvent::FlowPause {
+                node: NodeId(r.get_u32()?),
+                port: r.get_u32()?,
+                bits: r.get_u32()?,
+                pause: r.get_bool()?,
+            },
+            7 => TraceEvent::QueueActive {
+                node: NodeId(r.get_u32()?),
+                port: r.get_u32()?,
+                queue: r.get_u32()?,
+            },
+            8 => TraceEvent::QueueIdle {
+                node: NodeId(r.get_u32()?),
+                port: r.get_u32()?,
+                queue: r.get_u32()?,
+            },
+            9 => TraceEvent::LinkDown {
+                a: NodeId(r.get_u32()?),
+                b: NodeId(r.get_u32()?),
+            },
+            10 => TraceEvent::LinkUp {
+                a: NodeId(r.get_u32()?),
+                b: NodeId(r.get_u32()?),
+            },
+            11 => TraceEvent::LinkRate {
+                a: NodeId(r.get_u32()?),
+                b: NodeId(r.get_u32()?),
+            },
+            12 => TraceEvent::Reroute {
+                index: r.get_u32()?,
+            },
+            _ => return Err(SnapError::Corrupt("unknown trace event tag")),
+        })
+    }
+}
+
+/// Minimum serialized bytes per record (time + rank + seq + tag + one u32),
+/// used to validate the container's record count.
+const RECORD_MIN_BYTES: usize = 8 + 8 + 8 + 1 + 4;
+
+/// One recorded observation: the engine-style `(time, rank, seq)` key plus
+/// the event. `seq` is the recorder-local emission index; after
+/// [`FlightTrace::merge`] it is the index in canonical order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulation time of the observation.
+    pub at: SimTime,
+    /// Content-derived canonical rank ([`TraceEvent::canon_rank`]).
+    pub rank: u64,
+    /// Emission index (recorder-local before merge, canonical after).
+    pub seq: u64,
+    /// The observation.
+    pub event: TraceEvent,
+}
+
+/// A bounded ring of the last N trace records. Records beyond the capacity
+/// shed from the front (oldest first) and are counted in `dropped`; the
+/// flight-recorder name is exact — what survives is the end of the story.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    seq: u64,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping at most `capacity` records (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            capacity,
+            records: VecDeque::with_capacity(capacity.min(64 * 1024)),
+            seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records one event observed at `at`.
+    #[inline]
+    pub fn record(&mut self, at: SimTime, event: TraceEvent) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord {
+            at,
+            rank: event.canon_rank(),
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing has been recorded (or everything has been shed).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Consumes the recorder into a [`FlightTrace`] (records in emission
+    /// order; not yet canonicalized).
+    pub fn finish(self) -> FlightTrace {
+        FlightTrace {
+            records: self.records.into(),
+            dropped: self.dropped,
+        }
+    }
+}
+
+/// The completed trace of one run (or one shard of a run).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlightTrace {
+    /// The surviving records.
+    pub records: Vec<TraceRecord>,
+    /// Records shed by the bounded ring before these.
+    pub dropped: u64,
+}
+
+impl FlightTrace {
+    /// Merges per-shard traces into canonical `(time, rank, seq-in-order)`
+    /// order — the order one fabric-wide recorder would define. Also used
+    /// with a single part to canonicalize a serial trace, so serial and
+    /// merged sharded traces of the same run compare equal (given rings
+    /// large enough that nothing was shed).
+    pub fn merge(parts: Vec<FlightTrace>) -> FlightTrace {
+        let mut records: Vec<TraceRecord> = Vec::with_capacity(parts.iter().map(|p| p.records.len()).sum());
+        let mut dropped = 0;
+        for part in parts {
+            dropped += part.dropped;
+            records.extend(part.records);
+        }
+        // Stable: records with equal (time, rank) describe the same node,
+        // so their relative order is the owning shard's processing order —
+        // identical to the serial engine's.
+        records.sort_by_key(|r| (r.at, r.rank));
+        for (i, r) in records.iter_mut().enumerate() {
+            r.seq = i as u64;
+        }
+        FlightTrace { records, dropped }
+    }
+
+    /// Total PFC-paused time per `(node, ingress port)` derived from
+    /// `PfcSent` XOFF/XON pairs; open intervals close at `end`. Returned
+    /// sorted by descending paused time (ties by node then port), ready for
+    /// "top queues by pause-time".
+    pub fn pause_time_by_port(&self, end: SimTime) -> Vec<((NodeId, u32), SimDuration)> {
+        use std::collections::BTreeMap;
+        let mut open: BTreeMap<(NodeId, u32), SimTime> = BTreeMap::new();
+        let mut total: BTreeMap<(NodeId, u32), SimDuration> = BTreeMap::new();
+        for r in &self.records {
+            if let TraceEvent::PfcSent { node, port, pause } = r.event {
+                let key = (node, port);
+                if pause {
+                    open.entry(key).or_insert(r.at);
+                } else if let Some(start) = open.remove(&key) {
+                    *total.entry(key).or_insert(SimDuration::ZERO) +=
+                        r.at.saturating_since(start);
+                }
+            }
+        }
+        for (key, start) in open {
+            *total.entry(key).or_insert(SimDuration::ZERO) += end.saturating_since(start);
+        }
+        let mut out: Vec<_> = total.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// The PFC wait-for edges (`PfcDelivered` records) in trace order:
+    /// `(at, from, to, pause)` with `from`'s egress toward `to` affected.
+    pub fn pause_edges(&self) -> Vec<(SimTime, NodeId, NodeId, bool)> {
+        self.records
+            .iter()
+            .filter_map(|r| match r.event {
+                TraceEvent::PfcDelivered { node, src, pause } => {
+                    Some((r.at, node, src, pause))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Serializes a trace (plus a free-form label naming the run) into the
+/// checksummed container. Deterministic: the same trace and label always
+/// produce the same bytes.
+pub fn write_trace(label: &str, trace: &FlightTrace) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.put_str(label);
+    w.put_u64(trace.dropped);
+    w.put_usize(trace.records.len());
+    for r in &trace.records {
+        w.put_u64(r.at.as_picos());
+        w.put_u64(r.rank);
+        w.put_u64(r.seq);
+        r.event.save(&mut w);
+    }
+    finalize(TRACE_MAGIC, TRACE_VERSION, &w.into_bytes())
+}
+
+/// Opens a trace container, returning the label and the records. Rejects
+/// foreign files, version mismatches, truncation and corruption exactly
+/// like snapshot files do.
+pub fn read_trace(bytes: &[u8]) -> Result<(String, FlightTrace), SnapError> {
+    let payload = open(TRACE_MAGIC, TRACE_VERSION, bytes)?;
+    let mut r = SnapReader::new(payload);
+    let label = r.get_str()?.to_string();
+    let dropped = r.get_u64()?;
+    let n = r.get_count(RECORD_MIN_BYTES)?;
+    let mut records = Vec::with_capacity(n);
+    for _ in 0..n {
+        let at = SimTime::from_picos(r.get_u64()?);
+        let rank = r.get_u64()?;
+        let seq = r.get_u64()?;
+        let event = TraceEvent::restore(&mut r)?;
+        records.push(TraceRecord {
+            at,
+            rank,
+            seq,
+            event,
+        });
+    }
+    r.expect_end()?;
+    Ok((label, FlightTrace { records, dropped }))
+}
+
+/// Wraps a sink, recording [`NetSink::trace`] calls into a flight recorder
+/// while forwarding scheduled events untouched. This is the only `trace`
+/// override in the workspace: every other sink inherits the no-op default,
+/// which is what makes tracing zero-cost when off.
+pub struct Recording<'a, S: NetSink + ?Sized> {
+    /// The sink real events flow through.
+    pub inner: &'a mut S,
+    /// The ring capturing trace events.
+    pub recorder: &'a mut FlightRecorder,
+}
+
+impl<S: NetSink + ?Sized> NetSink for Recording<'_, S> {
+    #[inline]
+    fn send(&mut self, time: SimTime, event: crate::event::NetEvent) {
+        self.inner.send(time, event);
+    }
+
+    #[inline]
+    fn trace(&mut self, at: SimTime, event: TraceEvent) {
+        self.recorder.record(at, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Enqueue {
+                node: NodeId(3),
+                port: 2,
+                queue: 1,
+                flow: 7,
+                bytes: 1500,
+            },
+            TraceEvent::Dequeue {
+                node: NodeId(3),
+                port: 2,
+                queue: 1,
+                flow: 7,
+                bytes: 1500,
+            },
+            TraceEvent::Drop {
+                node: NodeId(4),
+                port: 0,
+                flow: 9,
+                bytes: 1000,
+            },
+            TraceEvent::Blackhole {
+                node: NodeId(5),
+                flow: 2,
+                bytes: 64,
+            },
+            TraceEvent::PfcSent {
+                node: NodeId(1),
+                port: 3,
+                pause: true,
+            },
+            TraceEvent::PfcDelivered {
+                node: NodeId(0),
+                src: NodeId(1),
+                pause: true,
+            },
+            TraceEvent::FlowPause {
+                node: NodeId(2),
+                port: 1,
+                bits: 11,
+                pause: false,
+            },
+            TraceEvent::QueueActive {
+                node: NodeId(3),
+                port: 2,
+                queue: QUEUE_HIGH_PRIORITY,
+            },
+            TraceEvent::QueueIdle {
+                node: NodeId(3),
+                port: 2,
+                queue: QUEUE_OVERFLOW,
+            },
+            TraceEvent::LinkDown {
+                a: NodeId(1),
+                b: NodeId(2),
+            },
+            TraceEvent::LinkUp {
+                a: NodeId(1),
+                b: NodeId(2),
+            },
+            TraceEvent::LinkRate {
+                a: NodeId(0),
+                b: NodeId(3),
+            },
+            TraceEvent::Reroute { index: 4 },
+        ]
+    }
+
+    #[test]
+    fn ring_keeps_the_last_n_and_counts_shed_records() {
+        let mut rec = FlightRecorder::new(3);
+        for i in 0..10u64 {
+            rec.record(
+                SimTime::from_nanos(i),
+                TraceEvent::Reroute { index: i as u32 },
+            );
+        }
+        assert_eq!(rec.len(), 3);
+        let trace = rec.finish();
+        assert_eq!(trace.dropped, 7);
+        let kept: Vec<u32> = trace
+            .records
+            .iter()
+            .map(|r| match r.event {
+                TraceEvent::Reroute { index } => index,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+        assert_eq!(trace.records[0].seq, 7, "seq numbers survive shedding");
+    }
+
+    #[test]
+    fn container_round_trips_byte_stably() {
+        let mut rec = FlightRecorder::new(1024);
+        for (i, e) in sample_events().into_iter().enumerate() {
+            rec.record(SimTime::from_nanos(i as u64 * 10), e);
+        }
+        let trace = rec.finish();
+        let bytes = write_trace("unit-test seed=7", &trace);
+        let (label, reread) = read_trace(&bytes).expect("container opens");
+        assert_eq!(label, "unit-test seed=7");
+        assert_eq!(reread, trace);
+        // write -> read -> write is byte-stable.
+        assert_eq!(write_trace(&label, &reread), bytes);
+    }
+
+    #[test]
+    fn container_rejects_damage() {
+        let mut rec = FlightRecorder::new(16);
+        rec.record(
+            SimTime::from_nanos(5),
+            TraceEvent::PfcSent {
+                node: NodeId(1),
+                port: 0,
+                pause: true,
+            },
+        );
+        let bytes = write_trace("x", &rec.finish());
+        // Foreign magic.
+        assert_eq!(
+            read_trace(b"not a trace").unwrap_err(),
+            SnapError::BadMagic
+        );
+        // A snapshot-magic file is not a trace.
+        let snapshot_like = finalize(b"BFCSNAP\0", TRACE_VERSION, b"payload");
+        assert_eq!(read_trace(&snapshot_like).unwrap_err(), SnapError::BadMagic);
+        // Wrong version.
+        let other_version = finalize(TRACE_MAGIC, TRACE_VERSION + 1, b"payload");
+        assert_eq!(
+            read_trace(&other_version).unwrap_err(),
+            SnapError::BadVersion(TRACE_VERSION + 1)
+        );
+        // Truncation at every prefix.
+        for n in 0..bytes.len() {
+            assert!(read_trace(&bytes[..n]).is_err(), "prefix {n} accepted");
+        }
+        // Any single-byte flip is rejected.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            assert!(read_trace(&bad).is_err(), "flip at {i} accepted");
+        }
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        let mut rec = FlightRecorder::new(64);
+        for e in sample_events() {
+            rec.record(SimTime::from_nanos(1), e);
+        }
+        let trace = rec.finish();
+        let (_, reread) = read_trace(&write_trace("", &trace)).unwrap();
+        assert_eq!(reread, trace);
+        for r in &trace.records {
+            assert!(!r.event.render().is_empty());
+            assert!(!r.event.kind().is_empty());
+        }
+    }
+
+    #[test]
+    fn merge_reproduces_one_recorder_from_shard_parts() {
+        // Interleave records for two "shards" through one recorder and
+        // through two per-shard recorders; merging the parts must reproduce
+        // the whole (canonicalized) trace.
+        let mut whole = FlightRecorder::new(1024);
+        let mut s0 = FlightRecorder::new(1024);
+        let mut s1 = FlightRecorder::new(1024);
+        let shard_of = |n: NodeId| n.0 % 2;
+        let events = [
+            (10u64, TraceEvent::QueueActive { node: NodeId(0), port: 1, queue: 0 }),
+            (10, TraceEvent::Enqueue { node: NodeId(1), port: 0, queue: 0, flow: 1, bytes: 100 }),
+            (10, TraceEvent::Enqueue { node: NodeId(0), port: 1, queue: 0, flow: 2, bytes: 100 }),
+            (10, TraceEvent::Enqueue { node: NodeId(0), port: 1, queue: 0, flow: 3, bytes: 200 }),
+            (20, TraceEvent::Dequeue { node: NodeId(0), port: 1, queue: 0, flow: 2, bytes: 100 }),
+            (20, TraceEvent::PfcSent { node: NodeId(1), port: 0, pause: true }),
+        ];
+        for (t, e) in events {
+            whole.record(SimTime::from_nanos(t), e);
+            let shard = if shard_of(e.node().unwrap()) == 0 { &mut s0 } else { &mut s1 };
+            shard.record(SimTime::from_nanos(t), e);
+        }
+        let canonical_whole = FlightTrace::merge(vec![whole.finish()]);
+        let merged = FlightTrace::merge(vec![s0.finish(), s1.finish()]);
+        assert_eq!(merged, canonical_whole);
+    }
+
+    #[test]
+    fn pause_time_ranks_ports_by_paused_duration() {
+        let mut rec = FlightRecorder::new(64);
+        let xoff = |node, port| TraceEvent::PfcSent { node: NodeId(node), port, pause: true };
+        let xon = |node, port| TraceEvent::PfcSent { node: NodeId(node), port, pause: false };
+        rec.record(SimTime::from_nanos(100), xoff(1, 0));
+        rec.record(SimTime::from_nanos(300), xon(1, 0)); // 200 ns
+        rec.record(SimTime::from_nanos(100), xoff(2, 3)); // open until end
+        let trace = rec.finish();
+        let top = trace.pause_time_by_port(SimTime::from_nanos(600));
+        assert_eq!(top[0].0, (NodeId(2), 3));
+        assert_eq!(top[0].1, SimDuration::from_nanos(500));
+        assert_eq!(top[1].0, (NodeId(1), 0));
+        assert_eq!(top[1].1, SimDuration::from_nanos(200));
+    }
+
+    #[test]
+    fn pause_edges_surface_pfc_deliveries() {
+        let mut rec = FlightRecorder::new(64);
+        rec.record(
+            SimTime::from_nanos(50),
+            TraceEvent::PfcDelivered { node: NodeId(4), src: NodeId(6), pause: true },
+        );
+        rec.record(
+            SimTime::from_nanos(70),
+            TraceEvent::PfcDelivered { node: NodeId(4), src: NodeId(6), pause: false },
+        );
+        let edges = rec.finish().pause_edges();
+        assert_eq!(
+            edges,
+            vec![
+                (SimTime::from_nanos(50), NodeId(4), NodeId(6), true),
+                (SimTime::from_nanos(70), NodeId(4), NodeId(6), false),
+            ]
+        );
+    }
+}

@@ -167,6 +167,9 @@ pub struct EventQueue<E> {
     free: Vec<u32>,
     next_seq: u64,
     popped: u64,
+    /// Lifetime count of keys pushed beyond the calendar horizon into the
+    /// overflow heap (observability: calendar-geometry pressure).
+    overflow_pushes: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -192,6 +195,7 @@ impl<E> EventQueue<E> {
             free: Vec::new(),
             next_seq: 0,
             popped: 0,
+            overflow_pushes: 0,
         }
     }
 
@@ -303,6 +307,7 @@ impl<E> EventQueue<E> {
             self.in_buckets += 1;
         } else {
             self.overflow.push(key);
+            self.overflow_pushes += 1;
         }
         if self.current_is_empty() {
             // Keep the peek invariant: the earliest pending event must sit
@@ -350,6 +355,12 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
+    /// Lifetime number of keys that landed in the overflow heap because
+    /// they were scheduled beyond the calendar horizon.
+    pub fn overflow_pushes(&self) -> u64 {
+        self.overflow_pushes
+    }
+
     /// Serializes the queue's *logical* state: every pending entry's
     /// `(time, rank, seq)` key and payload (in pop order), plus the lifetime
     /// counters. The physical calendar layout — which bucket or heap a key
@@ -377,6 +388,7 @@ impl<E> EventQueue<E> {
         }
         w.put_u64(self.next_seq);
         w.put_u64(self.popped);
+        w.put_u64(self.overflow_pushes);
     }
 
     /// Rebuilds a queue from [`EventQueue::save_state`] output. The restored
@@ -400,6 +412,10 @@ impl<E> EventQueue<E> {
         }
         q.next_seq = r.get_u64()?;
         q.popped = r.get_u64()?;
+        // Overwrite, not accumulate: the re-insertions above may themselves
+        // have landed keys in the overflow heap, but the lifetime counter is
+        // logical state owned by the snapshot.
+        q.overflow_pushes = r.get_u64()?;
         if max_seq.is_some_and(|m| m >= q.next_seq) {
             return Err(SnapError::Corrupt("pending seq beyond next_seq"));
         }

@@ -20,6 +20,10 @@
 #   8. configuration cross-checks: the fifo-rank feature build's quickstart
 #      and a batched 2-shard replay must be byte-identical to their default
 #      serial counterparts
+#   9. observability: the flight recorder's record -> inspect -> filter ->
+#      top pipeline works on a recorded run, a safety-violating scenario
+#      auto-dumps a non-empty readable trace, and a `serve --metrics`
+#      scrape returns well-formed Prometheus-style exposition text
 #
 # Usage: scripts/verify.sh [--workspace]
 #   --workspace  additionally run every crate's unit tests
@@ -186,6 +190,96 @@ done
 echo "== service mode: serve --tail streaming smoke"
 cargo run --release -q -p bfc-experiments --bin trace-tool -- \
     serve --tail "$trace_csv" --cap 16 --horizon-us 120 --seed 7
+
+echo "== flight recorder: record -> inspect -> filter -> top smoke"
+trace_tool="$PWD/target/release/trace-tool"
+flight="$tmpdir/run.flight"
+"$trace_tool" trace record "$trace_csv" --out "$flight" --last 500000 --scheme bfc
+"$trace_tool" trace inspect "$flight" --limit 5 > "$tmpdir/inspect.txt"
+if ! grep -q '^records:' "$tmpdir/inspect.txt" || ! grep -q '  enqueue' "$tmpdir/inspect.txt"; then
+    echo "verify: FAILED — trace inspect did not summarize the recording:" >&2
+    cat "$tmpdir/inspect.txt" >&2
+    exit 1
+fi
+"$trace_tool" trace filter "$flight" --kind dequeue --limit 3 > "$tmpdir/filter.txt"
+if ! grep -q 'records match' "$tmpdir/filter.txt"; then
+    echo "verify: FAILED — trace filter did not report matches" >&2
+    exit 1
+fi
+"$trace_tool" trace top "$flight" --n 5 > /dev/null
+"$trace_tool" trace top "$flight" --tree > /dev/null
+
+echo "== flight recorder: safety violation auto-dumps a readable trace"
+# The committed livelock reproducer carries its own topology/scheme/workload;
+# the scenario run must convict it and auto-dump the flight trace into the
+# working directory, and the dump must hold the PFC pause deliveries the
+# wait-for analysis was built from.
+dump_dir="$tmpdir/dump"
+mkdir -p "$dump_dir"
+( cd "$dump_dir" && "$trace_tool" scenario "$OLDPWD/tests/scenarios/pfc_livelock_dcqcn_tiny.scn" \
+    --trace-cap 500000 > scenario.out 2> scenario.err )
+if ! grep -q 'VIOLATION' "$dump_dir/scenario.out"; then
+    echo "verify: FAILED — committed livelock scenario no longer convicts:" >&2
+    cat "$dump_dir/scenario.out" >&2
+    exit 1
+fi
+flight_dump="$dump_dir/pfc_livelock_dcqcn_tiny-dcqcn.flight"
+if [[ ! -s "$flight_dump" ]]; then
+    echo "verify: FAILED — safety violation did not auto-dump a flight trace" >&2
+    cat "$dump_dir/scenario.err" >&2
+    exit 1
+fi
+"$trace_tool" trace inspect "$flight_dump" --limit 0 > "$tmpdir/dump-inspect.txt"
+if ! grep -q '  pfc-delivered' "$tmpdir/dump-inspect.txt"; then
+    echo "verify: FAILED — auto-dumped trace holds no PFC pause deliveries:" >&2
+    cat "$tmpdir/dump-inspect.txt" >&2
+    exit 1
+fi
+
+echo "== live metrics: serve --metrics scrape returns well-formed exposition"
+# A long-enough ingest run that the scrape lands while the server is alive;
+# port 0 lets the OS pick, and the bound address is announced on stderr.
+long_csv="$tmpdir/long.csv"
+"$trace_tool" synth --out "$long_csv" --duration-us 3000 --seed 7 > /dev/null
+serve_err="$tmpdir/serve.err"
+"$trace_tool" serve --tail "$long_csv" --cap 16 --horizon-us 3000 --seed 7 \
+    --metrics 127.0.0.1:0 > "$tmpdir/serve.out" 2> "$serve_err" &
+serve_pid=$!
+metrics_addr=""
+for _ in $(seq 1 100); do
+    metrics_addr="$(sed -n 's/^metrics listening on //p' "$serve_err" | head -n1)"
+    [[ -n "$metrics_addr" ]] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then break; fi
+    sleep 0.1
+done
+if [[ -z "$metrics_addr" ]]; then
+    echo "verify: FAILED — serve --metrics never announced its listener:" >&2
+    cat "$serve_err" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+scrape="$tmpdir/scrape.txt"
+scraped=0
+for _ in $(seq 1 100); do
+    if exec 3<>"/dev/tcp/${metrics_addr%:*}/${metrics_addr##*:}" 2>/dev/null; then
+        cat <&3 > "$scrape" || true
+        exec 3<&- 3>&-
+        [[ -s "$scrape" ]] && { scraped=1; break; }
+    fi
+    if ! kill -0 "$serve_pid" 2>/dev/null; then break; fi
+    sleep 0.1
+done
+if [[ "$scraped" -ne 1 ]]; then
+    echo "verify: FAILED — could not scrape $metrics_addr while serve was running" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+wait "$serve_pid"
+if ! grep -q '^# TYPE bfc_' "$scrape" || ! grep -Eq '^bfc_[a-z_]+({[^}]*})? [0-9]' "$scrape"; then
+    echo "verify: FAILED — scrape is not well-formed exposition text:" >&2
+    cat "$scrape" >&2
+    exit 1
+fi
 
 echo "== bench: cargo run --release -p bfc-bench -- --quick"
 # The committed baseline records absolute ns on the machine that wrote it at

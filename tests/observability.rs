@@ -1,0 +1,293 @@
+//! Observability acceptance tests.
+//!
+//! 1. The flight recorder is a pure observer: with tracing on or off, every
+//!    `ExperimentResult` field (floats compared by bits) is identical for
+//!    every paper-lineup scheme, serially and at 1/2/4 shards.
+//! 2. The unified counter registry is engine-independent: serial and
+//!    sharded runs expose the same series (engine internals excepted — the
+//!    barrier/batch counters legitimately describe the engine that ran).
+//! 3. Registry merge is exact: counters sum, gauges take the max, and the
+//!    operation is order-independent.
+//! 4. The trace container round-trips byte-stably and rejects damaged
+//!    input (foreign magic, version skew, truncation, bit flips) exactly
+//!    like snapshot files do.
+//! 5. Counters survive snapshot/resume.
+//! 6. The committed PFC-deadlock reproducer's flight trace carries the
+//!    pause wait-for edges the safety report convicts on.
+
+use backpressure_flow_control::experiments::{
+    resume_experiment, run_experiment, run_experiment_sharded, snapshot_experiment,
+    ExperimentConfig, ExperimentResult, Reproducer, Scheme,
+};
+use backpressure_flow_control::metrics::MetricsRegistry;
+use backpressure_flow_control::net::topology::{fat_tree, FatTreeParams};
+use backpressure_flow_control::net::trace::{read_trace, write_trace};
+use backpressure_flow_control::sim::snapshot::SnapError;
+use backpressure_flow_control::sim::{SimDuration, SimTime};
+use backpressure_flow_control::workloads::{synthesize, TraceFlow, TraceParams, Workload};
+
+const WINDOW: SimDuration = SimDuration::from_micros(120);
+
+fn test_inputs() -> (backpressure_flow_control::net::Topology, Vec<TraceFlow>) {
+    let topo = fat_tree(FatTreeParams::tiny());
+    let trace = synthesize(
+        &topo.hosts(),
+        &TraceParams::background_only(Workload::Google, 0.5, WINDOW, 41),
+    );
+    (topo, trace)
+}
+
+/// Field-by-field bit-identity of everything except the observability
+/// artifacts themselves (the same contract `tests/sharding.rs` enforces).
+fn assert_identical(label: &str, a: &ExperimentResult, b: &ExperimentResult) {
+    assert_eq!(a.scheme, b.scheme, "{label}: scheme");
+    assert_eq!(a.fct, b.fct, "{label}: FCT summary");
+    assert_eq!(a.records, b.records, "{label}: per-flow records");
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(
+        bits(&a.peak_queue_samples),
+        bits(&b.peak_queue_samples),
+        "{label}: peak queue series"
+    );
+    assert_eq!(
+        a.utilization.to_bits(),
+        b.utilization.to_bits(),
+        "{label}: utilization"
+    );
+    assert_eq!(
+        a.pfc_pause_fraction.to_bits(),
+        b.pfc_pause_fraction.to_bits(),
+        "{label}: PFC pause fraction"
+    );
+    assert_eq!(a.policy_stats, b.policy_stats, "{label}: policy stats");
+    assert_eq!(a.drops, b.drops, "{label}: drops");
+    assert_eq!(a.completed_flows, b.completed_flows, "{label}: completions");
+    assert_eq!(a.total_flows, b.total_flows, "{label}: flow count");
+    assert_eq!(a.end_time, b.end_time, "{label}: end time");
+    assert_eq!(a.recovery, b.recovery, "{label}: recovery metrics");
+    assert_eq!(a.safety, b.safety, "{label}: safety report");
+}
+
+/// The exposition text minus the `bfc_engine_*` families, which describe
+/// the engine that ran (barriers, batches, overflow chains) and so may
+/// legitimately differ between the serial and sharded engines.
+fn expose_without_engine(r: &ExperimentResult) -> String {
+    r.registry
+        .expose()
+        .lines()
+        .filter(|l| !l.contains("bfc_engine_"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Acceptance: tracing on vs off is bit-identical for every lineup scheme,
+/// serially and at 1/2/4 shards, and the registry matches across engines.
+#[test]
+fn tracing_is_a_pure_observer_for_every_scheme_and_engine() {
+    let (topo, trace) = test_inputs();
+    for scheme in Scheme::paper_lineup() {
+        let name = scheme.name();
+        let off = ExperimentConfig::new(scheme.clone(), WINDOW);
+        // Big enough that nothing is shed: with shedding, "last N per
+        // shard" is not "last N overall", so the serial/sharded trace
+        // comparison below only holds for complete rings.
+        let on = ExperimentConfig::new(scheme, WINDOW).with_trace_capacity(1 << 21);
+
+        let base = run_experiment(&topo, &trace, &off);
+        assert!(base.flight.is_none(), "{name}: no recorder when off");
+        let traced = run_experiment(&topo, &trace, &on);
+        assert_identical(&format!("{name} serial on-vs-off"), &base, &traced);
+        assert_eq!(
+            base.registry.expose(),
+            traced.registry.expose(),
+            "{name}: registry must not see the recorder"
+        );
+        let flight = traced.flight.as_ref().expect("recorder was on");
+        assert!(!flight.records.is_empty(), "{name}: events were recorded");
+        assert_eq!(flight.dropped, 0, "{name}: ring must hold the whole run");
+
+        for shards in [1usize, 2, 4] {
+            let s_on = run_experiment_sharded(&topo, &trace, &on, shards);
+            let s_off = run_experiment_sharded(&topo, &trace, &off, shards);
+            let label = format!("{name} @ {shards} shards");
+            assert_identical(&format!("{label} on-vs-serial"), &base, &s_on);
+            assert_eq!(
+                s_on.registry.expose(),
+                s_off.registry.expose(),
+                "{label}: registry on-vs-off"
+            );
+            assert_eq!(
+                expose_without_engine(&base),
+                expose_without_engine(&s_on),
+                "{label}: serial and sharded runs must expose the same series"
+            );
+            // The merged trace is engine-independent too: canonical
+            // (time, rank, seq) order makes the sharded trace equal the
+            // serial one record-for-record.
+            assert_eq!(
+                traced.flight,
+                s_on.flight,
+                "{label}: merged trace differs from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn registry_merge_is_exact_and_order_independent() {
+    let mut a = MetricsRegistry::new();
+    a.add_counter("x_total", 1);
+    a.add_counter("y_total", 2);
+    a.set_gauge("g", 1.5);
+    let mut b = MetricsRegistry::new();
+    b.add_counter("y_total", 40);
+    b.add_counter("z_total", 5);
+    b.set_gauge("g", 0.5);
+    b.set_gauge("h", 2.0);
+
+    let mut ab = a.clone();
+    ab.merge(&b);
+    assert_eq!(ab.counter("x_total"), Some(1));
+    assert_eq!(ab.counter("y_total"), Some(42), "counters sum");
+    assert_eq!(ab.counter("z_total"), Some(5));
+    assert_eq!(ab.gauge("g"), Some(1.5), "gauges take the max");
+    assert_eq!(ab.gauge("h"), Some(2.0));
+
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(ab.expose(), ba.expose(), "merge is order-independent");
+
+    // Merging the empty registry is the identity, both ways.
+    let mut with_empty = a.clone();
+    with_empty.merge(&MetricsRegistry::new());
+    assert_eq!(with_empty.expose(), a.expose());
+    let mut from_empty = MetricsRegistry::new();
+    from_empty.merge(&a);
+    assert_eq!(from_empty.expose(), a.expose());
+}
+
+/// The container format: a write/read/write round trip is byte-stable, and
+/// damaged containers are rejected, never misdecoded.
+#[test]
+fn trace_container_round_trips_and_rejects_damage() {
+    let (topo, trace) = test_inputs();
+    let config = ExperimentConfig::new(Scheme::bfc(), WINDOW).with_trace_capacity(96);
+    let result = run_experiment(&topo, &trace, &config);
+    let flight = result.flight.expect("recorder was on");
+    assert!(!flight.records.is_empty());
+
+    let label = "round trip \"quoted\" label";
+    let blob = write_trace(label, &flight);
+    let (label2, flight2) = read_trace(&blob).expect("own output reads back");
+    assert_eq!(label2, label);
+    assert_eq!(flight2, flight, "records and shed count survive");
+    assert_eq!(
+        write_trace(&label2, &flight2),
+        blob,
+        "re-serialization is byte-stable"
+    );
+
+    // Foreign magic.
+    let mut wrong_magic = blob.clone();
+    wrong_magic[0] ^= 0x20;
+    assert_eq!(read_trace(&wrong_magic).unwrap_err(), SnapError::BadMagic);
+    // Version skew is refused by number.
+    let mut skewed = blob.clone();
+    skewed[8..12].copy_from_slice(&99u32.to_le_bytes());
+    assert_eq!(read_trace(&skewed).unwrap_err(), SnapError::BadVersion(99));
+    // Truncation at every prefix.
+    for n in 0..blob.len() {
+        assert!(read_trace(&blob[..n]).is_err(), "prefix {n} accepted");
+    }
+    // Every single-byte corruption is rejected (checksummed container).
+    for i in 0..blob.len() {
+        let mut bad = blob.clone();
+        bad[i] ^= 0x01;
+        assert!(read_trace(&bad).is_err(), "flip at byte {i} accepted");
+    }
+    // Trailing garbage is not silently ignored.
+    let mut padded = blob.clone();
+    padded.push(0);
+    assert!(read_trace(&padded).is_err(), "trailing byte accepted");
+}
+
+/// Counters ride the snapshot: an interrupted-and-resumed run exposes the
+/// same registry as the uninterrupted one.
+#[test]
+fn counters_survive_snapshot_resume() {
+    let (topo, trace) = test_inputs();
+    let config = ExperimentConfig::new(Scheme::bfc(), WINDOW);
+    let mid = SimTime::ZERO + WINDOW / 2;
+
+    let full = run_experiment(&topo, &trace, &config);
+    let snap = snapshot_experiment(&topo, &trace, &config, mid, 1);
+    let resumed = resume_experiment(&topo, &trace, &config, &snap).expect("snapshot resumes");
+    assert_identical("serial resume", &full, &resumed);
+    assert_eq!(
+        full.registry.expose(),
+        resumed.registry.expose(),
+        "serial resume must reproduce every series, engine counters included"
+    );
+
+    let full2 = run_experiment_sharded(&topo, &trace, &config, 2);
+    let snap2 = snapshot_experiment(&topo, &trace, &config, mid, 2);
+    let resumed2 = resume_experiment(&topo, &trace, &config, &snap2).expect("snapshot resumes");
+    assert_identical("sharded resume", &full2, &resumed2);
+    assert_eq!(
+        expose_without_engine(&full2),
+        expose_without_engine(&resumed2),
+        "sharded resume must reproduce every non-engine series"
+    );
+}
+
+/// Acceptance: the committed PFC-deadlock reproducer convicts, and the
+/// auto-dumpable flight trace carries the wait-for edges behind the
+/// conviction — every consecutive pair of the first deadlock cycle is an
+/// XOFF delivery in the trace, and the trace sees exactly the pause frames
+/// the safety report counted.
+#[test]
+fn deadlock_reproducer_flight_trace_matches_safety_report() {
+    let text = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/scenarios/pfc_deadlock_dcqcn_t1.scn"),
+    )
+    .expect("committed reproducer exists");
+    let repro = Reproducer::parse(&text).expect("committed reproducer parses");
+    let (topo, flows, config) = repro.materialize().expect("reproducer materializes");
+    // A ring big enough to hold the whole run: nothing is shed, so the
+    // trace must contain every pause frame the safety analysis saw.
+    let config = config.with_trace_capacity(4_000_000);
+    let result = run_experiment(&topo, &flows, &config);
+
+    assert!(
+        result.safety.deadlocks > 0,
+        "the committed scenario must still deadlock"
+    );
+    let flight = result.flight.expect("recorder was on");
+    assert_eq!(flight.dropped, 0, "ring was sized to hold the whole run");
+
+    let edges = flight.pause_edges();
+    let xoff: Vec<(u32, u32)> = edges
+        .iter()
+        .filter(|&&(_, _, _, pause)| pause)
+        .map(|&(_, node, src, _)| (node.0, src.0))
+        .collect();
+    assert_eq!(
+        xoff.len() as u64,
+        result.safety.pause_frames,
+        "trace and safety report must count the same pause frames"
+    );
+
+    let cycle = &result.safety.first_deadlock_cycle;
+    assert!(cycle.len() >= 2, "a wait-for cycle has at least two members");
+    for i in 0..cycle.len() {
+        let a = cycle[i];
+        let b = cycle[(i + 1) % cycle.len()];
+        assert!(
+            xoff.contains(&(a.0, b.0)),
+            "cycle edge sw{} -> sw{} missing from the flight trace",
+            a.0,
+            b.0
+        );
+    }
+}
