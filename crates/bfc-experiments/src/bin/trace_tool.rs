@@ -32,7 +32,7 @@ use bfc_experiments::{
     ExperimentResult, MetricsHub, ParallelRunner, ReplayTrace, Reproducer, ScenarioSpec, Scheme,
 };
 use bfc_net::topology::Topology;
-use bfc_net::trace::{read_trace, write_trace, FlightTrace};
+use bfc_net::trace::{kind_index_of, read_trace, write_trace, FlightTrace, TraceFilter};
 use bfc_net::types::NodeId;
 use bfc_sim::{SimDuration, SimTime};
 use bfc_workloads::ingest::{CsvTail, IngestSource, SocketIngest};
@@ -98,9 +98,12 @@ commands:
     --horizon-us <n>        measurement horizon in microseconds [300]
     --drain-x <n>           drain window as a multiple of the horizon [4]
     --metrics <addr>        also serve a Prometheus-style text exposition of
-                            the live counter registry on this TCP address
-                            (port 0 picks a free port; one scrape per
-                            connection; the bound address prints to stderr)
+                            the live metrics registry on this TCP address
+                            (port 0 picks a free port; the bound address
+                            prints to stderr). Connections are persistent:
+                            each scrape ends with a `# EOF` line, and sending
+                            a newline on the same connection requests a fresh
+                            scrape
 
   scenario <path>         run a link-dynamics scenario (fault-injection)
                           file through the experiment driver and report the
@@ -133,16 +136,24 @@ commands:
                             unconditionally; without this flag, any run whose
                             safety report is a VIOLATION auto-dumps its last
                             trace events to <scenario-stem>-<scheme>.flight
+    --diff-schemes <a,b>    run the scenario under both schemes, diff the two
+                            flight traces in memory (see `trace diff`) and
+                            exit nonzero if they diverge
 
   trace <sub>             flight-recorder traces (binary .flight containers)
     record <trace.csv> --out <flight>   replay with the recorder on and write
                                         the canonical trace
       --last <n>            ring capacity: keep the last n events [65536]
+      --kind <a,b>          record only these event kinds (record-time
+                            filter; filtered events never enter the ring)
+      --node <a,b>          record only events at these node ids
       --topo / --scheme / --seed / --drain-x   as replay (single scheme)
       --shards <n>          record under the sharded engine (the merged
                             trace is identical to a serial recording)
     inspect <flight>        print the label, per-kind counts and records
       --limit <n>           print at most the last n records [40]
+      --stats               print only the per-kind counts and the ring-drop
+                            count, no record listing
     filter <flight>         print records matching every given predicate
       --kind <k>            event kind (enqueue, dequeue, drop, pfc-sent,
                             pfc-delivered, flow-pause, queue-active, ...)
@@ -151,6 +162,13 @@ commands:
     top <flight>            top queues by PFC pause-time
       --n <count>           rows to print [10]
       --tree                print the pause-propagation tree instead
+    diff <a> <b>            compare two canonical traces record by record:
+                            prints nothing and exits 0 when identical;
+                            otherwise prints the first diverging record with
+                            context plus per-kind and per-(switch, port)
+                            summaries of the divergent tails, and exits 1
+      --context <n>         common-prefix records printed before the first
+                            divergence [5]
 
   fuzz --out <path>       search for the (workload, fault schedule) a scheme
                           handles worst, shrink the offender to a minimal
@@ -647,9 +665,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     let config = opts.config(SimDuration::from_micros(horizon_us));
 
-    // Live metrics exposition: a scrape thread serving the latest registry
-    // render, one scrape per connection. Observation never feeds back into
-    // the simulation.
+    // Live metrics exposition: an accept loop handing each connection to a
+    // thread that serves one scrape immediately and a fresh one per request
+    // line, so a monitoring client can watch the run over one persistent
+    // connection. Observation never feeds back into the simulation.
     let hub = MetricsHub::new();
     let metrics = if let Some(addr) = &metrics_addr {
         let listener = std::net::TcpListener::bind(addr.as_str())
@@ -659,9 +678,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         let scrape_hub = hub.clone();
         std::thread::spawn(move || {
             for conn in listener.incoming() {
-                let Ok(mut conn) = conn else { continue };
-                use std::io::Write as _;
-                let _ = conn.write_all(scrape_hub.render().as_bytes());
+                let Ok(conn) = conn else { continue };
+                let hub = scrape_hub.clone();
+                std::thread::spawn(move || serve_scrapes(conn, &hub));
             }
         });
         Some(hub)
@@ -695,7 +714,30 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_scenario(args: &[String]) -> Result<(), String> {
+/// Serves metrics scrapes over one persistent connection: the current
+/// exposition (terminated by a `# EOF` line) is written immediately, then
+/// once more — re-rendered fresh — for every newline-terminated request line
+/// the client sends. Returns when the peer closes or any write fails.
+fn serve_scrapes(conn: std::net::TcpStream, hub: &MetricsHub) {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let Ok(read_half) = conn.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut conn = conn;
+    loop {
+        let mut text = hub.render();
+        text.push_str("# EOF\n");
+        if conn.write_all(text.as_bytes()).is_err() || conn.flush().is_err() {
+            return;
+        }
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+    }
+}
+
+fn cmd_scenario(args: &[String]) -> Result<ExitCode, String> {
     // `--json` is valueless; pull it out before the `--flag value` walker.
     let mut json = false;
     let args: Vec<String> = args
@@ -713,6 +755,7 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
     let mut schemes = Scheme::paper_lineup();
     let mut trace_path: Option<PathBuf> = None;
     let mut flight_path: Option<PathBuf> = None;
+    let mut diff_schemes: Option<String> = None;
     let mut trace_cap = 65_536usize;
     let mut load = 0.6f64;
     let mut duration_us = 300u64;
@@ -732,6 +775,7 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
                     .ok_or_else(|| format!("--scheme: unknown scheme {value}"))?;
             }
             "trace" => trace_path = Some(PathBuf::from(value)),
+            "diff-schemes" => diff_schemes = Some(value.to_string()),
             "flight" => flight_path = Some(PathBuf::from(value)),
             "trace-cap" => {
                 trace_cap = parse_num(flag, value)?;
@@ -757,6 +801,26 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
     if duration_us == 0 {
         return Err("scenario: --duration-us must be positive".into());
     }
+    let diff_pair: Option<(Scheme, Scheme)> = match &diff_schemes {
+        None => None,
+        Some(spec) => {
+            let parse_one = |key: &str| -> Result<Scheme, String> {
+                let parsed = parse_schemes(key)
+                    .ok_or_else(|| format!("--diff-schemes: unknown scheme {key}"))?;
+                let [s] = parsed.as_slice() else {
+                    return Err("--diff-schemes: lineups are not allowed, name two schemes".into());
+                };
+                Ok(s.clone())
+            };
+            let parts: Vec<&str> = spec.split(',').collect();
+            let [a, b] = parts.as_slice() else {
+                return Err(
+                    "scenario: --diff-schemes takes exactly two comma-separated schemes".into(),
+                );
+            };
+            Some((parse_one(a)?, parse_one(b)?))
+        }
+    };
 
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -818,6 +882,23 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
             .collect();
         (topo, topo_name, flows, configs, seed)
     };
+    // `--diff-schemes a,b`: same scenario, same inputs, two schemes — run
+    // both traced (overriding even a reproducer's pinned scheme) and diff
+    // the flight traces in memory at the end.
+    let configs: Vec<ExperimentConfig> = match &diff_pair {
+        None => configs,
+        Some((a, b)) => {
+            let base = configs.into_iter().next().expect("at least one config");
+            [a, b]
+                .into_iter()
+                .map(|scheme| {
+                    let mut config = base.clone();
+                    config.scheme = scheme.clone();
+                    config
+                })
+                .collect()
+        }
+    };
     let fault_events = configs[0].dynamics.events().len();
     if flight_path.is_some() && configs.len() != 1 {
         return Err("scenario: --flight requires a single --scheme, not a lineup".into());
@@ -863,28 +944,39 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
     if json {
         println!("{}", scenario_json(&label, &topo_name, flows.len(), fault_events, &results));
         print_engine_counters(&results);
-        return Ok(());
+    } else {
+        println!(
+            "scenario `{path}`: {} fault event{} over `{topo_name}`, {} flows, {} worker thread{}\n",
+            fault_events,
+            if fault_events == 1 { "" } else { "s" },
+            flows.len(),
+            runner.threads(),
+            if runner.threads() == 1 { "" } else { "s" },
+        );
+        print!("{}", failure_sweep::HEADER);
+        for r in &results {
+            print!("{}", failure_sweep::result_row(&label, r));
+        }
+        println!();
+        for r in &results {
+            println!("{}", safety_line(r));
+        }
+        println!("\n(FCT slowdown p99 over non-incast flows; ttr = goodput recovery after the last fault)");
+        print_engine_counters(&results);
     }
 
-    println!(
-        "scenario `{path}`: {} fault event{} over `{topo_name}`, {} flows, {} worker thread{}\n",
-        fault_events,
-        if fault_events == 1 { "" } else { "s" },
-        flows.len(),
-        runner.threads(),
-        if runner.threads() == 1 { "" } else { "s" },
-    );
-    print!("{}", failure_sweep::HEADER);
-    for r in &results {
-        print!("{}", failure_sweep::result_row(&label, r));
+    if diff_pair.is_some() {
+        let flight_b = results[1].flight.take().expect("tracing is always on in scenario runs");
+        let flight_a = results[0].flight.take().expect("tracing is always on in scenario runs");
+        let desc = format!("scenario {label} seed {run_seed}");
+        println!();
+        return Ok(print_trace_diff(
+            (&results[0].scheme, &desc, &flight_a),
+            (&results[1].scheme, &desc, &flight_b),
+            5,
+        ));
     }
-    println!();
-    for r in &results {
-        println!("{}", safety_line(r));
-    }
-    println!("\n(FCT slowdown p99 over non-incast flows; ttr = goodput recovery after the last fault)");
-    print_engine_counters(&results);
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Filesystem-safe key for a scheme name (`DCQCN+Win` -> `dcqcn-win`).
@@ -1014,23 +1106,122 @@ fn safety_line(r: &ExperimentResult) -> String {
     line
 }
 
-fn cmd_trace(args: &[String]) -> Result<(), String> {
+fn cmd_trace(args: &[String]) -> Result<ExitCode, String> {
     let Some((sub, rest)) = args.split_first() else {
-        return Err("trace: missing subcommand (record, inspect, filter, top)".into());
+        return Err("trace: missing subcommand (record, inspect, filter, top, diff)".into());
     };
     match sub.as_str() {
-        "record" => cmd_trace_record(rest),
-        "inspect" => cmd_trace_inspect(rest),
-        "filter" => cmd_trace_filter(rest),
-        "top" => cmd_trace_top(rest),
+        "record" => cmd_trace_record(rest).map(|()| ExitCode::SUCCESS),
+        "inspect" => cmd_trace_inspect(rest).map(|()| ExitCode::SUCCESS),
+        "filter" => cmd_trace_filter(rest).map(|()| ExitCode::SUCCESS),
+        "top" => cmd_trace_top(rest).map(|()| ExitCode::SUCCESS),
+        "diff" => cmd_trace_diff(rest),
         other => Err(format!("trace: unknown subcommand `{other}`")),
     }
+}
+
+fn cmd_trace_diff(args: &[String]) -> Result<ExitCode, String> {
+    let mut context = 5usize;
+    let positional = walk_options(args, |flag, value| {
+        match flag {
+            "context" => context = parse_num(flag, value)?,
+            _ => return Err(format!("trace diff: unknown option --{flag}")),
+        }
+        Ok(())
+    })?;
+    let [path_a, path_b] = positional.as_slice() else {
+        return Err("trace diff: exactly two flight paths are required".into());
+    };
+    let (label_a, flight_a) = open_flight(path_a)?;
+    let (label_b, flight_b) = open_flight(path_b)?;
+    Ok(print_trace_diff(
+        (path_a, &label_a, &flight_a),
+        (path_b, &label_b, &flight_b),
+        context,
+    ))
+}
+
+/// Renders the divergence report between two canonical traces, each given as
+/// `(name, run label, trace)`. Identical traces print nothing and return
+/// success; otherwise the first diverging record (with up to `context`
+/// records of common prefix before it) and the per-kind / per-(switch, port)
+/// summaries of the divergent tails are printed, and the exit code is
+/// failure — "the traces differ" is the command's result, not an error.
+fn print_trace_diff(
+    a: (&str, &str, &FlightTrace),
+    b: (&str, &str, &FlightTrace),
+    context: usize,
+) -> ExitCode {
+    let (name_a, label_a, flight_a) = a;
+    let (name_b, label_b, flight_b) = b;
+    let Some(diff) = flight_a.diff(flight_b) else {
+        return ExitCode::SUCCESS;
+    };
+    println!("a: {name_a} — {} records [{label_a}]", flight_a.records.len());
+    println!("b: {name_b} — {} records [{label_b}]", flight_b.records.len());
+    println!("\nfirst divergence at canonical record {}:", diff.index);
+    let start = diff.index.saturating_sub(context);
+    if start < diff.index {
+        println!("  (common prefix, last {} records)", diff.index - start);
+        for r in &flight_a.records[start..diff.index] {
+            println!("  = {}", record_line(r));
+        }
+    }
+    match &diff.first_a {
+        Some(r) => println!("  a {}", record_line(r)),
+        None => println!("  a (trace ends here)"),
+    }
+    match &diff.first_b {
+        Some(r) => println!("  b {}", record_line(r)),
+        None => println!("  b (trace ends here)"),
+    }
+    println!(
+        "\ndivergent tails: {} records in a, {} in b",
+        diff.tail_a, diff.tail_b
+    );
+    let time_or_dash = |t: Option<SimTime>| t.map(|t| t.to_string()).unwrap_or_else(|| "-".into());
+    if !diff.kinds.is_empty() {
+        println!(
+            "\n{:<14} {:>9} {:>9}  {:<14} {}",
+            "kind", "a", "b", "first-a", "first-b"
+        );
+        for k in &diff.kinds {
+            println!(
+                "{:<14} {:>9} {:>9}  {:<14} {}",
+                k.kind,
+                k.count_a,
+                k.count_b,
+                time_or_dash(k.first_a),
+                time_or_dash(k.first_b),
+            );
+        }
+    }
+    if !diff.ports.is_empty() {
+        println!(
+            "\n{:<8} {:<6} {:>9} {:>9}  {:<14} {}",
+            "switch", "port", "a", "b", "pause-a", "pause-b"
+        );
+        for p in &diff.ports {
+            println!(
+                "{:<8} {:<6} {:>9} {:>9}  {:<14} {}",
+                format!("sw{}", p.node.0),
+                p.port,
+                p.count_a,
+                p.count_b,
+                format!("{}", p.pause_a),
+                p.pause_b,
+            );
+        }
+    }
+    ExitCode::FAILURE
 }
 
 fn cmd_trace_record(args: &[String]) -> Result<(), String> {
     let mut opts = RunOptions::defaults();
     let mut out: Option<PathBuf> = None;
     let mut last = 65_536usize;
+    let mut kinds: Vec<String> = Vec::new();
+    let mut nodes: Vec<u32> = Vec::new();
     let positional = walk_options(args, |flag, value| {
         if opts.set("trace record", flag, value)? {
             return Ok(());
@@ -1041,6 +1232,12 @@ fn cmd_trace_record(args: &[String]) -> Result<(), String> {
                 last = parse_num(flag, value)?;
                 if last == 0 {
                     return Err("--last must be at least 1".into());
+                }
+            }
+            "kind" => kinds.extend(value.split(',').map(str::to_string)),
+            "node" => {
+                for part in value.split(',') {
+                    nodes.push(parse_num(flag, part)?);
                 }
             }
             "shards" => set_shards(flag, value)?,
@@ -1054,7 +1251,23 @@ fn cmd_trace_record(args: &[String]) -> Result<(), String> {
     let out = out.ok_or("trace record: --out <flight> is required")?;
 
     let replay = load_trace("trace record", &opts, path)?;
-    let config = opts.config(replay.horizon()).with_trace_capacity(last);
+    let mut config = opts.config(replay.horizon()).with_trace_capacity(last);
+    if !kinds.is_empty() || !nodes.is_empty() {
+        let mut filter = TraceFilter::all();
+        if !kinds.is_empty() {
+            let mut indices = Vec::with_capacity(kinds.len());
+            for k in &kinds {
+                indices.push(
+                    kind_index_of(k).ok_or_else(|| format!("--kind: unknown event kind {k}"))?,
+                );
+            }
+            filter = filter.with_kinds(indices);
+        }
+        if !nodes.is_empty() {
+            filter = filter.with_nodes(nodes.iter().map(|&n| NodeId(n)));
+        }
+        config = config.with_trace_filter(filter);
+    }
     let result = bfc_experiments::run_experiment_auto(&opts.topo, replay.flows(), &config);
     let flight = result.flight.expect("tracing was enabled for this run");
     let label = format!(
@@ -1088,8 +1301,20 @@ fn record_line(r: &bfc_net::trace::TraceRecord) -> String {
 }
 
 fn cmd_trace_inspect(args: &[String]) -> Result<(), String> {
+    // `--stats` is valueless; pull it out before the `--flag value` walker.
+    let mut stats = false;
+    let args: Vec<String> = args
+        .iter()
+        .filter(|a| {
+            let is_stats = a.as_str() == "--stats";
+            stats |= is_stats;
+            !is_stats
+        })
+        .cloned()
+        .collect();
+
     let mut limit = 40usize;
-    let positional = walk_options(args, |flag, value| {
+    let positional = walk_options(&args, |flag, value| {
         match flag {
             "limit" => limit = parse_num(flag, value)?,
             _ => return Err(format!("trace inspect: unknown option --{flag}")),
@@ -1114,7 +1339,7 @@ fn cmd_trace_inspect(args: &[String]) -> Result<(), String> {
     for (kind, count) in &by_kind {
         println!("  {kind:<14} {count}");
     }
-    if flight.records.is_empty() {
+    if stats || flight.records.is_empty() {
         return Ok(());
     }
     let skip = flight.records.len().saturating_sub(limit);
@@ -1390,24 +1615,27 @@ fn main() -> ExitCode {
     let Some((command, rest)) = args.split_first() else {
         return fail("missing command");
     };
+    // `scenario` and `trace` can exit nonzero *without* a usage error (a
+    // divergence found by `trace diff` / `--diff-schemes` is a result, not a
+    // misuse), so commands return an exit code on success.
     let result = match command.as_str() {
-        "synth" => cmd_synth(rest),
-        "stats" => cmd_stats(rest),
-        "replay" => cmd_replay(rest),
-        "snapshot" => cmd_snapshot(rest),
-        "resume" => cmd_resume(rest),
-        "serve" => cmd_serve(rest),
+        "synth" => cmd_synth(rest).map(|()| ExitCode::SUCCESS),
+        "stats" => cmd_stats(rest).map(|()| ExitCode::SUCCESS),
+        "replay" => cmd_replay(rest).map(|()| ExitCode::SUCCESS),
+        "snapshot" => cmd_snapshot(rest).map(|()| ExitCode::SUCCESS),
+        "resume" => cmd_resume(rest).map(|()| ExitCode::SUCCESS),
+        "serve" => cmd_serve(rest).map(|()| ExitCode::SUCCESS),
         "scenario" => cmd_scenario(rest),
         "trace" => cmd_trace(rest),
-        "fuzz" => cmd_fuzz(rest),
+        "fuzz" => cmd_fuzz(rest).map(|()| ExitCode::SUCCESS),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => return fail(&format!("unknown command `{other}`")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => fail(&msg),
     }
 }

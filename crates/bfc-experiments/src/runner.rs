@@ -10,12 +10,13 @@ use bfc_metrics::recovery::{RecoveryMetrics, RecoveryTracker};
 use bfc_metrics::registry::{labeled, MetricsRegistry};
 use bfc_metrics::safety::{SafetyConfig, SafetyReport, SafetyTracker};
 use bfc_metrics::series::{OccupancySeries, UtilizationTracker};
+use bfc_metrics::Hist;
 use bfc_net::config::SwitchConfig;
 use bfc_net::dynamics::{FaultEvent, FaultSchedule, LinkAction, LinkStateMap};
 use bfc_net::event::{FifoSink, NetEvent, NetSink};
 use bfc_net::packet::{vfid_for_flow, PacketKind};
 use bfc_net::policy::{PolicyStats, ProbeStats};
-use bfc_net::trace::{FlightRecorder, FlightTrace, Recording, TraceEvent};
+use bfc_net::trace::{FlightRecorder, FlightTrace, Recording, TraceEvent, TraceFilter};
 use bfc_net::routing::RoutingTables;
 use bfc_net::switch::Switch;
 use bfc_net::topology::Topology;
@@ -110,6 +111,12 @@ pub struct ExperimentConfig {
     /// bit-identical, and the setting is deliberately excluded from the
     /// snapshot fingerprint so resume works across a tracing toggle.
     pub trace_capacity: Option<usize>,
+    /// Record-time trace filter: only events the filter admits enter the
+    /// flight-recorder ring (filtered events are not ring drops — they were
+    /// never candidates). `None` records everything. Meaningless without
+    /// [`ExperimentConfig::trace_capacity`]. Observability-only and excluded
+    /// from the snapshot fingerprint, like the capacity itself.
+    pub trace_filter: Option<TraceFilter>,
 }
 
 impl ExperimentConfig {
@@ -129,6 +136,7 @@ impl ExperimentConfig {
             epoch_batching: true,
             safety: SafetyConfig::default(),
             trace_capacity: None,
+            trace_filter: None,
         }
     }
 
@@ -177,6 +185,12 @@ impl ExperimentConfig {
     /// Enables the flight recorder with the given ring capacity.
     pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
         self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Installs a record-time trace filter (see [`TraceFilter`]).
+    pub fn with_trace_filter(mut self, filter: TraceFilter) -> Self {
+        self.trace_filter = Some(filter);
         self
     }
 
@@ -266,6 +280,16 @@ impl ExperimentResult {
             .add_counter("bfc_engine_epoch_widened", self.epochs.widened);
         self.registry
             .add_counter("bfc_engine_epoch_boundary_events", self.epochs.boundary_events);
+        // Epoch widths are powers of two under the driver's doubling policy,
+        // so replaying each width bucket as `count` observations of `2^i`
+        // reconstructs the exact distribution.
+        let mut widths = Hist::new();
+        for (i, &count) in self.epochs.width_hist.iter().enumerate() {
+            if count > 0 {
+                widths.observe_n(1u64 << i, count);
+            }
+        }
+        self.registry.merge_hist("bfc_engine_epoch_width", &widths);
     }
 }
 
@@ -300,6 +324,11 @@ pub(crate) struct FabricSim<'a> {
     /// Per-flow completion instants observed by *this* sim — a flow
     /// completes in the one sim owning its destination host.
     pub(crate) flow_completed: Vec<Option<SimTime>>,
+    /// FCT slowdown histogram (units: slowdown × 1000, so the floor of 1.0
+    /// lands at bucket value 1000) over non-incast completions observed by
+    /// this sim. Each flow completes in exactly one sim, so the cross-shard
+    /// merge is an exact disjoint union.
+    pub(crate) fct_hist: Hist,
     pub(crate) occupancy: OccupancySeries,
     pub(crate) peak_queue_samples: Vec<f64>,
     pub(crate) occupied_queue_samples: Vec<f64>,
@@ -501,6 +530,16 @@ impl FabricSim<'_> {
                 if done.is_none() {
                     *done = Some(now);
                     self.completed += 1;
+                    let meta = &self.flows[flow.index()];
+                    if !meta.is_incast {
+                        // Integer milli-slowdown keeps floats off the hot
+                        // path; the 1000 floor mirrors `FctRecord`'s
+                        // slowdown-is-at-least-1 convention.
+                        let fct = now.saturating_since(meta.start).as_picos() as u128;
+                        let ideal = meta.ideal_fct.as_picos().max(1) as u128;
+                        let milli = (fct * 1000 / ideal).max(1000);
+                        self.fct_hist.observe(milli.min(u64::MAX as u128) as u64);
+                    }
                 }
             }
             NetEvent::Sample => {
@@ -755,6 +794,7 @@ pub(crate) fn build_sim<'a>(
         switches: build_switches(topo, config, frame, &keep),
         hosts: build_hosts(topo, frame, &keep),
         flow_completed: vec![None; flows.len()],
+        fct_hist: Hist::new(),
         flows,
         occupancy: OccupancySeries::new(),
         peak_queue_samples: Vec::new(),
@@ -765,7 +805,10 @@ pub(crate) fn build_sim<'a>(
         safety: SafetyTracker::new(),
         record_dynamics_metrics,
         fifo_rank: config.rank_mode.is_fifo(),
-        recorder: config.trace_capacity.map(FlightRecorder::new),
+        recorder: config.trace_capacity.map(|cap| match &config.trace_filter {
+            Some(filter) => FlightRecorder::with_filter(cap, filter.clone()),
+            None => FlightRecorder::new(cap),
+        }),
     }
 }
 
@@ -785,6 +828,12 @@ pub(crate) fn record_switch_counters(registry: &mut MetricsRegistry, sw: &Switch
         c.flow_pause_frames_sent,
     );
     registry.add_counter(labeled("bfc_switch_blackholed", by_node), c.blackholed);
+    // Queue-depth-at-enqueue distribution. Switches that never forwarded a
+    // data packet stay out, matching the paused-port gauge policy of not
+    // drowning big fabrics in all-zero series.
+    if !sw.depth_hist().is_empty() {
+        registry.merge_hist(labeled("bfc_switch_queue_depth_bytes", by_node), sw.depth_hist());
+    }
 }
 
 /// Merges one or more finished `FabricSim`s (one from the serial engine, one
@@ -917,6 +966,14 @@ pub(crate) fn assemble_result(
         .map(|s| std::mem::take(&mut s.safety))
         .collect();
 
+    // FCT slowdown histogram: each flow completes in exactly one sim, so
+    // merging per-sim histograms is an exact disjoint union (must happen
+    // before the sampled-series block below may consume `sims`).
+    let mut fct_hist = Hist::new();
+    for s in &sims {
+        fct_hist.merge(&s.fct_hist);
+    }
+
     // Flight traces: concatenating the per-shard rings and restoring
     // canonical `(time, rank, seq)` order reproduces exactly the stream one
     // serial recorder would have captured (same merge argument as above —
@@ -979,11 +1036,11 @@ pub(crate) fn assemble_result(
     let mut recovery_tracker = RecoveryTracker::merge(recovery_parts);
     recovery_tracker.add_blackholed(switch_blackholed);
     let recovery = recovery_tracker.finish();
-    let safety = SafetyTracker::merge(safety_parts).finish(
-        &config.safety,
-        end_time,
-        trace.len() - completed,
-    );
+    let merged_safety = SafetyTracker::merge(safety_parts);
+    // Pause-duration histogram: close any still-open pauses at the run's end
+    // so a deadlocked edge contributes its full hold time.
+    let pause_hist = merged_safety.pause_durations(end_time);
+    let safety = merged_safety.finish(&config.safety, end_time, trace.len() - completed);
 
     // Run-level rollups and the safety verdict.
     registry.add_counter("bfc_flows_completed", completed as u64);
@@ -997,6 +1054,11 @@ pub(crate) fn assemble_result(
     registry.set_gauge("bfc_utilization", tracker.utilization());
     registry.set_gauge("bfc_pfc_pause_fraction", tracker.pfc_pause_fraction());
     registry.set_gauge("bfc_safety_max_pause_depth", f64::from(safety.max_pause_depth));
+
+    // Native distribution metrics: recorded even when empty so the family
+    // set is uniform across runs.
+    registry.merge_hist("bfc_fct_slowdown_milli", &fct_hist);
+    registry.merge_hist("bfc_pause_duration_ns", &pause_hist);
 
     ExperimentResult {
         scheme: config.scheme.name(),

@@ -66,8 +66,10 @@ pub const SNAPSHOT_MAGIC: &[u8; 8] = b"BFCSNAP\0";
 /// Current snapshot payload format version. Bump on any layout change; old
 /// versions are rejected with [`SnapError::BadVersion`] rather than
 /// misinterpreted. Version 4 appended the observability counters to the
-/// flow-table and calendar-queue states.
-pub const SNAPSHOT_VERSION: u32 = 4;
+/// flow-table and calendar-queue states. Version 5 appended the native
+/// histograms: queue-depth-at-enqueue inside each switch's state and the
+/// per-sim FCT slowdown histogram after the safety tracker.
+pub const SNAPSHOT_VERSION: u32 = 5;
 
 /// Hashes every run input the snapshot does *not* serialize — topology
 /// shape, trace, configuration and shard count — so a resume against
@@ -142,6 +144,7 @@ fn save_sim(sim: &FabricSim<'_>, w: &mut SnapWriter) {
     w.put_usize(sim.completed);
     sim.recovery.save_state(w);
     sim.safety.save_state(w);
+    sim.fct_hist.save_state(w);
 }
 
 /// Overlays saved mutable state onto a freshly built sim. The sim must have
@@ -200,6 +203,7 @@ fn restore_sim(
     }
     sim.recovery = bfc_metrics::RecoveryTracker::restore_state(r)?;
     sim.safety = bfc_metrics::SafetyTracker::restore_state(r)?;
+    sim.fct_hist = bfc_metrics::Hist::restore_state(r)?;
     // Routing tables are derived state: recompute them from the restored
     // link-state instead of serializing O(nodes^2) next-hop tables.
     sim.routes = if sim.link_state.all_up() {

@@ -1,4 +1,4 @@
-//! The unified counter/gauge registry.
+//! The unified counter/gauge/histogram registry.
 //!
 //! Every layer of a run — switches, ports, schemes, and the engine itself
 //! (epoch batches, calendar-queue overflow, flow-table probe lengths) —
@@ -6,7 +6,10 @@
 //! names (`bfc_switch_drops{node="3"}`). The registry is plain data over
 //! `BTreeMap`s, so iteration order, [`MetricsRegistry::merge`] and the text
 //! exposition are all deterministic: two registries built from the same run
-//! are equal no matter how the run was sharded.
+//! are equal no matter how the run was sharded. Distributions (FCT
+//! slowdown, pause durations, queue depth at enqueue, epoch widths) are
+//! native [`Hist`] series, merged exactly bucket-by-bucket and exposed as
+//! Prometheus `_bucket`/`_sum`/`_count` lines.
 //!
 //! The registry is *derived* state: it is rebuilt from the simulation's
 //! components (which own the real counters and serialize them in
@@ -16,11 +19,14 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// A deterministic registry of named counters and gauges.
+use crate::hist::Hist;
+
+/// A deterministic registry of named counters, gauges and histograms.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Hist>,
 }
 
 /// Formats a full series key from a metric family name and `(label, value)`
@@ -74,6 +80,28 @@ impl MetricsRegistry {
         self.gauges.get(key).copied()
     }
 
+    /// Records one observation into the histogram at `key` (creating it
+    /// empty first).
+    pub fn observe_hist(&mut self, key: impl Into<String>, value: u64) {
+        self.hists.entry(key.into()).or_default().observe(value);
+    }
+
+    /// Folds a pre-built histogram into the series at `key` (exact
+    /// bucket-by-bucket merge).
+    pub fn merge_hist(&mut self, key: impl Into<String>, hist: &Hist) {
+        self.hists.entry(key.into()).or_default().merge(hist);
+    }
+
+    /// The histogram at `key`, or `None` if it was never reported.
+    pub fn hist(&self, key: &str) -> Option<&Hist> {
+        self.hists.get(key)
+    }
+
+    /// Iterates histograms in sorted key order.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &Hist)> {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Sums every counter of `family` across its label sets.
     pub fn family_total(&self, family_name: &str) -> u64 {
         self.counters
@@ -93,20 +121,21 @@ impl MetricsRegistry {
         self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
-    /// Number of series (counters plus gauges).
+    /// Number of series (counters plus gauges plus histograms).
     pub fn len(&self) -> usize {
-        self.counters.len() + self.gauges.len()
+        self.counters.len() + self.gauges.len() + self.hists.len()
     }
 
     /// True if nothing has been reported.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty()
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
     }
 
-    /// Folds another registry into this one: counters sum exactly; a gauge
-    /// reported by both takes the maximum (gauges here are peaks). The
-    /// operation is associative and commutative over counters, which is
-    /// what makes the per-shard merge order-independent.
+    /// Folds another registry into this one: counters and histogram
+    /// buckets sum exactly; a gauge reported by both takes the maximum
+    /// (gauges here are peaks). The operation is associative and
+    /// commutative over counters and histograms, which is what makes the
+    /// per-shard merge order-independent.
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (k, &v) in &other.counters {
             self.add_counter(k.clone(), v);
@@ -116,6 +145,9 @@ impl MetricsRegistry {
                 .entry(k.clone())
                 .and_modify(|g| *g = g.max(v))
                 .or_insert(v);
+        }
+        for (k, h) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(h);
         }
     }
 
@@ -142,8 +174,55 @@ impl MetricsRegistry {
             }
             let _ = writeln!(out, "{key} {value}");
         }
+        last_family = "";
+        for (key, hist) in &self.hists {
+            let fam = family(key);
+            if fam != last_family {
+                let _ = writeln!(out, "# TYPE {fam} histogram");
+                last_family = fam;
+            }
+            let mut cumulative = 0u64;
+            for (upper, count) in hist.buckets() {
+                cumulative += count;
+                let series = with_suffix_and_le(key, "_bucket", Some(&upper.to_string()));
+                let _ = writeln!(out, "{series} {cumulative}");
+            }
+            let inf = with_suffix_and_le(key, "_bucket", Some("+Inf"));
+            let _ = writeln!(out, "{inf} {}", hist.count());
+            let sum = with_suffix_and_le(key, "_sum", None);
+            let _ = writeln!(out, "{sum} {}", hist.sum());
+            let count = with_suffix_and_le(key, "_count", None);
+            let _ = writeln!(out, "{count} {}", hist.count());
+        }
         out
     }
+}
+
+/// Rewrites a series key for a histogram sub-series: appends `suffix` to
+/// the family name and (for `_bucket` lines) an `le` label after any
+/// existing labels: `with_suffix_and_le("q{node=\"3\"}", "_bucket",
+/// Some("16"))` → `q_bucket{node="3",le="16"}`.
+fn with_suffix_and_le(key: &str, suffix: &str, le: Option<&str>) -> String {
+    let (fam, labels) = match key.find('{') {
+        Some(brace) => (&key[..brace], Some(&key[brace + 1..key.len() - 1])),
+        None => (key, None),
+    };
+    let mut out = String::with_capacity(key.len() + suffix.len() + 16);
+    out.push_str(fam);
+    out.push_str(suffix);
+    match (labels, le) {
+        (None, None) => {}
+        (Some(l), None) => {
+            let _ = write!(out, "{{{l}}}");
+        }
+        (None, Some(le)) => {
+            let _ = write!(out, "{{le=\"{le}\"}}");
+        }
+        (Some(l), Some(le)) => {
+            let _ = write!(out, "{{{l},le=\"{le}\"}}");
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -214,5 +293,45 @@ mod tests {
         );
         // Deterministic: rendering twice is identical.
         assert_eq!(reg.expose(), text);
+    }
+
+    #[test]
+    fn histograms_merge_exactly_and_expose_bucket_sum_count() {
+        let mut a = MetricsRegistry::new();
+        a.observe_hist(labeled("bfc_q", &[("node", "0")]), 3);
+        a.observe_hist(labeled("bfc_q", &[("node", "0")]), 100);
+        let mut b = MetricsRegistry::new();
+        b.observe_hist(labeled("bfc_q", &[("node", "0")]), 3);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let h = ab.hist("bfc_q{node=\"0\"}").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 106);
+
+        let text = ab.expose();
+        assert_eq!(
+            text,
+            "# TYPE bfc_q histogram\n\
+             bfc_q_bucket{node=\"0\",le=\"3\"} 2\n\
+             bfc_q_bucket{node=\"0\",le=\"103\"} 3\n\
+             bfc_q_bucket{node=\"0\",le=\"+Inf\"} 3\n\
+             bfc_q_sum{node=\"0\"} 106\n\
+             bfc_q_count{node=\"0\"} 3\n"
+        );
+    }
+
+    #[test]
+    fn histograms_without_labels_expose_clean_series() {
+        let mut reg = MetricsRegistry::new();
+        reg.observe_hist("bfc_widths", 4);
+        let text = reg.expose();
+        assert!(text.contains("bfc_widths_bucket{le=\"4\"} 1\n"));
+        assert!(text.contains("bfc_widths_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("bfc_widths_sum 4\n"));
+        assert!(text.contains("bfc_widths_count 1\n"));
     }
 }

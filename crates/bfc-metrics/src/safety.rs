@@ -37,6 +37,8 @@ use bfc_net::types::NodeId;
 use bfc_sim::snapshot::{SnapError, SnapReader, SnapWriter};
 use bfc_sim::{SimDuration, SimTime};
 
+use crate::hist::Hist;
+
 /// Thresholds for the three safety detectors. Analysis-only: changing these
 /// never changes simulation behavior, only how the observations are judged.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,6 +86,11 @@ pub struct SafetyTracker {
     /// dynamics-gated sampling.
     samples: Vec<(SimTime, u64)>,
     last_cumulative: u64,
+    /// Derived online from the edge log (never serialized — rebuilt by
+    /// replay on restore): install time of each currently-paused edge,
+    /// and the distribution of closed pause intervals in nanoseconds.
+    open_pauses: BTreeMap<(NodeId, NodeId), SimTime>,
+    pause_hist: Hist,
 }
 
 impl SafetyTracker {
@@ -102,6 +109,33 @@ impl SafetyTracker {
             to,
             pause,
         });
+        self.update_pause_hist(now, from, to, pause);
+    }
+
+    /// The online pause-duration update: XOFF opens an interval on the
+    /// edge (refreshes keep the original install time); XON closes it and
+    /// records the duration. Pulled out of [`SafetyTracker::record_pause`]
+    /// so [`SafetyTracker::restore_state`] can rebuild the derived state
+    /// by replaying the serialized edge log.
+    fn update_pause_hist(&mut self, now: SimTime, from: NodeId, to: NodeId, pause: bool) {
+        let key = (from, to);
+        if pause {
+            self.open_pauses.entry(key).or_insert(now);
+        } else if let Some(start) = self.open_pauses.remove(&key) {
+            self.pause_hist.observe(now.saturating_since(start).as_nanos());
+        }
+    }
+
+    /// The distribution of PFC pause intervals per wait-for edge, in
+    /// nanoseconds; intervals still open are closed at `end`. All edges of
+    /// one `(from, to)` pair are recorded by the shard owning `from`, so
+    /// merged per-shard histograms are bit-identical to the serial one.
+    pub fn pause_durations(&self, end: SimTime) -> Hist {
+        let mut hist = self.pause_hist.clone();
+        for (_, &start) in &self.open_pauses {
+            hist.observe(end.saturating_since(start).as_nanos());
+        }
+        hist
     }
 
     /// Records one goodput sample: `cumulative_bytes` is the running total
@@ -123,6 +157,10 @@ impl SafetyTracker {
         for part in &parts {
             merged.last_cumulative += part.last_cumulative;
             merged.edges.extend(part.edges.iter().copied());
+            // Edge keys are shard-disjoint, so the open maps never collide
+            // and the histogram merge is exact.
+            merged.open_pauses.extend(part.open_pauses.iter().map(|(&k, &v)| (k, v)));
+            merged.pause_hist.merge(&part.pause_hist);
         }
         if let Some(longest) = parts.iter().map(|p| p.samples.len()).max() {
             for tick in 0..longest {
@@ -181,11 +219,21 @@ impl SafetyTracker {
             let t = SimTime::from_picos(r.get_u64()?);
             samples.push((t, r.get_u64()?));
         }
-        Ok(SafetyTracker {
+        let mut tracker = SafetyTracker {
             edges,
             samples,
             last_cumulative: r.get_u64()?,
-        })
+            open_pauses: BTreeMap::new(),
+            pause_hist: Hist::new(),
+        };
+        // Rebuild the derived pause-duration state by replaying the edge
+        // log in recorded order — bit-identical to the uninterrupted
+        // tracker, with no extra bytes in the snapshot format.
+        for i in 0..tracker.edges.len() {
+            let e = tracker.edges[i];
+            tracker.update_pause_hist(e.at, e.from, e.to, e.pause);
+        }
+        Ok(tracker)
     }
 
     /// Replays the observations into a [`SafetyReport`]. `end` is the run's
@@ -546,6 +594,37 @@ mod tests {
         let mut t2 = restored.clone();
         t2.record_goodput(us(30), 1_600);
         assert_eq!(t2.samples.last(), Some(&(us(30), 100)));
+    }
+
+    #[test]
+    fn pause_durations_close_open_intervals_at_end_and_survive_restore() {
+        let mut t = SafetyTracker::new();
+        t.record_pause(us(10), node(0), node(1), true);
+        t.record_pause(us(12), node(0), node(1), true); // refresh, start unchanged
+        t.record_pause(us(15), node(0), node(1), false); // 5us closed
+        t.record_pause(us(20), node(2), node(3), true); // open until end
+        let h = t.pause_durations(us(30));
+        assert_eq!(h.count(), 2);
+        let mut expect = Hist::new();
+        expect.observe(SimDuration::from_micros(5).as_nanos());
+        expect.observe(SimDuration::from_micros(10).as_nanos());
+        assert_eq!(h, expect);
+        // Restore rebuilds the same derived state from the edge log.
+        let mut w = SnapWriter::new();
+        t.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let restored = SafetyTracker::restore_state(&mut r).unwrap();
+        assert_eq!(restored.pause_durations(us(30)), h);
+        // Shard-split durations merge to the serial histogram.
+        let mut s0 = SafetyTracker::new();
+        let mut s1 = SafetyTracker::new();
+        s0.record_pause(us(10), node(0), node(1), true);
+        s0.record_pause(us(12), node(0), node(1), true);
+        s0.record_pause(us(15), node(0), node(1), false);
+        s1.record_pause(us(20), node(2), node(3), true);
+        let merged = SafetyTracker::merge(vec![s0, s1]);
+        assert_eq!(merged.pause_durations(us(30)), h);
     }
 
     #[test]

@@ -62,6 +62,12 @@ pub struct Port {
     active_count: usize,
     active_counted: Vec<bool>,
 
+    // Running byte total over the data-plane queues (physical + high
+    // priority + overflow, control excluded), maintained on every enqueue,
+    // dequeue and flush so the per-packet ECN/INT/depth-histogram reads of
+    // `data_queued_bytes` are O(1) instead of an O(Q) scan.
+    data_bytes: u64,
+
     /// True while the transmitter is serializing a packet.
     pub busy: bool,
 
@@ -100,6 +106,7 @@ impl Port {
             occupied_count: 0,
             active_count: 0,
             active_counted: vec![false; num_queues],
+            data_bytes: 0,
             busy: false,
             up: true,
             pfc_paused: false,
@@ -167,11 +174,18 @@ impl Port {
     }
 
     /// Total bytes queued across all data-plane queues (physical + high
-    /// priority + overflow). Used for ECN marking and INT telemetry.
+    /// priority + overflow). Used for ECN marking, INT telemetry and the
+    /// queue-depth histogram — all per-packet paths, so the total is a
+    /// counter maintained on enqueue/dequeue/flush, not an O(Q) scan.
     pub fn data_queued_bytes(&self) -> u64 {
-        self.queues.iter().map(|q| q.bytes()).sum::<u64>()
-            + self.high_priority.bytes()
-            + self.overflow.bytes()
+        debug_assert_eq!(
+            self.data_bytes,
+            self.queues.iter().map(|q| q.bytes()).sum::<u64>()
+                + self.high_priority.bytes()
+                + self.overflow.bytes(),
+            "data-plane byte counter out of sync"
+        );
+        self.data_bytes
     }
 
     /// Total bytes queued including the control queue.
@@ -309,6 +323,9 @@ impl Port {
 
     /// Enqueues a packet into the queue selected by the policy.
     pub fn enqueue(&mut self, target: QueueTarget, packet: Packet, ingress: u32) {
+        if target != QueueTarget::Control {
+            self.data_bytes += packet.size_bytes as u64;
+        }
         match target {
             QueueTarget::Control => self.control.push(packet, ingress),
             QueueTarget::HighPriority => self.high_priority.push(packet, ingress),
@@ -354,10 +371,10 @@ impl Port {
             return self.control.pop().map(|qp| (qp, QueueTarget::Control));
         }
         if !self.high_priority.is_empty() {
-            return self
-                .high_priority
-                .pop()
-                .map(|qp| (qp, QueueTarget::HighPriority));
+            return self.high_priority.pop().map(|qp| {
+                self.data_bytes -= qp.packet.size_bytes as u64;
+                (qp, QueueTarget::HighPriority)
+            });
         }
         self.drr_pick()
     }
@@ -377,7 +394,7 @@ impl Port {
     }
 
     fn drr_pop(&mut self, i: usize) -> Option<QueuedPacket> {
-        if i == self.overflow_index() {
+        let popped = if i == self.overflow_index() {
             self.overflow.pop()
         } else {
             let popped = self.queues[i].pop();
@@ -389,7 +406,11 @@ impl Port {
                 self.refresh_active(i);
             }
             popped
+        };
+        if let Some(qp) = &popped {
+            self.data_bytes -= qp.packet.size_bytes as u64;
         }
+        popped
     }
 
     fn drr_queue_empty(&self, i: usize) -> bool {
@@ -502,6 +523,7 @@ impl Port {
         self.occupied_count = 0;
         self.active_count = 0;
         self.active_counted.fill(false);
+        self.data_bytes = 0;
         flushed
     }
 
@@ -610,11 +632,14 @@ impl Port {
         self.tx_bytes = r.get_u64()?;
         self.tx_data_bytes = r.get_u64()?;
         self.tx_packets = r.get_u64()?;
-        // Rebuild the derived occupancy/active counters.
+        // Rebuild the derived occupancy/active/byte counters.
         self.occupied_count = self.queues.iter().filter(|q| !q.is_empty()).count();
         self.active_count = 0;
         self.active_counted.fill(false);
         self.refresh_active_all();
+        self.data_bytes = self.queues.iter().map(|q| q.bytes()).sum::<u64>()
+            + self.high_priority.bytes()
+            + self.overflow.bytes();
         Ok(())
     }
 }

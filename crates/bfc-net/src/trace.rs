@@ -47,6 +47,31 @@ pub const QUEUE_HIGH_PRIORITY: u32 = u32::MAX - 1;
 /// Queue index used for the untracked-flow overflow queue in trace records.
 pub const QUEUE_OVERFLOW: u32 = u32::MAX - 2;
 
+/// Number of distinct [`TraceEvent`] kinds.
+pub const KIND_COUNT: usize = 13;
+
+/// Kind names indexed by [`TraceEvent::kind_index`].
+pub const KIND_NAMES: [&str; KIND_COUNT] = [
+    "enqueue",
+    "dequeue",
+    "drop",
+    "blackhole",
+    "pfc-sent",
+    "pfc-delivered",
+    "flow-pause",
+    "queue-active",
+    "queue-idle",
+    "link-down",
+    "link-up",
+    "link-rate",
+    "reroute",
+];
+
+/// Looks up a kind index by its [`KIND_NAMES`] name.
+pub fn kind_index_of(name: &str) -> Option<usize> {
+    KIND_NAMES.iter().position(|&k| k == name)
+}
+
 /// Formats a trace-record queue index, naming the special queues.
 pub fn queue_name(queue: u32) -> String {
     match queue {
@@ -209,20 +234,47 @@ impl TraceEvent {
 
     /// Short kind name used by the CLI's filter and summaries.
     pub fn kind(&self) -> &'static str {
+        KIND_NAMES[self.kind_index()]
+    }
+
+    /// Dense index of the event kind, `0..KIND_COUNT` (the serialization
+    /// tag). Backs the record-time [`TraceFilter`] bitmask.
+    #[inline]
+    pub fn kind_index(&self) -> usize {
         match self {
-            TraceEvent::Enqueue { .. } => "enqueue",
-            TraceEvent::Dequeue { .. } => "dequeue",
-            TraceEvent::Drop { .. } => "drop",
-            TraceEvent::Blackhole { .. } => "blackhole",
-            TraceEvent::PfcSent { .. } => "pfc-sent",
-            TraceEvent::PfcDelivered { .. } => "pfc-delivered",
-            TraceEvent::FlowPause { .. } => "flow-pause",
-            TraceEvent::QueueActive { .. } => "queue-active",
-            TraceEvent::QueueIdle { .. } => "queue-idle",
-            TraceEvent::LinkDown { .. } => "link-down",
-            TraceEvent::LinkUp { .. } => "link-up",
-            TraceEvent::LinkRate { .. } => "link-rate",
-            TraceEvent::Reroute { .. } => "reroute",
+            TraceEvent::Enqueue { .. } => 0,
+            TraceEvent::Dequeue { .. } => 1,
+            TraceEvent::Drop { .. } => 2,
+            TraceEvent::Blackhole { .. } => 3,
+            TraceEvent::PfcSent { .. } => 4,
+            TraceEvent::PfcDelivered { .. } => 5,
+            TraceEvent::FlowPause { .. } => 6,
+            TraceEvent::QueueActive { .. } => 7,
+            TraceEvent::QueueIdle { .. } => 8,
+            TraceEvent::LinkDown { .. } => 9,
+            TraceEvent::LinkUp { .. } => 10,
+            TraceEvent::LinkRate { .. } => 11,
+            TraceEvent::Reroute { .. } => 12,
+        }
+    }
+
+    /// The local port an event concerns (`src` for PFC deliveries, the
+    /// peer for link events, `None` for blackholes and reroutes). Used by
+    /// the diff's per-(node, port) divergence summary.
+    pub fn port(&self) -> Option<u32> {
+        match *self {
+            TraceEvent::Enqueue { port, .. }
+            | TraceEvent::Dequeue { port, .. }
+            | TraceEvent::Drop { port, .. }
+            | TraceEvent::PfcSent { port, .. }
+            | TraceEvent::FlowPause { port, .. }
+            | TraceEvent::QueueActive { port, .. }
+            | TraceEvent::QueueIdle { port, .. } => Some(port),
+            TraceEvent::PfcDelivered { src, .. } => Some(src.0),
+            TraceEvent::LinkDown { b, .. }
+            | TraceEvent::LinkUp { b, .. }
+            | TraceEvent::LinkRate { b, .. } => Some(b.0),
+            TraceEvent::Blackhole { .. } | TraceEvent::Reroute { .. } => None,
         }
     }
 
@@ -533,15 +585,80 @@ pub struct TraceRecord {
     pub event: TraceEvent,
 }
 
+/// A record-time trace filter: an event-kind bitmask plus an optional
+/// node set. Filtering at record time keeps a narrow ring (e.g. PFC-only)
+/// covering the *whole* run cheap, instead of raising the ring capacity
+/// and filtering after the fact; events a filter rejects are never stored
+/// and never count as ring drops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFilter {
+    /// Bit `i` set ⇔ the kind with [`TraceEvent::kind_index`] `i` passes.
+    kind_mask: u16,
+    /// If set, only events at these nodes pass (fabric-wide events with no
+    /// node — reroutes — always pass).
+    nodes: Option<std::collections::BTreeSet<u32>>,
+}
+
+impl Default for TraceFilter {
+    fn default() -> Self {
+        TraceFilter::all()
+    }
+}
+
+impl TraceFilter {
+    /// A filter that admits everything.
+    pub fn all() -> Self {
+        TraceFilter {
+            kind_mask: (1 << KIND_COUNT) - 1,
+            nodes: None,
+        }
+    }
+
+    /// Restricts to the given kind indices (see [`kind_index_of`]).
+    pub fn with_kinds(mut self, kinds: impl IntoIterator<Item = usize>) -> Self {
+        self.kind_mask = 0;
+        for k in kinds {
+            assert!(k < KIND_COUNT, "kind index out of range");
+            self.kind_mask |= 1 << k;
+        }
+        self
+    }
+
+    /// Restricts to events at the given nodes (reroutes always pass).
+    pub fn with_nodes(mut self, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        self.nodes = Some(nodes.into_iter().map(|n| n.0).collect());
+        self
+    }
+
+    /// True if the filter admits every event.
+    pub fn admits_all(&self) -> bool {
+        self.kind_mask == (1 << KIND_COUNT) - 1 && self.nodes.is_none()
+    }
+
+    /// Whether `event` passes the filter.
+    #[inline]
+    pub fn admits(&self, event: &TraceEvent) -> bool {
+        if self.kind_mask & (1 << event.kind_index()) == 0 {
+            return false;
+        }
+        match (&self.nodes, event.node()) {
+            (Some(nodes), Some(node)) => nodes.contains(&node.0),
+            _ => true,
+        }
+    }
+}
+
 /// A bounded ring of the last N trace records. Records beyond the capacity
 /// shed from the front (oldest first) and are counted in `dropped`; the
 /// flight-recorder name is exact — what survives is the end of the story.
+/// An optional [`TraceFilter`] rejects events before they reach the ring.
 #[derive(Debug, Clone)]
 pub struct FlightRecorder {
     capacity: usize,
     records: VecDeque<TraceRecord>,
     seq: u64,
     dropped: u64,
+    filter: Option<TraceFilter>,
 }
 
 impl FlightRecorder {
@@ -553,12 +670,28 @@ impl FlightRecorder {
             records: VecDeque::with_capacity(capacity.min(64 * 1024)),
             seq: 0,
             dropped: 0,
+            filter: None,
         }
+    }
+
+    /// Creates a recorder that only stores events admitted by `filter`.
+    /// A filter admitting everything is elided from the hot path.
+    pub fn with_filter(capacity: usize, filter: TraceFilter) -> Self {
+        let mut rec = FlightRecorder::new(capacity);
+        if !filter.admits_all() {
+            rec.filter = Some(filter);
+        }
+        rec
     }
 
     /// Records one event observed at `at`.
     #[inline]
     pub fn record(&mut self, at: SimTime, event: TraceEvent) {
+        if let Some(filter) = &self.filter {
+            if !filter.admits(&event) {
+                return;
+            }
+        }
         if self.records.len() == self.capacity {
             self.records.pop_front();
             self.dropped += 1;
@@ -664,6 +797,165 @@ impl FlightTrace {
             })
             .collect()
     }
+
+    /// Time of the last record, or zero for an empty trace. The diff uses
+    /// this to close open pause intervals.
+    pub fn end_time(&self) -> SimTime {
+        self.records.last().map(|r| r.at).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Compares two canonical traces record-by-record. Returns `None` when
+    /// they are identical, otherwise the first diverging index plus
+    /// summaries of everything downstream of it. Both traces must already
+    /// be in canonical order ([`FlightTrace::merge`] output or a recorded
+    /// serial trace, which is canonical by construction).
+    pub fn diff(&self, other: &FlightTrace) -> Option<TraceDiff> {
+        use std::collections::BTreeMap;
+        let shared = self.records.len().min(other.records.len());
+        let index = (0..shared)
+            .find(|&i| {
+                let (a, b) = (&self.records[i], &other.records[i]);
+                (a.at, a.rank, a.event) != (b.at, b.rank, b.event)
+            })
+            .unwrap_or(shared);
+        if index == self.records.len() && index == other.records.len() {
+            return None;
+        }
+
+        // Downstream tails: everything at and after the divergence point.
+        let tail_a = &self.records[index.min(self.records.len())..];
+        let tail_b = &other.records[index.min(other.records.len())..];
+
+        let mut kinds: BTreeMap<usize, KindDivergence> = BTreeMap::new();
+        let mut ports: BTreeMap<(NodeId, u32), PortDivergence> = BTreeMap::new();
+        let mut tally = |records: &[TraceRecord], second: bool| {
+            for r in records {
+                let k = kinds.entry(r.event.kind_index()).or_insert_with(|| {
+                    KindDivergence {
+                        kind: KIND_NAMES[r.event.kind_index()],
+                        ..KindDivergence::default()
+                    }
+                });
+                let (count, first) = if second {
+                    (&mut k.count_b, &mut k.first_b)
+                } else {
+                    (&mut k.count_a, &mut k.first_a)
+                };
+                *count += 1;
+                first.get_or_insert(r.at);
+                if let (Some(node), Some(port)) = (r.event.node(), r.event.port()) {
+                    let p = ports
+                        .entry((node, port))
+                        .or_insert_with(|| PortDivergence::new(node, port));
+                    if second {
+                        p.count_b += 1;
+                    } else {
+                        p.count_a += 1;
+                    }
+                }
+            }
+        };
+        tally(tail_a, false);
+        tally(tail_b, true);
+
+        // Pause-time delta per (node, ingress port), computed over the
+        // full traces (pause state is cumulative — a tail alone cannot
+        // close intervals opened upstream of the divergence).
+        let pause_a: BTreeMap<_, _> = self.pause_time_by_port(self.end_time()).into_iter().collect();
+        let pause_b: BTreeMap<_, _> = other.pause_time_by_port(other.end_time()).into_iter().collect();
+        for &key in pause_a.keys().chain(pause_b.keys()) {
+            ports
+                .entry(key)
+                .or_insert_with(|| PortDivergence::new(key.0, key.1));
+        }
+        for p in ports.values_mut() {
+            p.pause_a = pause_a.get(&(p.node, p.port)).copied().unwrap_or(SimDuration::ZERO);
+            p.pause_b = pause_b.get(&(p.node, p.port)).copied().unwrap_or(SimDuration::ZERO);
+        }
+        // Drop rows with nothing to say (equal zero counts, equal pause).
+        let ports: Vec<PortDivergence> = ports
+            .into_values()
+            .filter(|p| p.count_a != p.count_b || p.pause_a != p.pause_b || p.count_a != 0)
+            .collect();
+
+        Some(TraceDiff {
+            index,
+            first_a: self.records.get(index).copied(),
+            first_b: other.records.get(index).copied(),
+            tail_a: tail_a.len(),
+            tail_b: tail_b.len(),
+            kinds: kinds.into_values().collect(),
+            ports,
+        })
+    }
+}
+
+/// Per-event-kind divergence tallies downstream of the first diverging
+/// record (side `a` = the first trace passed to [`FlightTrace::diff`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindDivergence {
+    /// Kind name ([`KIND_NAMES`]).
+    pub kind: &'static str,
+    /// Records of this kind in `a`'s divergent tail.
+    pub count_a: u64,
+    /// Records of this kind in `b`'s divergent tail.
+    pub count_b: u64,
+    /// First time this kind appears in `a`'s tail.
+    pub first_a: Option<SimTime>,
+    /// First time this kind appears in `b`'s tail.
+    pub first_b: Option<SimTime>,
+}
+
+/// Per-(node, port) divergence tallies plus the whole-run pause-time delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortDivergence {
+    /// The switch.
+    pub node: NodeId,
+    /// The local port (see [`TraceEvent::port`]).
+    pub port: u32,
+    /// Tail records touching this port in `a`.
+    pub count_a: u64,
+    /// Tail records touching this port in `b`.
+    pub count_b: u64,
+    /// Total PFC pause time of the port over all of `a`.
+    pub pause_a: SimDuration,
+    /// Total PFC pause time of the port over all of `b`.
+    pub pause_b: SimDuration,
+}
+
+impl PortDivergence {
+    fn new(node: NodeId, port: u32) -> Self {
+        PortDivergence {
+            node,
+            port,
+            count_a: 0,
+            count_b: 0,
+            pause_a: SimDuration::ZERO,
+            pause_b: SimDuration::ZERO,
+        }
+    }
+}
+
+/// The result of [`FlightTrace::diff`] on two traces that are not
+/// identical: where they first diverge and what the divergent tails look
+/// like.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDiff {
+    /// Canonical index of the first diverging record (equal to the length
+    /// of the shorter trace when one is a strict prefix of the other).
+    pub index: usize,
+    /// The record at `index` in trace `a` (`None` if `a` ended there).
+    pub first_a: Option<TraceRecord>,
+    /// The record at `index` in trace `b` (`None` if `b` ended there).
+    pub first_b: Option<TraceRecord>,
+    /// Records at/after the divergence in `a`.
+    pub tail_a: usize,
+    /// Records at/after the divergence in `b`.
+    pub tail_b: usize,
+    /// Per-kind tallies of the divergent tails, sorted by kind index.
+    pub kinds: Vec<KindDivergence>,
+    /// Per-(node, port) tallies, sorted by `(node, port)`.
+    pub ports: Vec<PortDivergence>,
 }
 
 /// Serializes a trace (plus a free-form label naming the run) into the
@@ -938,6 +1230,107 @@ mod tests {
         assert_eq!(top[0].1, SimDuration::from_nanos(500));
         assert_eq!(top[1].0, (NodeId(1), 0));
         assert_eq!(top[1].1, SimDuration::from_nanos(200));
+    }
+
+    #[test]
+    fn filters_reject_at_record_time_without_counting_drops() {
+        let filter = TraceFilter::all()
+            .with_kinds([kind_index_of("pfc-sent").unwrap()])
+            .with_nodes([NodeId(1)]);
+        let mut rec = FlightRecorder::with_filter(2, filter.clone());
+        for e in sample_events() {
+            rec.record(SimTime::from_nanos(1), e);
+        }
+        // Wrong node, right kind: rejected.
+        rec.record(
+            SimTime::from_nanos(2),
+            TraceEvent::PfcSent { node: NodeId(9), port: 0, pause: true },
+        );
+        let trace = rec.finish();
+        assert_eq!(trace.records.len(), 1);
+        assert_eq!(trace.dropped, 0, "filtered events are not ring drops");
+        assert!(matches!(
+            trace.records[0].event,
+            TraceEvent::PfcSent { node: NodeId(1), .. }
+        ));
+        // Fabric-wide events pass a node filter.
+        assert!(filter
+            .clone()
+            .with_kinds([kind_index_of("reroute").unwrap()])
+            .admits(&TraceEvent::Reroute { index: 0 }));
+        // The all-filter is elided entirely.
+        assert!(TraceFilter::all().admits_all());
+        let rec = FlightRecorder::with_filter(4, TraceFilter::all());
+        assert!(rec.filter.is_none());
+    }
+
+    #[test]
+    fn kind_names_round_trip_through_indices() {
+        for e in sample_events() {
+            assert_eq!(kind_index_of(e.kind()), Some(e.kind_index()));
+        }
+        assert_eq!(kind_index_of("no-such-kind"), None);
+    }
+
+    #[test]
+    fn identical_traces_diff_empty() {
+        let mut rec = FlightRecorder::new(64);
+        for (i, e) in sample_events().into_iter().enumerate() {
+            rec.record(SimTime::from_nanos(i as u64), e);
+        }
+        let a = FlightTrace::merge(vec![rec.finish()]);
+        assert_eq!(a.diff(&a.clone()), None);
+        assert_eq!(FlightTrace::default().diff(&FlightTrace::default()), None);
+    }
+
+    #[test]
+    fn diff_reports_first_divergence_and_tail_summaries() {
+        let enq = |flow| TraceEvent::Enqueue { node: NodeId(0), port: 1, queue: 0, flow, bytes: 100 };
+        let mut a = FlightRecorder::new(64);
+        let mut b = FlightRecorder::new(64);
+        // Shared prefix.
+        a.record(SimTime::from_nanos(10), enq(1));
+        b.record(SimTime::from_nanos(10), enq(1));
+        // Divergence at index 1: different flows enqueue.
+        a.record(SimTime::from_nanos(20), enq(2));
+        b.record(SimTime::from_nanos(20), enq(3));
+        // Only `b` then pauses.
+        b.record(
+            SimTime::from_nanos(30),
+            TraceEvent::PfcSent { node: NodeId(0), port: 1, pause: true },
+        );
+        let (a, b) = (
+            FlightTrace::merge(vec![a.finish()]),
+            FlightTrace::merge(vec![b.finish()]),
+        );
+        let diff = a.diff(&b).expect("diverges");
+        assert_eq!(diff.index, 1);
+        assert_eq!(diff.first_a.unwrap().event, enq(2));
+        assert_eq!(diff.first_b.unwrap().event, enq(3));
+        assert_eq!((diff.tail_a, diff.tail_b), (1, 2));
+        let enq_row = diff.kinds.iter().find(|k| k.kind == "enqueue").unwrap();
+        assert_eq!((enq_row.count_a, enq_row.count_b), (1, 1));
+        assert_eq!(enq_row.first_a, Some(SimTime::from_nanos(20)));
+        let pfc_row = diff.kinds.iter().find(|k| k.kind == "pfc-sent").unwrap();
+        assert_eq!((pfc_row.count_a, pfc_row.count_b), (0, 1));
+        assert_eq!(pfc_row.first_b, Some(SimTime::from_nanos(30)));
+        let port_row = diff
+            .ports
+            .iter()
+            .find(|p| (p.node, p.port) == (NodeId(0), 1))
+            .unwrap();
+        assert_eq!(port_row.pause_a, SimDuration::ZERO);
+        // b's pause opens at 30 and closes at b's end time (also 30).
+        assert_eq!(port_row.pause_b, SimDuration::ZERO);
+        // A strict prefix diverges at the shorter length.
+        let prefix = FlightTrace {
+            records: a.records[..1].to_vec(),
+            dropped: 0,
+        };
+        let diff = prefix.diff(&a).expect("prefix diverges");
+        assert_eq!(diff.index, 1);
+        assert!(diff.first_a.is_none());
+        assert!(diff.first_b.is_some());
     }
 
     #[test]

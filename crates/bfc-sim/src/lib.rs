@@ -33,6 +33,7 @@
 
 pub mod event;
 pub mod hash;
+pub mod hist;
 pub mod rng;
 pub mod shard;
 pub mod snapshot;
@@ -40,6 +41,7 @@ pub mod time;
 
 pub use event::{run, run_until, EventQueue, ReferenceEventQueue, Simulation};
 pub use hash::{FastHashMap, FastHashSet};
+pub use hist::Hist;
 pub use rng::SimRng;
 pub use snapshot::{SnapError, SnapReader, SnapWriter};
 pub use time::{SimDuration, SimTime};

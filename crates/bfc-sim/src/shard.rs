@@ -239,6 +239,18 @@ pub struct EpochStats {
     pub widened: u64,
     /// Cross-shard boundary events exchanged.
     pub boundary_events: u64,
+    /// Batches by elected width: bucket `i` counts elections at width in
+    /// `[2^i, 2^(i+1))`, with bucket 7 open-ended. Feeds the registry's
+    /// `bfc_engine_epoch_width` histogram.
+    pub width_hist: [u64; 8],
+}
+
+impl EpochStats {
+    /// Tallies one election at `width` into [`EpochStats::width_hist`].
+    fn note_width(&mut self, width: u32) {
+        let bucket = (width.max(1).ilog2() as usize).min(7);
+        self.width_hist[bucket] += 1;
+    }
 }
 
 /// Runs a sharded simulation to completion (all queues empty) or until the
@@ -373,6 +385,7 @@ fn run_sequential<S: ShardHandler>(
         if sched.width > 1 {
             stats.widened += 1;
         }
+        stats.note_width(sched.width);
         let mut had_traffic = false;
         let mut w = 0u32;
         while w < sched.width {
@@ -528,6 +541,7 @@ fn run_threaded<S: ShardHandler>(
                         if sched.width > 1 {
                             stats.widened += 1;
                         }
+                        stats.note_width(sched.width);
                         let mut had_traffic = false;
                         let mut w = 0u32;
                         while w < sched.width {

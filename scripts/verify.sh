@@ -23,7 +23,13 @@
 #   9. observability: the flight recorder's record -> inspect -> filter ->
 #      top pipeline works on a recorded run, a safety-violating scenario
 #      auto-dumps a non-empty readable trace, and a `serve --metrics`
-#      scrape returns well-formed Prometheus-style exposition text
+#      scrape returns well-formed Prometheus-style exposition text with a
+#      native histogram; the persistent-connection protocol serves two
+#      scrapes over one socket
+#  10. divergence profiler: `trace diff` on two same-config recordings is
+#      silent and exits 0 at 1/2/4 shards, and `scenario --diff-schemes
+#      bfc,dcqcn` on the committed deadlock reproducer exits nonzero naming
+#      the first diverging record
 #
 # Usage: scripts/verify.sh [--workspace]
 #   --workspace  additionally run every crate's unit tests
@@ -201,6 +207,12 @@ if ! grep -q '^records:' "$tmpdir/inspect.txt" || ! grep -q '  enqueue' "$tmpdir
     cat "$tmpdir/inspect.txt" >&2
     exit 1
 fi
+"$trace_tool" trace inspect "$flight" --stats > "$tmpdir/stats.txt"
+if ! grep -q '  enqueue' "$tmpdir/stats.txt" || grep -q 'records (' "$tmpdir/stats.txt"; then
+    echo "verify: FAILED — trace inspect --stats must print kind counts only:" >&2
+    cat "$tmpdir/stats.txt" >&2
+    exit 1
+fi
 "$trace_tool" trace filter "$flight" --kind dequeue --limit 3 > "$tmpdir/filter.txt"
 if ! grep -q 'records match' "$tmpdir/filter.txt"; then
     echo "verify: FAILED — trace filter did not report matches" >&2
@@ -208,6 +220,45 @@ if ! grep -q 'records match' "$tmpdir/filter.txt"; then
 fi
 "$trace_tool" trace top "$flight" --n 5 > /dev/null
 "$trace_tool" trace top "$flight" --tree > /dev/null
+
+echo "== divergence profiler: identical runs diff empty at 1/2/4 shards"
+# Ring capacity is per shard, so cross-shard-count trace identity needs
+# rings sized so nothing is shed: halve --last as the shard count doubles.
+diff_base="$tmpdir/diff-base.flight"
+"$trace_tool" trace record "$trace_csv" --out "$diff_base" --last 300000 --scheme bfc
+for shards in 1 2 4; do
+    other="$tmpdir/diff-$shards.flight"
+    "$trace_tool" trace record "$trace_csv" --out "$other" \
+        --last $((300000 / shards)) --scheme bfc --shards "$shards"
+    diff_out="$tmpdir/diff-$shards.txt"
+    if ! "$trace_tool" trace diff "$diff_base" "$other" > "$diff_out"; then
+        echo "verify: FAILED — same-run traces diverged at $shards shard(s):" >&2
+        cat "$diff_out" >&2
+        exit 1
+    fi
+    if [[ -s "$diff_out" ]]; then
+        echo "verify: FAILED — self-diff at $shards shard(s) was not silent:" >&2
+        cat "$diff_out" >&2
+        exit 1
+    fi
+done
+
+echo "== divergence profiler: deadlock reproducer diverges before it deadlocks"
+# bfc-vs-dcqcn on the committed reproducer must exit nonzero and name the
+# first diverging record; run inside tmpdir because the DCQCN violation
+# auto-dumps its flight trace into the working directory.
+schemes_out="$tmpdir/diff-schemes.txt"
+if ( cd "$tmpdir" && "$trace_tool" scenario "$OLDPWD/tests/scenarios/pfc_deadlock_dcqcn_t1.scn" \
+        --diff-schemes bfc,dcqcn --trace-cap 4000000 > "$schemes_out" ); then
+    echo "verify: FAILED — bfc-vs-dcqcn diff on the deadlock reproducer exited 0:" >&2
+    cat "$schemes_out" >&2
+    exit 1
+fi
+if ! grep -q 'first divergence at canonical record' "$schemes_out"; then
+    echo "verify: FAILED — diff report does not name the first diverging record:" >&2
+    cat "$schemes_out" >&2
+    exit 1
+fi
 
 echo "== flight recorder: safety violation auto-dumps a readable trace"
 # The committed livelock reproducer carries its own topology/scheme/workload;
@@ -236,13 +287,15 @@ if ! grep -q '  pfc-delivered' "$tmpdir/dump-inspect.txt"; then
     exit 1
 fi
 
-echo "== live metrics: serve --metrics scrape returns well-formed exposition"
-# A long-enough ingest run that the scrape lands while the server is alive;
+echo "== live metrics: persistent scrapes return exposition with histograms"
+# A long-enough ingest run that scrapes land while the server is alive;
 # port 0 lets the OS pick, and the bound address is announced on stderr.
+# `--cap 4` keeps the inflight window far below the flow count so the sim
+# advances between admissions and the live render carries real series.
 long_csv="$tmpdir/long.csv"
 "$trace_tool" synth --out "$long_csv" --duration-us 3000 --seed 7 > /dev/null
 serve_err="$tmpdir/serve.err"
-"$trace_tool" serve --tail "$long_csv" --cap 16 --horizon-us 3000 --seed 7 \
+"$trace_tool" serve --tail "$long_csv" --cap 4 --horizon-us 3000 --seed 7 \
     --metrics 127.0.0.1:0 > "$tmpdir/serve.out" 2> "$serve_err" &
 serve_pid=$!
 metrics_addr=""
@@ -258,19 +311,38 @@ if [[ -z "$metrics_addr" ]]; then
     kill "$serve_pid" 2>/dev/null || true
     exit 1
 fi
+# Each connection streams one `# EOF`-terminated render immediately; a
+# newline on the same socket requests a fresh one (continuous scraping).
+read_scrape() {
+    : > "$1"
+    local line
+    while IFS= read -r -t 5 line <&3; do
+        [[ "$line" == "# EOF" ]] && return 0
+        printf '%s\n' "$line" >> "$1"
+    done
+    return 1
+}
 scrape="$tmpdir/scrape.txt"
+rescrape="$tmpdir/rescrape.txt"
 scraped=0
 for _ in $(seq 1 100); do
     if exec 3<>"/dev/tcp/${metrics_addr%:*}/${metrics_addr##*:}" 2>/dev/null; then
-        cat <&3 > "$scrape" || true
-        exec 3<&- 3>&-
-        [[ -s "$scrape" ]] && { scraped=1; break; }
+        if read_scrape "$scrape" && grep -q '_bucket{' "$scrape"; then
+            # Double-scrape over the same connection.
+            if printf '\n' >&3 && read_scrape "$rescrape"; then
+                scraped=1
+            fi
+            exec 3<&- 3>&-
+            [[ "$scraped" -eq 1 ]] && break
+        else
+            exec 3<&- 3>&-
+        fi
     fi
     if ! kill -0 "$serve_pid" 2>/dev/null; then break; fi
     sleep 0.1
 done
 if [[ "$scraped" -ne 1 ]]; then
-    echo "verify: FAILED — could not scrape $metrics_addr while serve was running" >&2
+    echo "verify: FAILED — no double scrape with histogram data from $metrics_addr while serve was running" >&2
     kill "$serve_pid" 2>/dev/null || true
     exit 1
 fi
@@ -278,6 +350,18 @@ wait "$serve_pid"
 if ! grep -q '^# TYPE bfc_' "$scrape" || ! grep -Eq '^bfc_[a-z_]+({[^}]*})? [0-9]' "$scrape"; then
     echo "verify: FAILED — scrape is not well-formed exposition text:" >&2
     cat "$scrape" >&2
+    exit 1
+fi
+if ! grep -q '^# TYPE bfc_switch_queue_depth_bytes histogram' "$scrape" \
+    || ! grep -q 'le="+Inf"' "$scrape" \
+    || ! grep -q '^bfc_switch_queue_depth_bytes_count{' "$scrape"; then
+    echo "verify: FAILED — live scrape is missing the native histogram series:" >&2
+    grep 'queue_depth' "$scrape" >&2 || true
+    exit 1
+fi
+if ! grep -q '^# TYPE bfc_' "$rescrape"; then
+    echo "verify: FAILED — second scrape over the same connection is not exposition text:" >&2
+    cat "$rescrape" >&2
     exit 1
 fi
 

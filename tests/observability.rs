@@ -19,9 +19,9 @@ use backpressure_flow_control::experiments::{
     resume_experiment, run_experiment, run_experiment_sharded, snapshot_experiment,
     ExperimentConfig, ExperimentResult, Reproducer, Scheme,
 };
-use backpressure_flow_control::metrics::MetricsRegistry;
+use backpressure_flow_control::metrics::{percentile, MetricsRegistry};
 use backpressure_flow_control::net::topology::{fat_tree, FatTreeParams};
-use backpressure_flow_control::net::trace::{read_trace, write_trace};
+use backpressure_flow_control::net::trace::{read_trace, write_trace, TraceFilter};
 use backpressure_flow_control::sim::snapshot::SnapError;
 use backpressure_flow_control::sim::{SimDuration, SimTime};
 use backpressure_flow_control::workloads::{synthesize, TraceFlow, TraceParams, Workload};
@@ -129,7 +129,143 @@ fn tracing_is_a_pure_observer_for_every_scheme_and_engine() {
                 s_on.flight,
                 "{label}: merged trace differs from serial"
             );
+            // So is the diff: same run at any shard count diverges nowhere.
+            let serial_flight = traced.flight.as_ref().expect("recorder was on");
+            let sharded_flight = s_on.flight.as_ref().expect("recorder was on");
+            assert!(
+                serial_flight.diff(sharded_flight).is_none(),
+                "{label}: same-run traces must diff empty"
+            );
+            // Native histograms merge exactly: the sharded run's registry
+            // carries bit-identical distributions (expose equality above
+            // already covers the text; this pins the bucket vectors).
+            for key in ["bfc_fct_slowdown_milli", "bfc_pause_duration_ns"] {
+                assert_eq!(
+                    base.registry.hist(key),
+                    s_on.registry.hist(key),
+                    "{label}: {key} must merge bit-identically"
+                );
+            }
         }
+    }
+}
+
+/// `FlightTrace::diff` localizes a real divergence: two schemes over the
+/// same inputs share a prefix (both traces start from the same seeded
+/// events), then split; the report names the first diverging record and its
+/// per-kind tails, and is index-symmetric.
+#[test]
+fn trace_diff_localizes_scheme_divergence() {
+    let (topo, trace) = test_inputs();
+    let on = |scheme| ExperimentConfig::new(scheme, WINDOW).with_trace_capacity(1 << 21);
+    let a = run_experiment(&topo, &trace, &on(Scheme::bfc()));
+    let flight_a = a.flight.expect("recorder was on");
+    let b = run_experiment(&topo, &trace, &on(Scheme::Dcqcn { window: true, sfq: false }));
+    let flight_b = b.flight.expect("recorder was on");
+
+    let diff = flight_a.diff(&flight_b).expect("different schemes must diverge");
+    assert!(
+        diff.index < flight_a.records.len().min(flight_b.records.len()),
+        "divergence is a real record, not a length mismatch"
+    );
+    let first_a = diff.first_a.as_ref().expect("record exists at the index");
+    let first_b = diff.first_b.as_ref().expect("record exists at the index");
+    assert_eq!(
+        flight_a.records[..diff.index],
+        flight_b.records[..diff.index],
+        "everything before the divergence is a common prefix"
+    );
+    assert_ne!(
+        (first_a.at, first_a.rank, &first_a.event),
+        (first_b.at, first_b.rank, &first_b.event),
+        "the named records actually differ"
+    );
+    assert!(!diff.kinds.is_empty(), "divergent tails have kind tallies");
+    assert_eq!(diff.tail_a, flight_a.records.len() - diff.index);
+    assert_eq!(diff.tail_b, flight_b.records.len() - diff.index);
+
+    let reverse = flight_b.diff(&flight_a).expect("diff is symmetric");
+    assert_eq!(diff.index, reverse.index, "divergence index is direction-free");
+}
+
+/// Record-time filtering is a pure observer too: results are bit-identical,
+/// the kept records are exactly the admitted subsequence of the unfiltered
+/// trace, and filtered events are not counted as ring drops.
+#[test]
+fn record_time_filter_prunes_without_perturbing() {
+    let (topo, trace) = test_inputs();
+    let unfiltered_config =
+        ExperimentConfig::new(Scheme::bfc(), WINDOW).with_trace_capacity(1 << 21);
+    let base = run_experiment(&topo, &trace, &unfiltered_config);
+    let full = base.flight.as_ref().expect("recorder was on");
+
+    // Kind 0 is `enqueue`; node 8 is the first ToR of the tiny fat-tree.
+    let filter = TraceFilter::all()
+        .with_kinds([0usize])
+        .with_nodes([backpressure_flow_control::net::types::NodeId(8)]);
+    let filtered_config = ExperimentConfig::new(Scheme::bfc(), WINDOW)
+        .with_trace_capacity(1 << 21)
+        .with_trace_filter(filter.clone());
+    let run = run_experiment(&topo, &trace, &filtered_config);
+    assert_identical("filter on-vs-off", &base, &run);
+    let filtered = run.flight.expect("recorder was on");
+    assert_eq!(filtered.dropped, 0, "filtered events are not ring drops");
+
+    let want: Vec<_> = full
+        .records
+        .iter()
+        .filter(|r| filter.admits(&r.event))
+        .map(|r| (r.at, r.event.clone()))
+        .collect();
+    let got: Vec<_> = filtered
+        .records
+        .iter()
+        .map(|r| (r.at, r.event.clone()))
+        .collect();
+    assert!(!got.is_empty(), "the filter admits some events in this run");
+    assert_eq!(got, want, "kept records are the admitted subsequence");
+}
+
+/// The FCT slowdown histogram agrees with the exact per-flow records: same
+/// population, and every bucket-quantile lands within one bucket width
+/// (≤ 12.5% above) of the exact nearest-rank percentile from `fct.rs`.
+#[test]
+fn fct_histogram_quantiles_track_exact_percentiles() {
+    let (topo, trace) = test_inputs();
+    let config = ExperimentConfig::new(Scheme::bfc(), WINDOW);
+    let result = run_experiment(&topo, &trace, &config);
+    let hist = result
+        .registry
+        .hist("bfc_fct_slowdown_milli")
+        .expect("FCT histogram is always recorded");
+
+    // Recompute the exact milli-slowdowns the hot path observed.
+    let milli: Vec<u64> = result
+        .records
+        .iter()
+        .filter(|r| !r.is_incast)
+        .map(|r| {
+            let fct = r.fct.as_picos() as u128;
+            let ideal = r.ideal_fct.as_picos().max(1) as u128;
+            (fct * 1000 / ideal).max(1000) as u64
+        })
+        .collect();
+    assert!(!milli.is_empty(), "the run completes non-incast flows");
+    assert_eq!(hist.count(), milli.len() as u64, "same population");
+    assert_eq!(
+        hist.sum(),
+        milli.iter().map(|&v| v as u128).sum::<u128>(),
+        "exact sum"
+    );
+
+    let values: Vec<f64> = milli.iter().map(|&v| v as f64).collect();
+    for p in [50.0, 90.0, 99.0, 100.0] {
+        let exact = percentile(&values, p).expect("non-empty") as u64;
+        let est = hist.quantile(p / 100.0).expect("non-empty");
+        assert!(
+            est >= exact && est <= exact + exact / 8,
+            "p{p}: bucket estimate {est} not within one bucket of exact {exact}"
+        );
     }
 }
 
@@ -238,6 +374,16 @@ fn counters_survive_snapshot_resume() {
         expose_without_engine(&resumed2),
         "sharded resume must reproduce every non-engine series"
     );
+
+    // The native histograms ride the snapshot bit-for-bit, not just their
+    // rendered text: bucket vectors, sums, and counts all survive.
+    for key in ["bfc_fct_slowdown_milli", "bfc_pause_duration_ns"] {
+        let want = full.registry.hist(key);
+        assert!(want.is_some(), "{key} is always recorded");
+        assert_eq!(want, resumed.registry.hist(key), "{key} serial resume");
+        assert_eq!(want, full2.registry.hist(key), "{key} sharded merge");
+        assert_eq!(want, resumed2.registry.hist(key), "{key} sharded resume");
+    }
 }
 
 /// Acceptance: the committed PFC-deadlock reproducer convicts, and the
@@ -290,4 +436,32 @@ fn deadlock_reproducer_flight_trace_matches_safety_report() {
             b.0
         );
     }
+
+    // The divergence profiler pinpoints where BFC escapes the deadlock: the
+    // same inputs under BFC split from the DCQCN trace no later than the
+    // first safety violation — the root cause precedes the symptom.
+    let mut bfc_config = config;
+    bfc_config.scheme = Scheme::bfc();
+    let bfc_result = run_experiment(&topo, &flows, &bfc_config);
+    assert_eq!(
+        bfc_result.safety.deadlocks, 0,
+        "BFC must survive the reproducer"
+    );
+    let bfc_flight = bfc_result.flight.expect("recorder was on");
+    let diff = flight
+        .diff(&bfc_flight)
+        .expect("different schemes must diverge");
+    let first_at = diff
+        .first_a
+        .as_ref()
+        .expect("divergence is inside both traces")
+        .at;
+    let deadlock_at = result
+        .safety
+        .first_deadlock_at
+        .expect("deadlocking run records when");
+    assert!(
+        first_at <= deadlock_at,
+        "first divergence {first_at:?} must not trail the deadlock {deadlock_at:?}"
+    );
 }
